@@ -1,0 +1,462 @@
+// Package repro's root bench harness regenerates the paper's evaluation
+// artifacts: one benchmark per table/figure (E1–E7, see DESIGN.md §4),
+// each reporting its headline metric via b.ReportMetric, plus
+// micro-benchmarks for the hot paths (VM, codec, scheduler, simulator).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The full experiment reports (complete series/tables) come from
+// cmd/tasklet-bench; these benches track the same quantities in a form the
+// Go tooling can diff across commits.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/consumer"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/provider"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/stdtasks"
+	"repro/internal/tasklang"
+	"repro/internal/tvm"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+func quickOpts() experiments.Options { return experiments.Options{Quick: true, Seed: 42} }
+
+// ---------- E1: Table 1 — middleware micro-overheads ----------
+
+func BenchmarkE1_CompileMandelbrot(b *testing.B) {
+	src := stdtasks.Sources["mandelbrot"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tasklang.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_VMDispatchNoop(b *testing.B) {
+	prog := stdtasks.MustProgram("noop")
+	cfg := tvm.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tvm.New(prog, cfg).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_SpinVM(b *testing.B) {
+	prog := stdtasks.MustProgram("spin")
+	cfg := tvm.DefaultConfig()
+	const iters = 100_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tvm.New(prog, cfg).Run(tvm.Int(iters))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.FuelUsed)*float64(b.N), "fuel/op-total")
+		}
+	}
+}
+
+func BenchmarkE1_SpinNative(b *testing.B) {
+	const iters = 100_000
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink = stdtasks.RefSpin(iters)
+	}
+	_ = sink
+}
+
+func BenchmarkE1_Table(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE1(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// ---------- E2: Figure 2 — offload crossover ----------
+
+func BenchmarkE2_OffloadCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE2(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: offload cost on the largest quick size (ms).
+		remote := res.Series[1]
+		b.ReportMetric(remote.Y[len(remote.Y)-1], "offload-ms@1e6")
+	}
+}
+
+// ---------- E3: Figure 3 — speedup vs providers ----------
+
+func BenchmarkE3_Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE3(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup := res.Series[0]
+		b.ReportMetric(speedup.Y[len(speedup.Y)-1],
+			fmt.Sprintf("speedup@%.0fproviders", speedup.X[len(speedup.X)-1]))
+	}
+}
+
+// ---------- E4: Figure 4 — heterogeneity & policy ----------
+
+func BenchmarkE4_Heterogeneity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE4(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: random/fastest latency ratio at max spread.
+		var random, fastest float64
+		for _, s := range res.Series {
+			last := s.Y[len(s.Y)-1]
+			switch {
+			case s.Name == "random ms":
+				random = last
+			case s.Name == "fastest ms":
+				fastest = last
+			}
+		}
+		if fastest > 0 {
+			b.ReportMetric(random/fastest, "random/fastest@spread16")
+		}
+	}
+}
+
+// ---------- E5: Figure 5 — churn ----------
+
+func BenchmarkE5_Churn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE5(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: redundant2 completion at the harshest MTBF.
+		red := res.Series[2]
+		b.ReportMetric(red.Y[len(red.Y)-1], "redundant2-%done@mtbf8s")
+	}
+}
+
+// ---------- E6: Table 2 — QoC cost ----------
+
+func BenchmarkE6_QoCCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE6(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			b.Fatal("rows missing")
+		}
+	}
+}
+
+// ---------- E7: Figure 6 — broker throughput ----------
+
+func BenchmarkE7_BrokerThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunE7(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tput := res.Series[0]
+		var max float64
+		for _, y := range tput.Y {
+			if y > max {
+				max = y
+			}
+		}
+		b.ReportMetric(max, "tasklets/s-peak")
+	}
+}
+
+// ---------- micro-benchmarks ----------
+
+func BenchmarkVM_Fib20(b *testing.B) {
+	prog, err := tasklang.Compile(`
+func fib(n int) int {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main(n int) int { return fib(n); }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := tvm.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tvm.New(prog, cfg).Run(tvm.Int(20)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVM_ArrayHeavy(b *testing.B) {
+	prog := stdtasks.MustProgram("matmul")
+	cfg := tvm.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tvm.New(prog, cfg).Run(tvm.Int(1), tvm.Int(24)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWire_MarshalAssign(b *testing.B) {
+	msg := &wire.Assign{
+		Attempt: 1, Tasklet: 2, Program: 3,
+		Params: []tvm.Value{tvm.Int(1), tvm.Str("hello"), tvm.Float(2.5)},
+		Fuel:   1000, Seed: 7,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Marshal(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWire_UnmarshalAssign(b *testing.B) {
+	msg := &wire.Assign{
+		Attempt: 1, Tasklet: 2, Program: 3,
+		Params: []tvm.Value{tvm.Int(1), tvm.Str("hello"), tvm.Float(2.5)},
+		Fuel:   1000, Seed: 7,
+	}
+	frame, err := wire.Marshal(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := frame[5:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Unmarshal(wire.TypeAssign, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduler_Pick(b *testing.B) {
+	for _, name := range scheduler.Names() {
+		b.Run(name, func(b *testing.B) {
+			pol, err := scheduler.New(name, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cands := make([]scheduler.Candidate, 64)
+			for i := range cands {
+				cands[i] = scheduler.Candidate{
+					Info: &core.ProviderInfo{
+						ID: core.ProviderID(i + 1), Speed: float64(10 + i), Slots: 2, Reliability: 1,
+					},
+					FreeSlots: 1 + i%2,
+					Backlog:   i % 3,
+				}
+			}
+			req := scheduler.Request{Tasklet: &core.Tasklet{Fuel: 1_000_000}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := pol.Pick(req, cands); !ok {
+					b.Fatal("no pick")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSim_Batch512On16(b *testing.B) {
+	devices := workload.PaperMix(16)
+	tasks := workload.Batch(512, 10_000_000, core.QoC{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := sim.Run(sim.Config{
+			Devices: devices, Tasks: tasks,
+			Latency: 2 * time.Millisecond, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Completed != 512 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkSim_ChurnHeavy(b *testing.B) {
+	devices := workload.WithChurn(workload.Homogeneous(16, core.ClassDesktop, 1),
+		20*time.Second, 5*time.Second)
+	tasks := workload.Batch(256, 100_000_000, core.QoC{Mode: core.QoCRedundant, Replicas: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{
+			Devices: devices, Tasks: tasks,
+			DetectDelay: time.Second, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashValue(b *testing.B) {
+	v := tvm.Arr(tvm.Int(1), tvm.Str("result"), tvm.Float(3.14), tvm.Arr(tvm.Int(2)))
+	for i := 0; i < b.N; i++ {
+		_ = tvm.HashValue(v)
+	}
+}
+
+// ---------- ablations (design choices called out in DESIGN.md) ----------
+
+// bigProgram compiles a TCL program with hundreds of functions (~60 KiB of
+// bytecode) whose main does trivial work — the worst case for per-assign
+// bytecode shipping and therefore the program-cache ablation's workload.
+func bigProgram(b *testing.B) []byte {
+	b.Helper()
+	var src fmt.Stringer
+	var sb = &strings.Builder{}
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(sb, "func helper%d(x int) int { return x * %d + x %% %d; }\n", i, i+1, i+2)
+	}
+	sb.WriteString("func main(n int) int { return helper0(n); }\n")
+	src = sb
+	prog, err := tasklang.Compile(src.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := prog.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+// benchAblationProgramCache measures a 512-tasklet trivial job carrying a
+// large program, with and without the broker's per-provider bytecode
+// cache. The cache is one of the middleware's bandwidth design choices:
+// with it the program crosses each link once; without it every assignment
+// carries the full bytecode.
+func benchAblationProgramCache(b *testing.B, disable bool) {
+	br := newBrokerForBench(b, disable)
+	defer br.Close()
+	data := bigProgram(b)
+	b.ReportMetric(float64(len(data)), "program-bytes")
+	params := make([][]tvm.Value, 512)
+	for i := range params {
+		params[i] = []tvm.Value{tvm.Int(int64(i))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.run(data, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ProgramCacheOn(b *testing.B)  { benchAblationProgramCache(b, false) }
+func BenchmarkAblation_ProgramCacheOff(b *testing.B) { benchAblationProgramCache(b, true) }
+
+// benchStack is a minimal live stack helper for ablation benches.
+type benchStack struct {
+	b      *broker.Broker
+	provs  []*provider.Provider
+	client *consumer.Client
+}
+
+func newBrokerForBench(tb testing.TB, disableCache bool) *benchStack {
+	tb.Helper()
+	s := &benchStack{b: broker.New(broker.Options{DisableProgramCache: disableCache})}
+	addr, err := s.b.Listen("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		p, err := provider.Connect(provider.Options{BrokerAddr: addr, Slots: 4, Speed: 100})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		s.provs = append(s.provs, p)
+	}
+	c, err := consumer.Connect(addr, "bench")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s.client = c
+	return s
+}
+
+func (s *benchStack) run(prog []byte, params [][]tvm.Value) error {
+	job, err := s.client.Submit(core.JobSpec{Program: prog, Params: params, Seed: 1})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	res, err := job.Collect(ctx)
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		if !r.OK() {
+			return fmt.Errorf("tasklet %d failed: %s", r.Index, r.Fault)
+		}
+	}
+	return nil
+}
+
+func (s *benchStack) Close() {
+	s.client.Close()
+	for _, p := range s.provs {
+		p.Close()
+	}
+	s.b.Close()
+}
+
+func BenchmarkVM_NQueens8(b *testing.B) {
+	prog := stdtasks.MustProgram("nqueens")
+	cfg := tvm.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tvm.New(prog, cfg).Run(tvm.Int(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Return.I != 92 {
+			b.Fatal("wrong solution count")
+		}
+	}
+}
+
+func BenchmarkVM_SortCheck(b *testing.B) {
+	prog := stdtasks.MustProgram("sortcheck")
+	cfg := tvm.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tvm.New(prog, cfg).Run(tvm.Int(300), tvm.Int(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

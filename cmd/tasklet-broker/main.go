@@ -1,0 +1,77 @@
+// Command tasklet-broker runs the Tasklet broker: the mediator that
+// registers providers, accepts jobs from consumers, schedules tasklets and
+// routes results.
+//
+// Usage:
+//
+//	tasklet-broker -addr :7420 -policy work_steal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/scheduler"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7420", "listen address")
+	policy := flag.String("policy", "work_steal",
+		"scheduling policy: "+strings.Join(scheduler.Names(), ", "))
+	seed := flag.Uint64("seed", 1, "seed for stochastic policies")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "provider heartbeat timeout")
+	stats := flag.Duration("stats", 0, "print a status line at this interval (0 = off)")
+	quiet := flag.Bool("q", false, "suppress operational logs")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *quiet {
+		logger = nil
+	}
+
+	pol, err := scheduler.New(*policy, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	b := broker.New(broker.Options{
+		Policy:           pol,
+		HeartbeatTimeout: *heartbeat,
+		Logger:           logger,
+	})
+	bound, err := b.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("tasklet-broker listening on %s (policy %s)\n", bound, pol.Name())
+
+	if *stats > 0 {
+		go func() {
+			tick := time.NewTicker(*stats)
+			defer tick.Stop()
+			for range tick.C {
+				s := b.Snapshot()
+				fmt.Printf("status: %d providers, %d jobs, %d pending, %d in flight\n",
+					len(s.Providers), s.Jobs, s.Pending, s.InFlight)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := b.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Command tasklet-run submits a TCL program to a Tasklet broker and prints
+// the results — the consumer side of the middleware as a CLI.
+//
+// Usage:
+//
+//	tasklet-run -broker 127.0.0.1:7420 -params "3; 4; 5" square.tcl
+//	tasklet-run -qoc voting -replicas 3 -params "10" prog.tcl
+//
+// Parameter rows are separated by ';', one tasklet per row; values within a
+// row by ',' (see taskletc for value syntax).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cliparse"
+	"repro/internal/consumer"
+	"repro/internal/core"
+	"repro/internal/tasklang"
+	"repro/internal/tvm"
+)
+
+var qocModes = map[string]core.QoCMode{
+	"best_effort": core.QoCBestEffort,
+	"redundant":   core.QoCRedundant,
+	"voting":      core.QoCVoting,
+}
+
+func main() {
+	brokerAddr := flag.String("broker", "127.0.0.1:7420", "broker address")
+	params := flag.String("params", "", "parameter rows: values by ',', tasklets by ';'")
+	qocName := flag.String("qoc", "best_effort", "QoC mode: best_effort, redundant, voting")
+	replicas := flag.Int("replicas", 1, "replicas for redundant/voting QoC")
+	deadline := flag.Duration("deadline", 0, "per-tasklet deadline (0 = none)")
+	fuel := flag.Uint64("fuel", 0, "per-tasklet fuel budget (0 = broker default)")
+	seed := flag.Uint64("seed", 1, "rand() seed")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall wait budget")
+	fleet := flag.Bool("fleet", false, "print the broker's provider directory and exit")
+	flag.Parse()
+
+	if *fleet {
+		printFleet(*brokerAddr)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tasklet-run [flags] file.tcl")
+		os.Exit(2)
+	}
+	mode, ok := qocModes[*qocName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown QoC mode %q\n", *qocName)
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := tasklang.Compile(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s:%v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	data, err := prog.MarshalBinary()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rows, err := cliparse.Rows(*params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(rows) == 0 {
+		rows = [][]tvm.Value{nil} // single parameterless tasklet
+	}
+
+	c, err := consumer.Connect(*brokerAddr, "tasklet-run")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	job, err := c.Submit(core.JobSpec{
+		Program: data,
+		Params:  rows,
+		QoC:     core.QoC{Mode: mode, Replicas: *replicas, Deadline: *deadline},
+		Fuel:    *fuel,
+		Seed:    *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	results, err := job.Collect(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	failed := 0
+	for i, r := range results {
+		if r.OK() {
+			fmt.Printf("[%d] %s", i, r.Return)
+			for j, e := range r.Emitted {
+				if j == 0 {
+					fmt.Printf("  emitted:")
+				}
+				fmt.Printf(" %s", e)
+			}
+			fmt.Printf("  (provider %d, %d attempt(s), %v)\n", r.Provider, r.Attempts, r.Exec.Round(time.Microsecond))
+		} else {
+			failed++
+			fmt.Printf("[%d] FAILED: %s %s\n", i, r.Status, r.Fault)
+		}
+	}
+	fmt.Printf("%d tasklets, %d failed, wall %v\n", len(results), failed, elapsed.Round(time.Millisecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// printFleet renders the broker's provider directory.
+func printFleet(addr string) {
+	c, err := consumer.Connect(addr, "tasklet-run")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	providers, pending, err := c.Fleet()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-4s %-9s %5s %5s %10s %6s %9s\n",
+		"ID", "CLASS", "SLOTS", "FREE", "MOPS/S", "REL", "EXECUTED")
+	for _, p := range providers {
+		fmt.Printf("%-4d %-9s %5d %5d %10.1f %6.2f %9d\n",
+			p.ID, p.Class, p.Slots, p.FreeSlots, p.Speed, p.Reliability, p.Executed)
+	}
+	fmt.Printf("%d providers, %d tasklets pending placement\n", len(providers), pending)
+}

@@ -1,0 +1,95 @@
+// Command taskletc is the TCL compiler: it turns tasklet source into
+// portable TVM bytecode, optionally disassembling or running it locally.
+//
+// Usage:
+//
+//	taskletc prog.tcl                 # compile to prog.tvm
+//	taskletc -dis prog.tcl            # print bytecode disassembly
+//	taskletc -run -params "3" prog.tcl  # compile and run main(3) locally
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cliparse"
+	"repro/internal/tasklang"
+	"repro/internal/tvm"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: input with .tvm extension)")
+	dis := flag.Bool("dis", false, "print disassembly instead of writing bytecode")
+	run := flag.Bool("run", false, "run the program locally after compiling")
+	params := flag.String("params", "", "comma-separated parameters for -run (int, float, true/false, or quoted str)")
+	seed := flag.Uint64("seed", 1, "rand() seed for -run")
+	fuel := flag.Uint64("fuel", 0, "fuel budget for -run (0 = default)")
+	entry := flag.String("entry", "main", "entry function")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: taskletc [flags] file.tcl")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	prog, err := tasklang.CompileEntry(string(src), *entry)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s:%v\n", path, err)
+		os.Exit(1)
+	}
+
+	if *dis {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	if *run {
+		vals, err := cliparse.Values(*params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg := tvm.DefaultConfig()
+		cfg.Seed = *seed
+		if *fuel > 0 {
+			cfg.Fuel = *fuel
+		}
+		res, err := tvm.New(prog, cfg).Run(vals...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, line := range res.Printed {
+			fmt.Println("print:", line)
+		}
+		for i, v := range res.Emitted {
+			fmt.Printf("emit[%d]: %s\n", i, v)
+		}
+		fmt.Printf("return: %s (fuel %d)\n", res.Return, res.FuelUsed)
+		return
+	}
+
+	data, err := prog.MarshalBinary()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	target := *out
+	if target == "" {
+		target = strings.TrimSuffix(path, filepath.Ext(path)) + ".tvm"
+	}
+	if err := os.WriteFile(target, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", target, len(data))
+}

@@ -1,0 +1,137 @@
+// Mandelbrot: the paper's canonical compute-offload scenario. A weak
+// "phone" (the consumer) renders a fractal by shipping one tasklet per
+// image row to a heterogeneous fleet — a fast desktop, a laptop, and a slow
+// phone-class provider — and the middleware's speed-aware scheduler keeps
+// most rows on the fast device.
+//
+//	go run ./examples/mandelbrot
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/tasklets"
+)
+
+const (
+	width   = 100
+	height  = 30
+	maxIter = 200
+)
+
+var shades = []byte(" .:-=+*#%@")
+
+func main() {
+	broker, err := tasklets.NewBroker(tasklets.BrokerOptions{Policy: "work_steal"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := broker.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer broker.Close()
+
+	// A heterogeneous fleet: throttle emulates weaker device classes.
+	fleet := []struct {
+		name     string
+		slots    int
+		throttle float64
+		class    tasklets.DeviceClass
+	}{
+		{"desktop", 4, 1.0, tasklets.ClassDesktop},
+		{"laptop", 2, 0.6, tasklets.ClassLaptop},
+		{"phone", 1, 0.25, tasklets.ClassMobile},
+	}
+	providers := map[uint64]string{}
+	for _, spec := range fleet {
+		p, err := tasklets.StartProvider(tasklets.ProviderOptions{
+			Broker: addr, Slots: spec.slots, Throttle: spec.throttle,
+			Class: spec.class, Name: spec.name,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		providers[p.ID()] = spec.name
+	}
+
+	prog, err := tasklets.Compile(`
+		func main(y int, w int, h int, mi int) int {
+			var total int = 0;
+			for (var x int = 0; x < w; x = x + 1) {
+				var cr float = (float(x) / float(w)) * 3.5 - 2.5;
+				var ci float = (float(y) / float(h)) * 2.0 - 1.0;
+				var zr float = 0.0;
+				var zi float = 0.0;
+				var it int = 0;
+				while (it < mi && zr*zr + zi*zi <= 4.0) {
+					var t float = zr*zr - zi*zi + cr;
+					zi = 2.0*zr*zi + ci;
+					zr = t;
+					it = it + 1;
+				}
+				emit(it);
+				total = total + it;
+			}
+			return total;
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := tasklets.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	params := make([][]tasklets.Value, height)
+	for y := range params {
+		params[y] = []tasklets.Value{
+			tasklets.Int(int64(y)), tasklets.Int(width),
+			tasklets.Int(height), tasklets.Int(maxIter),
+		}
+	}
+
+	start := time.Now()
+	job, err := client.Map(prog, params, tasklets.JobOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rows, err := job.Collect(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Render: each emitted value is one pixel's iteration count.
+	perProvider := map[string]int{}
+	for y, r := range rows {
+		if !r.OK() {
+			log.Fatalf("row %d failed: %s", y, r.Fault)
+		}
+		line := make([]byte, width)
+		for x, v := range r.Emitted {
+			shade := int(v.I) * (len(shades) - 1) / maxIter
+			line[x] = shades[shade]
+		}
+		fmt.Println(string(line))
+		name := providers[uint64(r.Provider)]
+		if name == "" {
+			name = fmt.Sprintf("provider-%d", r.Provider)
+		}
+		perProvider[name]++
+	}
+
+	fmt.Printf("\nrendered %dx%d in %v\n", width, height, elapsed.Round(time.Millisecond))
+	for _, spec := range fleet {
+		fmt.Printf("  %-8s rendered %2d rows\n", spec.name, perProvider[spec.name])
+	}
+}

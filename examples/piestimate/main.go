@@ -1,0 +1,110 @@
+// Pi estimate: embarrassingly parallel Monte-Carlo simulation under voting
+// QoC. Each tasklet throws a batch of pseudo-random darts; because rand()
+// is seeded per job, every replica of a tasklet produces bit-identical
+// output, so majority voting works even for stochastic computations — the
+// property that lets the middleware trust results from anonymous devices.
+//
+//	go run ./examples/piestimate
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/tasklets"
+)
+
+const (
+	shards          = 24
+	samplesPerShard = 200_000
+)
+
+func main() {
+	broker, err := tasklets.NewBroker(tasklets.BrokerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := broker.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer broker.Close()
+
+	for i := 0; i < 3; i++ {
+		p, err := tasklets.StartProvider(tasklets.ProviderOptions{
+			Broker: addr, Slots: 2, Name: fmt.Sprintf("pi-%d", i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+	}
+
+	// Each shard mixes its index into the dart positions so shards are
+	// independent samples, while replicas of the same shard (same index,
+	// same job seed) remain identical for voting.
+	prog, err := tasklets.Compile(`
+		func main(shard int, samples int) int {
+			// Burn shard-dependent draws so every shard explores a
+			// different part of the stream.
+			for (var k int = 0; k < shard * 7; k = k + 1) { rand(); }
+			var hits int = 0;
+			for (var i int = 0; i < samples; i = i + 1) {
+				var x float = rand();
+				var y float = rand();
+				if (x*x + y*y <= 1.0) { hits = hits + 1; }
+			}
+			return hits;
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := tasklets.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	params := make([][]tasklets.Value, shards)
+	for i := range params {
+		params[i] = []tasklets.Value{tasklets.Int(int64(i)), tasklets.Int(samplesPerShard)}
+	}
+	start := time.Now()
+	job, err := client.Map(prog, params, tasklets.JobOptions{
+		QoC:  tasklets.QoC{Mode: tasklets.Voting, Replicas: 3},
+		Seed: 12345,
+		Fuel: 1 << 33,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	results, err := job.Collect(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	var hits, attempts int64
+	for i, r := range results {
+		if !r.OK() {
+			log.Fatalf("shard %d failed: %s", i, r.Fault)
+		}
+		hits += r.Return.I
+		attempts += int64(r.Attempts)
+	}
+	total := float64(shards) * samplesPerShard
+	pi := 4 * float64(hits) / total
+	fmt.Printf("π ≈ %.6f  (error %.6f) from %.0f samples\n", pi, math.Abs(pi-math.Pi), total)
+	fmt.Printf("%d shards, 3-way voting, %d attempts total, %v wall\n",
+		shards, attempts, elapsed.Round(time.Millisecond))
+	if math.Abs(pi-math.Pi) > 0.01 {
+		log.Fatal("estimate implausibly far from π")
+	}
+}

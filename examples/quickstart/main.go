@@ -1,0 +1,80 @@
+// Quickstart: the smallest complete Tasklet deployment — a broker, two
+// providers and a consumer in one process — squaring numbers remotely.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/tasklets"
+)
+
+func main() {
+	// 1. Start a broker on an ephemeral port.
+	broker, err := tasklets.NewBroker(tasklets.BrokerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := broker.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer broker.Close()
+	fmt.Println("broker listening on", addr)
+
+	// 2. Donate some cycles: two providers with two slots each. In a real
+	// deployment these run on other machines via cmd/tasklet-provider.
+	for i := 0; i < 2; i++ {
+		p, err := tasklets.StartProvider(tasklets.ProviderOptions{
+			Broker: addr, Slots: 2, Name: fmt.Sprintf("quickstart-%d", i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+	}
+
+	// 3. Write a tasklet in TCL and compile it once.
+	prog, err := tasklets.Compile(`
+		func main(n int) int {
+			return n * n;
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Connect as a consumer and map the tasklet over a parameter grid.
+	client, err := tasklets.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	params := make([][]tasklets.Value, 10)
+	for i := range params {
+		params[i] = []tasklets.Value{tasklets.Int(int64(i))}
+	}
+	job, err := client.Map(prog, params, tasklets.JobOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Collect results (ordered by tasklet index).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results, err := job.Collect(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.OK() {
+			log.Fatalf("tasklet %d failed: %s", i, r.Fault)
+		}
+		fmt.Printf("%d^2 = %s  (provider %d)\n", i, r.Return, r.Provider)
+	}
+}

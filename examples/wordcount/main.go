@@ -1,0 +1,133 @@
+// Wordcount: data-parallel text processing in the Tasklet model. A corpus
+// is split into shards, one tasklet counts a target word per shard, and the
+// consumer reduces the partial counts — the classic map/reduce shape on the
+// Tasklet middleware.
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/tasklets"
+)
+
+// corpus is a public-domain excerpt (Lincoln, Gettysburg Address).
+const corpus = `
+Four score and seven years ago our fathers brought forth on this continent a
+new nation conceived in liberty and dedicated to the proposition that all men
+are created equal Now we are engaged in a great civil war testing whether
+that nation or any nation so conceived and so dedicated can long endure We
+are met on a great battlefield of that war We have come to dedicate a portion
+of that field as a final resting place for those who here gave their lives
+that that nation might live It is altogether fitting and proper that we
+should do this But in a larger sense we can not dedicate we can not
+consecrate we can not hallow this ground The brave men living and dead who
+struggled here have consecrated it far above our poor power to add or detract
+The world will little note nor long remember what we say here but it can
+never forget what they did here It is for us the living rather to be
+dedicated here to the unfinished work which they who fought here have thus
+far so nobly advanced It is rather for us to be here dedicated to the great
+task remaining before us that from these honored dead we take increased
+devotion to that cause for which they gave the last full measure of devotion
+that we here highly resolve that these dead shall not have died in vain that
+this nation under God shall have a new birth of freedom and that government
+of the people by the people for the people shall not perish from the earth
+`
+
+const target = "that"
+
+func main() {
+	broker, err := tasklets.NewBroker(tasklets.BrokerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := broker.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer broker.Close()
+
+	for i := 0; i < 3; i++ {
+		p, err := tasklets.StartProvider(tasklets.ProviderOptions{
+			Broker: addr, Slots: 2, Name: fmt.Sprintf("wc-%d", i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+	}
+
+	prog, err := tasklets.Compile(`
+		func main(text str, word str) int {
+			var words arr = split(lower(text), "");
+			var t str = lower(word);
+			var count int = 0;
+			for (var i int = 0; i < len(words); i = i + 1) {
+				if (words[i] == t) { count = count + 1; }
+			}
+			return count;
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Shard the corpus by lines, 4 lines per shard (the "map" phase input).
+	lines := strings.Split(strings.TrimSpace(corpus), "\n")
+	var shards []string
+	for i := 0; i < len(lines); i += 4 {
+		end := i + 4
+		if end > len(lines) {
+			end = len(lines)
+		}
+		shards = append(shards, strings.Join(lines[i:end], "\n"))
+	}
+	params := make([][]tasklets.Value, len(shards))
+	for i, shard := range shards {
+		params[i] = []tasklets.Value{tasklets.Str(shard), tasklets.Str(target)}
+	}
+
+	client, err := tasklets.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	job, err := client.Map(prog, params, tasklets.JobOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results, err := job.Collect(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reduce.
+	total := int64(0)
+	for i, r := range results {
+		if !r.OK() {
+			log.Fatalf("shard %d failed: %s", i, r.Fault)
+		}
+		fmt.Printf("shard %2d: %2d occurrences\n", i, r.Return.I)
+		total += r.Return.I
+	}
+
+	// Verify against a local count.
+	localCount := int64(0)
+	for _, w := range strings.Fields(strings.ToLower(corpus)) {
+		if w == target {
+			localCount++
+		}
+	}
+	fmt.Printf("\n%q appears %d times (local verification: %d)\n", target, total, localCount)
+	if total != localCount {
+		log.Fatal("distributed count disagrees with local count")
+	}
+}

@@ -1,0 +1,918 @@
+// Package broker implements the Tasklet broker: the mediator between
+// resource consumers and providers. It keeps the provider registry with
+// heartbeat-based failure detection, accepts jobs from consumers, drives
+// the pluggable scheduling policy and the QoC engine, routes bytecode and
+// results, and re-issues attempts lost to provider churn.
+//
+// Concurrency model: one reader goroutine per connection, one writer
+// goroutine per connection (fed by a bounded queue so a slow peer cannot
+// stall the broker), and a single mutex guarding all scheduling state.
+// State-mutating work is short and never blocks on the network.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/qoc"
+	"repro/internal/scheduler"
+	"repro/internal/wire"
+)
+
+// Options configures a Broker. The zero value is usable: work-stealing
+// policy, 5-second heartbeat timeout, silent logger.
+type Options struct {
+	// Policy is the placement policy; nil selects work_steal.
+	Policy scheduler.Policy
+	// HeartbeatTimeout is how long a provider may stay silent before it is
+	// declared dead. Zero selects 5s.
+	HeartbeatTimeout time.Duration
+	// Logger receives operational logs; nil discards them.
+	Logger *log.Logger
+	// Metrics receives broker counters and histograms; nil allocates a
+	// private registry (retrievable via Broker.Metrics).
+	Metrics *metrics.Registry
+	// MaxPendingPerConsumer bounds queued tasklets per consumer; zero
+	// selects 1<<20.
+	MaxPendingPerConsumer int
+	// DisableProgramCache ships the full bytecode with every assignment
+	// instead of once per provider. Exists for the program-cache ablation
+	// benchmark; never enable it in a real deployment.
+	DisableProgramCache bool
+}
+
+// sendQueueDepth bounds per-connection outgoing messages. A peer that
+// cannot drain this many messages is broken or hostile and is dropped.
+const sendQueueDepth = 4096
+
+// Broker is the central coordinator. Create with New, start with Serve.
+type Broker struct {
+	opts Options
+	reg  *metrics.Registry
+	logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	closed    bool
+	ln        net.Listener
+	providers map[core.ProviderID]*providerState
+	consumers map[core.ConsumerID]*consumerState
+	jobs      map[core.JobID]*jobState
+	tasklets  map[core.TaskletID]*taskletState
+	attempts  map[core.AttemptID]*attemptState
+	programs  map[core.ProgramID][]byte
+
+	// pending is the placement queue: one entry per attempt awaiting a
+	// provider, in FIFO order.
+	pending []core.TaskletID
+
+	nextProvider core.ProviderID
+	nextConsumer core.ConsumerID
+	nextJob      core.JobID
+	nextTasklet  core.TaskletID
+	nextAttempt  core.AttemptID
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type providerState struct {
+	info     core.ProviderInfo
+	out      chan wire.Message
+	nc       net.Conn
+	free     int
+	backlog  int
+	sent     map[core.ProgramID]bool // programs already shipped
+	assigned int
+	finished int // attempts that returned any result
+	gone     bool
+}
+
+type consumerState struct {
+	id      core.ConsumerID
+	out     chan wire.Message
+	nc      net.Conn
+	jobs    map[core.JobID]bool
+	pending int // queued tasklets across this consumer's jobs
+	gone    bool
+}
+
+type jobState struct {
+	id        core.JobID
+	consumer  core.ConsumerID
+	tasklets  []core.TaskletID
+	total     int
+	completed int
+	failed    int
+	cancelled bool
+}
+
+type taskletState struct {
+	t        core.Tasklet
+	tracker  *qoc.Tracker
+	deadline *time.Timer
+}
+
+type attemptState struct {
+	id        core.AttemptID
+	tasklet   core.TaskletID
+	provider  core.ProviderID
+	abandoned bool // result will be ignored; slot freed on arrival or death
+}
+
+// New creates a broker with the given options.
+func New(opts Options) *Broker {
+	if opts.Policy == nil {
+		opts.Policy = scheduler.NewWorkSteal()
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 5 * time.Second
+	}
+	if opts.MaxPendingPerConsumer <= 0 {
+		opts.MaxPendingPerConsumer = 1 << 20
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = &metrics.Registry{}
+	}
+	logf := func(string, ...any) {}
+	if opts.Logger != nil {
+		logf = opts.Logger.Printf
+	}
+	return &Broker{
+		opts:      opts,
+		reg:       reg,
+		logf:      logf,
+		providers: map[core.ProviderID]*providerState{},
+		consumers: map[core.ConsumerID]*consumerState{},
+		jobs:      map[core.JobID]*jobState{},
+		tasklets:  map[core.TaskletID]*taskletState{},
+		attempts:  map[core.AttemptID]*attemptState{},
+		programs:  map[core.ProgramID][]byte{},
+		stop:      make(chan struct{}),
+	}
+}
+
+// Metrics returns the broker's metrics registry.
+func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts serving in background
+// goroutines. It returns the bound address.
+func (b *Broker) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("broker: listen %s: %w", addr, err)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		ln.Close()
+		return "", errors.New("broker: already closed")
+	}
+	b.ln = ln
+	b.mu.Unlock()
+
+	b.wg.Add(2)
+	go func() {
+		defer b.wg.Done()
+		b.acceptLoop(ln)
+	}()
+	go func() {
+		defer b.wg.Done()
+		b.reaperLoop()
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the broker: closes the listener and all connections, and
+// waits for the handler goroutines to drain.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	close(b.stop)
+	ln := b.ln
+	var conns []net.Conn
+	for _, p := range b.providers {
+		conns = append(conns, p.nc)
+	}
+	for _, c := range b.consumers {
+		conns = append(conns, c.nc)
+	}
+	b.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, nc := range conns {
+		nc.Close()
+	}
+	b.wg.Wait()
+	return nil
+}
+
+func (b *Broker) acceptLoop(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.handleConn(nc)
+		}()
+	}
+}
+
+// reaperLoop expires providers that miss heartbeats.
+func (b *Broker) reaperLoop() {
+	interval := b.opts.HeartbeatTimeout / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-b.stop:
+			return
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		cutoff := time.Now().Add(-b.opts.HeartbeatTimeout)
+		var dead []*providerState
+		for _, p := range b.providers {
+			if !p.gone && p.info.LastHeartbeat.Before(cutoff) {
+				dead = append(dead, p)
+			}
+		}
+		for _, p := range dead {
+			b.logf("broker: provider %d missed heartbeats, removing", p.info.ID)
+			b.removeProviderLocked(p)
+		}
+		b.mu.Unlock()
+		for _, p := range dead {
+			p.nc.Close()
+		}
+	}
+}
+
+// handleConn performs the handshake and dispatches to the role loop.
+func (b *Broker) handleConn(nc net.Conn) {
+	defer nc.Close()
+	conn := wire.NewConn(nc)
+	conn.ReadTimeout = 30 * time.Second
+
+	msg, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		_ = conn.Send(&wire.ErrorMsg{Code: wire.ErrCodeProtocol, Msg: "expected hello"})
+		return
+	}
+	if hello.Version != wire.ProtocolVersion {
+		_ = conn.Send(&wire.ErrorMsg{Code: wire.ErrCodeVersion,
+			Msg: fmt.Sprintf("protocol version %d unsupported", hello.Version)})
+		return
+	}
+
+	switch hello.Role {
+	case wire.RoleProvider:
+		b.serveProvider(nc, conn, hello)
+	case wire.RoleConsumer:
+		b.serveConsumer(nc, conn, hello)
+	default:
+		_ = conn.Send(&wire.ErrorMsg{Code: wire.ErrCodeProtocol, Msg: "unknown role"})
+	}
+}
+
+// writerLoop drains a connection's outgoing queue.
+func (b *Broker) writerLoop(conn *wire.Conn, out <-chan wire.Message, nc net.Conn) {
+	for m := range out {
+		if err := conn.Send(m); err != nil {
+			nc.Close() // unblocks the reader, which tears the peer down
+			// Drain remaining messages so enqueuers never block.
+			for range out {
+			}
+			return
+		}
+	}
+}
+
+// enqueue appends to a bounded send queue; a full queue kills the peer.
+func enqueue(out chan wire.Message, m wire.Message, nc net.Conn) {
+	select {
+	case out <- m:
+	default:
+		nc.Close()
+	}
+}
+
+// ---------- provider side ----------
+
+func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.nextProvider++
+	id := b.nextProvider
+	p := &providerState{
+		info: core.ProviderInfo{
+			ID:            id,
+			Addr:          conn.RemoteAddr(),
+			Reliability:   1,
+			Joined:        time.Now(),
+			LastHeartbeat: time.Now(),
+		},
+		out:  make(chan wire.Message, sendQueueDepth),
+		nc:   nc,
+		sent: map[core.ProgramID]bool{},
+	}
+	b.providers[id] = p
+	b.mu.Unlock()
+
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.writerLoop(conn, p.out, nc)
+	}()
+
+	enqueue(p.out, &wire.Welcome{ID: uint64(id)}, nc)
+	b.reg.Counter("providers.joined").Inc()
+	b.logf("broker: provider %d connected from %s (%s)", id, conn.RemoteAddr(), hello.Name)
+
+	conn.ReadTimeout = b.opts.HeartbeatTimeout * 2
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		switch m := msg.(type) {
+		case *wire.Register:
+			b.mu.Lock()
+			p.info.Slots = m.Slots
+			p.info.Class = m.Class
+			p.info.Speed = m.Speed
+			p.info.LastHeartbeat = time.Now()
+			p.free = m.Slots
+			b.scheduleLocked()
+			b.mu.Unlock()
+			b.logf("broker: provider %d registered: %d slots, %.1f Mops/s, class %s",
+				id, m.Slots, m.Speed, m.Class)
+		case *wire.Heartbeat:
+			b.mu.Lock()
+			p.info.LastHeartbeat = time.Now()
+			b.mu.Unlock()
+		case *wire.AttemptResult:
+			b.onAttemptResult(p, m)
+		case *wire.Bye:
+			goto done
+		default:
+			b.logf("broker: provider %d sent unexpected %s", id, msg.Type())
+			goto done
+		}
+	}
+done:
+	b.mu.Lock()
+	b.removeProviderLocked(p)
+	b.mu.Unlock()
+	close(p.out)
+	b.reg.Counter("providers.lost").Inc()
+	b.logf("broker: provider %d disconnected", id)
+}
+
+// removeProviderLocked declares a provider dead: its in-flight attempts are
+// fed back to the QoC engine as lost. Idempotent.
+func (b *Broker) removeProviderLocked(p *providerState) {
+	if p.gone {
+		return
+	}
+	p.gone = true
+	delete(b.providers, p.info.ID)
+
+	var lost []*attemptState
+	for _, a := range b.attempts {
+		if a.provider == p.info.ID {
+			lost = append(lost, a)
+		}
+	}
+	for _, a := range lost {
+		delete(b.attempts, a.id)
+		if a.abandoned {
+			continue
+		}
+		ts := b.tasklets[a.tasklet]
+		if ts == nil {
+			continue
+		}
+		b.reg.Counter("attempts.lost").Inc()
+		d := ts.tracker.OnResult(core.Result{
+			Attempt: a.id, Status: core.StatusLost, Provider: p.info.ID,
+		})
+		b.applyDecisionLocked(ts, d)
+	}
+	b.scheduleLocked()
+}
+
+// onAttemptResult processes a provider's result report.
+func (b *Broker) onAttemptResult(p *providerState, m *wire.AttemptResult) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	a, ok := b.attempts[m.Attempt]
+	if !ok || a.provider != p.info.ID {
+		return // stale or duplicate
+	}
+	delete(b.attempts, m.Attempt)
+	p.free++
+	p.backlog--
+	p.finished++
+	b.updateReliabilityLocked(p)
+
+	if a.abandoned {
+		b.scheduleLocked()
+		return
+	}
+	ts := b.tasklets[a.tasklet]
+	if ts == nil {
+		b.scheduleLocked()
+		return
+	}
+
+	res := core.Result{
+		Tasklet:   m.Tasklet,
+		Attempt:   m.Attempt,
+		Provider:  p.info.ID,
+		Status:    m.Status,
+		Return:    m.Return,
+		Emitted:   m.Emitted,
+		FaultCode: m.FaultCode,
+		FaultMsg:  m.FaultMsg,
+		FuelUsed:  m.FuelUsed,
+		Exec:      time.Duration(m.ExecNanos),
+	}
+	switch m.Status {
+	case core.StatusOK:
+		b.reg.Counter("attempts.ok").Inc()
+	case core.StatusFault:
+		b.reg.Counter("attempts.fault").Inc()
+	default:
+		b.reg.Counter("attempts.other").Inc()
+	}
+	b.reg.Histogram("attempt.exec_ms").Observe(float64(m.ExecNanos) / 1e6)
+
+	d := ts.tracker.OnResult(res)
+	b.applyDecisionLocked(ts, d)
+	b.scheduleLocked()
+}
+
+// updateReliabilityLocked refreshes the completion-ratio estimate.
+func (b *Broker) updateReliabilityLocked(p *providerState) {
+	if p.assigned > 0 {
+		p.info.Reliability = float64(p.finished) / float64(p.assigned)
+		if p.info.Reliability > 1 {
+			p.info.Reliability = 1
+		}
+	}
+}
+
+// ---------- consumer side ----------
+
+func (b *Broker) serveConsumer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.nextConsumer++
+	id := b.nextConsumer
+	c := &consumerState{
+		id:   id,
+		out:  make(chan wire.Message, sendQueueDepth),
+		nc:   nc,
+		jobs: map[core.JobID]bool{},
+	}
+	b.consumers[id] = c
+	b.mu.Unlock()
+
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.writerLoop(conn, c.out, nc)
+	}()
+
+	enqueue(c.out, &wire.Welcome{ID: uint64(id)}, nc)
+	b.logf("broker: consumer %d connected from %s (%s)", id, conn.RemoteAddr(), hello.Name)
+
+	conn.ReadTimeout = 0 // consumers may idle while awaiting results
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		switch m := msg.(type) {
+		case *wire.SubmitJob:
+			if err := b.acceptJob(c, m); err != nil {
+				enqueue(c.out, &wire.ErrorMsg{Code: wire.ErrCodeBadJob, Msg: err.Error()}, nc)
+			}
+		case *wire.CancelJob:
+			b.cancelJob(c, m.Job)
+		case *wire.QueryFleet:
+			enqueue(c.out, b.fleetInfo(), nc)
+		case *wire.Bye:
+			goto done
+		default:
+			b.logf("broker: consumer %d sent unexpected %s", id, msg.Type())
+			goto done
+		}
+	}
+done:
+	b.mu.Lock()
+	b.removeConsumerLocked(c)
+	b.mu.Unlock()
+	close(c.out)
+	b.logf("broker: consumer %d disconnected", id)
+}
+
+// acceptJob validates and admits a job, creating its tasklets and trackers.
+func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
+	spec := core.JobSpec{
+		Program: m.Program, Params: m.Params, QoC: m.QoC, Fuel: m.Fuel, Seed: m.Seed,
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	fuel := m.Fuel
+	if fuel == 0 {
+		fuel = 100_000_000
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c.gone {
+		return errors.New("broker: consumer disconnected")
+	}
+	if c.pending+len(m.Params) > b.opts.MaxPendingPerConsumer {
+		return fmt.Errorf("broker: consumer queue limit %d exceeded", b.opts.MaxPendingPerConsumer)
+	}
+
+	progID := core.HashProgram(m.Program)
+	if _, ok := b.programs[progID]; !ok {
+		data := make([]byte, len(m.Program))
+		copy(data, m.Program)
+		b.programs[progID] = data
+	}
+
+	b.nextJob++
+	job := &jobState{id: b.nextJob, consumer: c.id, total: len(m.Params)}
+	b.jobs[job.id] = job
+	c.jobs[job.id] = true
+
+	now := time.Now()
+	for i, params := range m.Params {
+		b.nextTasklet++
+		t := core.Tasklet{
+			ID: b.nextTasklet, Job: job.id, Index: i,
+			Program: progID, Params: params,
+			QoC: m.QoC, Fuel: fuel, Seed: m.Seed, Submitted: now,
+		}
+		ts := &taskletState{t: t}
+		ts.tracker = qoc.NewTracker(&ts.t)
+		b.tasklets[t.ID] = ts
+		job.tasklets = append(job.tasklets, t.ID)
+		c.pending++
+
+		d := ts.tracker.Start()
+		for n := 0; n < d.Launch; n++ {
+			b.pending = append(b.pending, t.ID)
+		}
+		if q := ts.tracker.Goal(); q.Deadline > 0 {
+			tid := t.ID
+			ts.deadline = time.AfterFunc(q.Deadline, func() { b.onDeadline(tid) })
+		}
+	}
+	b.reg.Counter("tasklets.submitted").Add(int64(len(m.Params)))
+	enqueue(c.out, &wire.JobAccepted{Job: job.id, Tasklets: job.total}, c.nc)
+	b.logf("broker: job %d accepted: %d tasklets, qoc %s", job.id, job.total, m.QoC.Mode)
+	b.scheduleLocked()
+	return nil
+}
+
+// onDeadline fails a tasklet whose wall-clock budget expired.
+func (b *Broker) onDeadline(id core.TaskletID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ts := b.tasklets[id]
+	if ts == nil || ts.tracker.Done() {
+		return
+	}
+	b.reg.Counter("tasklets.deadline_expired").Inc()
+	b.finishTaskletLocked(ts, core.Result{
+		Tasklet: ts.t.ID, Job: ts.t.Job, Index: ts.t.Index,
+		Status: core.StatusFault, FaultMsg: "deadline exceeded",
+	})
+}
+
+// cancelJob abandons a job's outstanding tasklets.
+func (b *Broker) cancelJob(c *consumerState, id core.JobID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	job := b.jobs[id]
+	if job == nil || job.consumer != c.id || job.cancelled {
+		return
+	}
+	job.cancelled = true
+	for _, tid := range job.tasklets {
+		ts := b.tasklets[tid]
+		if ts == nil || ts.tracker.Done() {
+			continue
+		}
+		b.dropTaskletLocked(ts)
+		job.failed++
+		c.pending--
+	}
+	b.purgePendingLocked()
+	enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc)
+	b.logf("broker: job %d cancelled", id)
+}
+
+// removeConsumerLocked drops a consumer and abandons its outstanding work.
+func (b *Broker) removeConsumerLocked(c *consumerState) {
+	if c.gone {
+		return
+	}
+	c.gone = true
+	delete(b.consumers, c.id)
+	for jid := range c.jobs {
+		job := b.jobs[jid]
+		if job == nil {
+			continue
+		}
+		for _, tid := range job.tasklets {
+			if ts := b.tasklets[tid]; ts != nil && !ts.tracker.Done() {
+				b.dropTaskletLocked(ts)
+			}
+		}
+		delete(b.jobs, jid)
+	}
+	b.purgePendingLocked()
+}
+
+// dropTaskletLocked abandons a tasklet's attempts and removes it. Pending
+// queue entries are purged lazily by scheduleLocked.
+func (b *Broker) dropTaskletLocked(ts *taskletState) {
+	if ts.deadline != nil {
+		ts.deadline.Stop()
+	}
+	for aid, a := range b.attempts {
+		if a.tasklet == ts.t.ID && !a.abandoned {
+			a.abandoned = true
+			if p := b.providers[a.provider]; p != nil {
+				enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc)
+			}
+		}
+	}
+	delete(b.tasklets, ts.t.ID)
+}
+
+// finishTaskletLocked forces a final result (deadline, cancellation paths)
+// and delivers it.
+func (b *Broker) finishTaskletLocked(ts *taskletState, final core.Result) {
+	for aid, a := range b.attempts {
+		if a.tasklet == ts.t.ID && !a.abandoned {
+			a.abandoned = true
+			if p := b.providers[a.provider]; p != nil {
+				enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc)
+			}
+		}
+	}
+	b.deliverLocked(ts, final, ts.tracker.Attempts())
+}
+
+// applyDecisionLocked reacts to a QoC engine decision for ts.
+func (b *Broker) applyDecisionLocked(ts *taskletState, d qoc.Decision) {
+	for n := 0; n < d.Launch; n++ {
+		b.pending = append(b.pending, ts.t.ID)
+	}
+	for _, aid := range d.Cancel {
+		if a := b.attempts[aid]; a != nil && !a.abandoned {
+			a.abandoned = true
+			if p := b.providers[a.provider]; p != nil {
+				enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc)
+			}
+		}
+	}
+	if d.Done {
+		b.deliverLocked(ts, d.Final, ts.tracker.Attempts())
+	}
+}
+
+// deliverLocked pushes a final result to the consumer and updates job
+// accounting.
+func (b *Broker) deliverLocked(ts *taskletState, final core.Result, attempts int) {
+	if ts.deadline != nil {
+		ts.deadline.Stop()
+	}
+	delete(b.tasklets, ts.t.ID)
+
+	job := b.jobs[ts.t.Job]
+	if job == nil {
+		return
+	}
+	if final.OK() {
+		job.completed++
+		b.reg.Counter("tasklets.completed").Inc()
+	} else {
+		job.failed++
+		b.reg.Counter("tasklets.failed").Inc()
+	}
+	b.reg.Histogram("tasklet.latency_ms").ObserveDuration(time.Since(ts.t.Submitted))
+
+	c := b.consumers[job.consumer]
+	if c == nil || c.gone {
+		return
+	}
+	c.pending--
+	enqueue(c.out, &wire.ResultPush{
+		Job:       final.Job,
+		Tasklet:   final.Tasklet,
+		Index:     final.Index,
+		Status:    final.Status,
+		Return:    final.Return,
+		Emitted:   final.Emitted,
+		FaultCode: final.FaultCode,
+		FaultMsg:  final.FaultMsg,
+		Provider:  final.Provider,
+		Attempts:  attempts,
+		ExecNanos: int64(final.Exec),
+	}, c.nc)
+	if job.completed+job.failed == job.total {
+		enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc)
+		delete(b.jobs, job.id)
+		delete(c.jobs, job.id)
+		b.logf("broker: job %d done: %d completed, %d failed", job.id, job.completed, job.failed)
+	}
+}
+
+// ---------- scheduling ----------
+
+// scheduleLocked walks the placement queue, assigning attempts to providers
+// according to the policy. Entries whose tasklet vanished (job cancelled,
+// already complete) are purged. Entries with no eligible provider stay
+// queued.
+func (b *Broker) scheduleLocked() {
+	if len(b.pending) == 0 || len(b.providers) == 0 {
+		return
+	}
+
+	totalFree := 0
+	for _, p := range b.providers {
+		if p.info.Slots > 0 {
+			totalFree += p.free
+		}
+	}
+
+	cands := make([]scheduler.Candidate, 0, len(b.providers))
+	remaining := b.pending[:0]
+	for idx, tid := range b.pending {
+		// Without free capacity nothing below can place; keep the rest of
+		// the queue as-is instead of walking it (the queue can hold many
+		// thousands of entries and schedule runs on every result).
+		if totalFree <= 0 {
+			remaining = append(remaining, b.pending[idx:]...)
+			break
+		}
+		ts := b.tasklets[tid]
+		if ts == nil || ts.tracker.Done() {
+			continue
+		}
+		// Rebuild the candidate view each pick; free/backlog change as we
+		// assign.
+		cands = cands[:0]
+		for _, p := range b.providers {
+			if p.info.Slots == 0 {
+				continue // not yet registered
+			}
+			cands = append(cands, scheduler.Candidate{
+				Info: &p.info, FreeSlots: p.free, Backlog: p.backlog,
+			})
+		}
+		req := scheduler.Request{Tasklet: &ts.t, Exclude: ts.tracker.ActiveProviders()}
+		pid, ok := b.opts.Policy.Pick(req, cands)
+		if !ok {
+			remaining = append(remaining, tid)
+			continue
+		}
+		p := b.providers[pid]
+		if p == nil || p.free <= 0 {
+			remaining = append(remaining, tid)
+			continue
+		}
+		b.launchAttemptLocked(ts, p)
+		totalFree--
+	}
+	b.pending = remaining
+}
+
+// purgePendingLocked removes queue entries whose tasklet no longer exists.
+func (b *Broker) purgePendingLocked() {
+	live := b.pending[:0]
+	for _, tid := range b.pending {
+		if ts := b.tasklets[tid]; ts != nil && !ts.tracker.Done() {
+			live = append(live, tid)
+		}
+	}
+	b.pending = live
+}
+
+// launchAttemptLocked creates and dispatches one attempt.
+func (b *Broker) launchAttemptLocked(ts *taskletState, p *providerState) {
+	b.nextAttempt++
+	aid := b.nextAttempt
+	a := &attemptState{id: aid, tasklet: ts.t.ID, provider: p.info.ID}
+	b.attempts[aid] = a
+	p.free--
+	p.backlog++
+	p.assigned++
+	b.updateReliabilityLocked(p)
+	ts.tracker.OnLaunched(aid, p.info.ID)
+
+	msg := &wire.Assign{
+		Attempt: aid,
+		Tasklet: ts.t.ID,
+		Program: ts.t.Program,
+		Params:  ts.t.Params,
+		Fuel:    ts.t.Fuel,
+		Seed:    ts.t.Seed,
+	}
+	if b.opts.DisableProgramCache {
+		msg.ProgramData = b.programs[ts.t.Program]
+	} else if !p.sent[ts.t.Program] {
+		msg.ProgramData = b.programs[ts.t.Program]
+		p.sent[ts.t.Program] = true
+	}
+	enqueue(p.out, msg, p.nc)
+	b.reg.Counter("attempts.launched").Inc()
+}
+
+// fleetInfo builds the provider-directory reply for QueryFleet.
+func (b *Broker) fleetInfo() *wire.FleetInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	info := &wire.FleetInfo{Pending: len(b.pending)}
+	for _, p := range b.providers {
+		info.Providers = append(info.Providers, wire.ProviderEntry{
+			ID:          p.info.ID,
+			Class:       p.info.Class,
+			Slots:       p.info.Slots,
+			FreeSlots:   p.free,
+			Speed:       p.info.Speed,
+			Reliability: p.info.Reliability,
+			Executed:    int64(p.finished),
+		})
+	}
+	sort.Slice(info.Providers, func(i, j int) bool {
+		return info.Providers[i].ID < info.Providers[j].ID
+	})
+	return info
+}
+
+// Snapshot is a point-in-time view of broker state for tests and the CLI.
+type Snapshot struct {
+	Providers []core.ProviderInfo
+	Pending   int
+	InFlight  int
+	Jobs      int
+}
+
+// Snapshot returns current broker state.
+func (b *Broker) Snapshot() Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := Snapshot{Pending: len(b.pending), InFlight: len(b.attempts), Jobs: len(b.jobs)}
+	for _, p := range b.providers {
+		s.Providers = append(s.Providers, p.info)
+	}
+	return s
+}
+
+var _ io.Closer = (*Broker)(nil)

@@ -1,0 +1,125 @@
+// Package cliparse parses the command-line parameter syntax shared by the
+// taskletc and tasklet-run tools: comma-separated values, semicolon-
+// separated tasklet rows.
+//
+// Value syntax: bare ints and floats, true/false, and single- or double-
+// quoted strings. Examples:
+//
+//	3            -> Int(3)
+//	2.5          -> Float(2.5)
+//	1e6          -> Float(1e6)
+//	true         -> Bool(true)
+//	"hi, there"  -> Str("hi, there")   (commas inside quotes are preserved)
+package cliparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/tvm"
+)
+
+// Value parses one parameter token.
+func Value(tok string) (tvm.Value, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" {
+		return tvm.Value{}, fmt.Errorf("cliparse: empty parameter")
+	}
+	if len(tok) >= 2 {
+		if (tok[0] == '"' && tok[len(tok)-1] == '"') || (tok[0] == '\'' && tok[len(tok)-1] == '\'') {
+			return tvm.Str(tok[1 : len(tok)-1]), nil
+		}
+	}
+	switch tok {
+	case "true":
+		return tvm.Bool(true), nil
+	case "false":
+		return tvm.Bool(false), nil
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return tvm.Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return tvm.Float(f), nil
+	}
+	return tvm.Value{}, fmt.Errorf("cliparse: cannot parse parameter %q (quote strings)", tok)
+}
+
+// Values parses a comma-separated parameter list. Commas inside quoted
+// strings do not split. An empty input yields nil.
+func Values(s string) ([]tvm.Value, error) {
+	toks, err := splitTop(s, ',')
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	vals := make([]tvm.Value, 0, len(toks))
+	for _, tok := range toks {
+		v, err := Value(tok)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// Rows parses semicolon-separated parameter rows, one tasklet per row.
+// "3; 4; 5" yields three single-parameter rows; "1,2; 3,4" two two-
+// parameter rows. An empty input yields nil.
+func Rows(s string) ([][]tvm.Value, error) {
+	rowStrs, err := splitTop(s, ';')
+	if err != nil {
+		return nil, err
+	}
+	if len(rowStrs) == 0 {
+		return nil, nil
+	}
+	rows := make([][]tvm.Value, 0, len(rowStrs))
+	for _, rs := range rowStrs {
+		row, err := Values(rs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// splitTop splits on sep outside of quotes. Whitespace-only input yields
+// nil; empty fields between separators are kept (they error later in Value,
+// pointing at the actual mistake).
+func splitTop(s string, sep byte) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var parts []string
+	var cur strings.Builder
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			cur.WriteByte(c)
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+			cur.WriteByte(c)
+		case c == sep:
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if quote != 0 {
+		return nil, fmt.Errorf("cliparse: unterminated quote in %q", s)
+	}
+	parts = append(parts, cur.String())
+	return parts, nil
+}

@@ -1,0 +1,111 @@
+package cliparse
+
+import (
+	"testing"
+
+	"repro/internal/tvm"
+)
+
+func TestValueKinds(t *testing.T) {
+	tests := []struct {
+		in   string
+		want tvm.Value
+	}{
+		{"3", tvm.Int(3)},
+		{"-42", tvm.Int(-42)},
+		{" 7 ", tvm.Int(7)},
+		{"2.5", tvm.Float(2.5)},
+		{"1e6", tvm.Float(1e6)},
+		{"-0.25", tvm.Float(-0.25)},
+		{"true", tvm.Bool(true)},
+		{"false", tvm.Bool(false)},
+		{`"hello"`, tvm.Str("hello")},
+		{`'single'`, tvm.Str("single")},
+		{`"with, comma"`, tvm.Str("with, comma")},
+		{`""`, tvm.Str("")},
+		{`"true"`, tvm.Str("true")}, // quoted keyword stays a string
+	}
+	for _, tc := range tests {
+		got, err := Value(tc.in)
+		if err != nil {
+			t.Errorf("Value(%q): %v", tc.in, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("Value(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestValueErrors(t *testing.T) {
+	for _, in := range []string{"", "   ", "abc", "1.2.3", "12abc"} {
+		if _, err := Value(in); err == nil {
+			t.Errorf("Value(%q) accepted", in)
+		}
+	}
+}
+
+func TestValuesList(t *testing.T) {
+	vals, err := Values(`1, 2.5, "a,b", true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tvm.Value{tvm.Int(1), tvm.Float(2.5), tvm.Str("a,b"), tvm.Bool(true)}
+	if len(vals) != len(want) {
+		t.Fatalf("got %d values", len(vals))
+	}
+	for i := range want {
+		if !vals[i].Equal(want[i]) {
+			t.Fatalf("vals[%d] = %s, want %s", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestValuesEmpty(t *testing.T) {
+	vals, err := Values("  ")
+	if err != nil || vals != nil {
+		t.Fatalf("empty = %v, %v", vals, err)
+	}
+}
+
+func TestValuesTrailingComma(t *testing.T) {
+	if _, err := Values("1, 2,"); err == nil {
+		t.Fatal("trailing comma accepted (should report the empty field)")
+	}
+}
+
+func TestRows(t *testing.T) {
+	rows, err := Rows(`1, 2; 3, 4; "x; y", 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][0].I != 3 || rows[1][1].I != 4 {
+		t.Fatalf("row 1 = %v", rows[1])
+	}
+	if rows[2][0].S != "x; y" {
+		t.Fatalf("quoted semicolon split: %v", rows[2])
+	}
+}
+
+func TestRowsEmptyRowBetweenSemicolons(t *testing.T) {
+	// "3; ; 5" has an empty middle row: a parameterless tasklet.
+	rows, err := Rows("3; ; 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[1] != nil {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestUnterminatedQuote(t *testing.T) {
+	if _, err := Values(`"open`); err == nil {
+		t.Fatal("unterminated quote accepted")
+	}
+	if _, err := Rows(`1; "open`); err == nil {
+		t.Fatal("unterminated quote accepted in rows")
+	}
+}

@@ -1,0 +1,353 @@
+// Package provider implements the Tasklet provider runtime: the daemon that
+// donates a device's idle cycles to the middleware. A provider connects to
+// the broker, measures and advertises its execution speed, then executes
+// assigned tasklets in sandboxed TVMs — one goroutine per slot — and
+// reports results.
+//
+// Heterogeneity hooks: a Throttle factor slows execution to emulate weaker
+// device classes on a fast test machine, and FailAfter makes the provider
+// vanish mid-workload for churn experiments.
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/speedbench"
+	"repro/internal/tvm"
+	"repro/internal/wire"
+)
+
+// Options configures a provider.
+type Options struct {
+	// BrokerAddr is the broker's TCP address. Required.
+	BrokerAddr string
+	// Slots is the number of concurrent tasklet executions. Zero selects 1.
+	Slots int
+	// Class is the advertised device class (cosmetic in live mode; the
+	// measured speed is what schedulers use).
+	Class core.DeviceClass
+	// Throttle in (0, 1] scales the advertised speed and stretches each
+	// execution by sleeping (1/Throttle - 1) times the compute time,
+	// emulating a slower device. Zero selects 1 (no throttle).
+	Throttle float64
+	// Speed overrides the measured benchmark score when positive (tests
+	// and deterministic experiments set it; real deployments measure).
+	Speed float64
+	// HeartbeatInterval defaults to 1s.
+	HeartbeatInterval time.Duration
+	// Name identifies the provider in broker logs.
+	Name string
+	// Logger receives operational logs; nil discards them.
+	Logger *log.Logger
+	// FailAfter, when positive, makes the provider abruptly close its
+	// connection after executing that many tasklets (churn injection).
+	FailAfter int
+}
+
+// Provider is a running provider instance.
+type Provider struct {
+	opts Options
+	logf func(string, ...any)
+
+	conn *wire.Conn
+	nc   net.Conn
+	id   core.ProviderID
+
+	slotSem  chan struct{}
+	out      chan wire.Message
+	executed atomic.Int64
+	closed   atomic.Bool
+
+	mu      sync.Mutex
+	cancels map[core.AttemptID]*atomic.Bool
+	cache   map[core.ProgramID]*tvm.Program
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// Connect dials the broker, performs the handshake, measures (or adopts)
+// the speed score, registers, and starts the execution loops.
+func Connect(opts Options) (*Provider, error) {
+	if opts.BrokerAddr == "" {
+		return nil, errors.New("provider: broker address required")
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = 1
+	}
+	if opts.Throttle <= 0 || opts.Throttle > 1 {
+		opts.Throttle = 1
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = time.Second
+	}
+	logf := func(string, ...any) {}
+	if opts.Logger != nil {
+		logf = opts.Logger.Printf
+	}
+
+	speed := opts.Speed
+	if speed <= 0 {
+		score, err := speedbench.Measure(speedbench.Options{MinDuration: 30 * time.Millisecond})
+		if err != nil {
+			return nil, fmt.Errorf("provider: speed benchmark: %w", err)
+		}
+		speed = score.MegaOpsPerSec
+	}
+	speed *= opts.Throttle
+
+	nc, err := net.Dial("tcp", opts.BrokerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("provider: dial broker: %w", err)
+	}
+	conn := wire.NewConn(nc)
+	if err := conn.Send(&wire.Hello{
+		Version: wire.ProtocolVersion, Role: wire.RoleProvider, Name: opts.Name,
+	}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("provider: handshake: %w", err)
+	}
+	welcome, ok := msg.(*wire.Welcome)
+	if !ok {
+		nc.Close()
+		return nil, fmt.Errorf("provider: handshake: unexpected %s", msg.Type())
+	}
+
+	p := &Provider{
+		opts:    opts,
+		logf:    logf,
+		conn:    conn,
+		nc:      nc,
+		id:      core.ProviderID(welcome.ID),
+		slotSem: make(chan struct{}, opts.Slots),
+		out:     make(chan wire.Message, 1024),
+		cancels: map[core.AttemptID]*atomic.Bool{},
+		cache:   map[core.ProgramID]*tvm.Program{},
+		done:    make(chan struct{}),
+	}
+
+	if err := conn.Send(&wire.Register{Slots: opts.Slots, Class: opts.Class, Speed: speed}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	logf("provider %d: registered %d slots at %.1f Mops/s", p.id, opts.Slots, speed)
+
+	p.wg.Add(3)
+	go func() { defer p.wg.Done(); p.writerLoop() }()
+	go func() { defer p.wg.Done(); p.heartbeatLoop() }()
+	go func() { defer p.wg.Done(); p.readLoop() }()
+	return p, nil
+}
+
+// ID returns the broker-assigned provider ID.
+func (p *Provider) ID() core.ProviderID { return p.id }
+
+// Executed reports how many tasklets this provider has finished.
+func (p *Provider) Executed() int64 { return p.executed.Load() }
+
+// Close disconnects and waits for in-flight executions to unwind.
+func (p *Provider) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	close(p.done)
+	// Cancel running VMs so slots drain quickly.
+	p.mu.Lock()
+	for _, c := range p.cancels {
+		c.Store(true)
+	}
+	p.mu.Unlock()
+	p.nc.Close()
+	p.wg.Wait()
+	return nil
+}
+
+// Wait blocks until the provider's connection ends (broker gone or Close).
+func (p *Provider) Wait() { p.wg.Wait() }
+
+func (p *Provider) writerLoop() {
+	for {
+		select {
+		case m := <-p.out:
+			if err := p.conn.Send(m); err != nil {
+				p.nc.Close()
+				return
+			}
+		case <-p.done:
+			return
+		}
+	}
+}
+
+func (p *Provider) heartbeatLoop() {
+	tick := time.NewTicker(p.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			free := p.opts.Slots - len(p.slotSem)
+			p.send(&wire.Heartbeat{FreeSlots: free})
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// send enqueues an outgoing message unless the provider is shutting down.
+func (p *Provider) send(m wire.Message) {
+	select {
+	case p.out <- m:
+	case <-p.done:
+	}
+}
+
+func (p *Provider) readLoop() {
+	defer p.nc.Close()
+	for {
+		msg, err := p.conn.Recv()
+		if err != nil {
+			if !p.closed.Load() {
+				p.logf("provider %d: connection lost: %v", p.id, err)
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Assign:
+			p.onAssign(m)
+		case *wire.CancelAttempt:
+			p.mu.Lock()
+			if c := p.cancels[m.Attempt]; c != nil {
+				c.Store(true)
+			}
+			p.mu.Unlock()
+		case *wire.ErrorMsg:
+			p.logf("provider %d: broker error %d: %s", p.id, m.Code, m.Msg)
+		case *wire.Bye:
+			return
+		default:
+			p.logf("provider %d: unexpected %s", p.id, msg.Type())
+		}
+	}
+}
+
+// onAssign admits one execution attempt. The broker never over-commits a
+// provider's slots, so a full semaphore indicates state drift; such
+// attempts are rejected rather than queued to keep accounting exact.
+func (p *Provider) onAssign(m *wire.Assign) {
+	prog, err := p.resolveProgram(m)
+	if err != nil {
+		p.logf("provider %d: attempt %d rejected: %v", p.id, m.Attempt, err)
+		p.send(&wire.AttemptResult{
+			Attempt: m.Attempt, Tasklet: m.Tasklet,
+			Status: core.StatusRejected, FaultMsg: err.Error(),
+		})
+		return
+	}
+	select {
+	case p.slotSem <- struct{}{}:
+	default:
+		p.send(&wire.AttemptResult{
+			Attempt: m.Attempt, Tasklet: m.Tasklet,
+			Status: core.StatusRejected, FaultMsg: "no free slot",
+		})
+		return
+	}
+
+	cancel := &atomic.Bool{}
+	p.mu.Lock()
+	p.cancels[m.Attempt] = cancel
+	p.mu.Unlock()
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer func() { <-p.slotSem }()
+		defer func() {
+			p.mu.Lock()
+			delete(p.cancels, m.Attempt)
+			p.mu.Unlock()
+		}()
+		p.execute(m, prog, cancel)
+	}()
+}
+
+// resolveProgram returns the cached or freshly-decoded program.
+func (p *Provider) resolveProgram(m *wire.Assign) (*tvm.Program, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prog, ok := p.cache[m.Program]; ok {
+		return prog, nil
+	}
+	if len(m.ProgramData) == 0 {
+		return nil, fmt.Errorf("unknown program %d and no bytecode attached", m.Program)
+	}
+	if got := core.HashProgram(m.ProgramData); got != m.Program {
+		return nil, fmt.Errorf("program hash mismatch: got %d want %d", got, m.Program)
+	}
+	var prog tvm.Program
+	if err := prog.UnmarshalBinary(m.ProgramData); err != nil {
+		return nil, fmt.Errorf("bad bytecode: %w", err)
+	}
+	p.cache[m.Program] = &prog
+	return &prog, nil
+}
+
+// execute runs one attempt in a fresh VM and reports the outcome.
+func (p *Provider) execute(m *wire.Assign, prog *tvm.Program, cancel *atomic.Bool) {
+	cfg := tvm.DefaultConfig()
+	if m.Fuel > 0 {
+		cfg.Fuel = m.Fuel
+	}
+	cfg.Seed = m.Seed
+	cfg.Cancel = cancel
+
+	start := time.Now()
+	res, err := tvm.New(prog, cfg).Run(m.Params...)
+	elapsed := time.Since(start)
+
+	// Throttle emulation: stretch wall time as a slower device would.
+	if p.opts.Throttle < 1 {
+		extra := time.Duration(float64(elapsed) * (1/p.opts.Throttle - 1))
+		select {
+		case <-time.After(extra):
+			elapsed += extra
+		case <-p.done:
+		}
+	}
+
+	out := &wire.AttemptResult{Attempt: m.Attempt, Tasklet: m.Tasklet, ExecNanos: int64(elapsed)}
+	if err != nil {
+		f, ok := tvm.AsFault(err)
+		if !ok {
+			f = &tvm.Fault{Code: tvm.FaultBadProgram, Msg: err.Error()}
+		}
+		out.Status = core.StatusFault
+		out.FaultCode = f.Code
+		out.FaultMsg = f.Msg
+	} else {
+		out.Status = core.StatusOK
+		out.Return = res.Return
+		out.Emitted = res.Emitted
+		out.FuelUsed = res.FuelUsed
+	}
+	p.send(out)
+
+	n := p.executed.Add(1)
+	if p.opts.FailAfter > 0 && int(n) >= p.opts.FailAfter && !p.closed.Swap(true) {
+		p.logf("provider %d: injected failure after %d tasklets", p.id, n)
+		close(p.done)
+		p.nc.Close()
+	}
+}

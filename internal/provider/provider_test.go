@@ -1,0 +1,332 @@
+package provider
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stdtasks"
+	"repro/internal/tvm"
+	"repro/internal/wire"
+)
+
+// fakeBroker is a minimal broker-side endpoint for driving a provider
+// directly: it accepts one provider connection, completes the handshake,
+// and exposes send/recv helpers.
+type fakeBroker struct {
+	t    *testing.T
+	ln   net.Listener
+	conn *wire.Conn
+
+	welcomed chan *wire.Register
+}
+
+func newFakeBroker(t *testing.T) *fakeBroker {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &fakeBroker{t: t, ln: ln, welcomed: make(chan *wire.Register, 1)}
+	t.Cleanup(func() {
+		ln.Close()
+		if fb.conn != nil {
+			fb.conn.Close()
+		}
+	})
+	go fb.accept()
+	return fb
+}
+
+func (fb *fakeBroker) addr() string { return fb.ln.Addr().String() }
+
+func (fb *fakeBroker) accept() {
+	nc, err := fb.ln.Accept()
+	if err != nil {
+		return
+	}
+	conn := wire.NewConn(nc)
+	msg, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	if _, ok := msg.(*wire.Hello); !ok {
+		fb.t.Errorf("first message = %T, want Hello", msg)
+		return
+	}
+	if err := conn.Send(&wire.Welcome{ID: 7}); err != nil {
+		return
+	}
+	msg, err = conn.Recv()
+	if err != nil {
+		return
+	}
+	reg, ok := msg.(*wire.Register)
+	if !ok {
+		fb.t.Errorf("second message = %T, want Register", msg)
+		return
+	}
+	fb.conn = conn
+	fb.welcomed <- reg
+}
+
+// waitRegistered blocks until the provider finished the handshake.
+func (fb *fakeBroker) waitRegistered() *wire.Register {
+	select {
+	case reg := <-fb.welcomed:
+		return reg
+	case <-time.After(5 * time.Second):
+		fb.t.Fatal("provider never registered")
+		return nil
+	}
+}
+
+// recvType reads messages until one of the wanted type arrives, skipping
+// heartbeats.
+func recvType[T wire.Message](fb *fakeBroker) T {
+	fb.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			fb.t.Fatal("timed out waiting for message")
+		}
+		msg, err := fb.conn.Recv()
+		if err != nil {
+			fb.t.Fatalf("recv: %v", err)
+		}
+		if m, ok := msg.(T); ok {
+			return m
+		}
+		if _, ok := msg.(*wire.Heartbeat); ok {
+			continue
+		}
+	}
+}
+
+func assignSpin(attempt core.AttemptID, iters int64, includeProgram bool) *wire.Assign {
+	data, err := stdtasks.Bytecode("spin")
+	if err != nil {
+		panic(err)
+	}
+	a := &wire.Assign{
+		Attempt: attempt, Tasklet: core.TaskletID(attempt), Program: core.HashProgram(data),
+		Params: []tvm.Value{tvm.Int(iters)}, Fuel: 10_000_000, Seed: 1,
+	}
+	if includeProgram {
+		a.ProgramData = data
+	}
+	return a
+}
+
+func startProvider(t *testing.T, fb *fakeBroker, opts Options) *Provider {
+	t.Helper()
+	opts.BrokerAddr = fb.addr()
+	if opts.Speed == 0 {
+		opts.Speed = 100
+	}
+	p, err := Connect(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	fb.waitRegistered()
+	return p
+}
+
+func TestProviderRegistersAdvertisedCapacity(t *testing.T) {
+	fb := newFakeBroker(t)
+	opts := Options{BrokerAddr: fb.addr(), Slots: 3, Speed: 55, Class: core.ClassLaptop}
+	p, err := Connect(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	reg := fb.waitRegistered()
+	if reg.Slots != 3 || reg.Speed != 55 || reg.Class != core.ClassLaptop {
+		t.Fatalf("register = %+v", reg)
+	}
+	if p.ID() != 7 {
+		t.Fatalf("id = %d, want broker-assigned 7", p.ID())
+	}
+}
+
+func TestProviderThrottleScalesAdvertisedSpeed(t *testing.T) {
+	fb := newFakeBroker(t)
+	p, err := Connect(Options{BrokerAddr: fb.addr(), Speed: 100, Throttle: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	reg := fb.waitRegistered()
+	if reg.Speed != 25 {
+		t.Fatalf("advertised speed = %v, want 25", reg.Speed)
+	}
+}
+
+func TestProviderExecutesAndReports(t *testing.T) {
+	fb := newFakeBroker(t)
+	startProvider(t, fb, Options{Slots: 1})
+	if err := fb.conn.Send(assignSpin(1, 1000, true)); err != nil {
+		t.Fatal(err)
+	}
+	res := recvType[*wire.AttemptResult](fb)
+	if res.Status != core.StatusOK || res.Attempt != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Return.I != stdtasks.RefSpin(1000) {
+		t.Fatalf("return = %s", res.Return)
+	}
+	if res.FuelUsed == 0 || res.ExecNanos <= 0 {
+		t.Fatalf("accounting missing: %+v", res)
+	}
+}
+
+func TestProviderCachesProgram(t *testing.T) {
+	fb := newFakeBroker(t)
+	startProvider(t, fb, Options{Slots: 1})
+	if err := fb.conn.Send(assignSpin(1, 10, true)); err != nil {
+		t.Fatal(err)
+	}
+	recvType[*wire.AttemptResult](fb)
+	// Second assign ships no bytecode; the provider must use its cache.
+	if err := fb.conn.Send(assignSpin(2, 10, false)); err != nil {
+		t.Fatal(err)
+	}
+	res := recvType[*wire.AttemptResult](fb)
+	if res.Status != core.StatusOK {
+		t.Fatalf("cached-program result = %+v", res)
+	}
+}
+
+func TestProviderRejectsUnknownProgram(t *testing.T) {
+	fb := newFakeBroker(t)
+	startProvider(t, fb, Options{Slots: 1})
+	if err := fb.conn.Send(assignSpin(1, 10, false)); err != nil {
+		t.Fatal(err)
+	}
+	res := recvType[*wire.AttemptResult](fb)
+	if res.Status != core.StatusRejected {
+		t.Fatalf("status = %s, want rejected", res.Status)
+	}
+}
+
+func TestProviderRejectsHashMismatch(t *testing.T) {
+	fb := newFakeBroker(t)
+	startProvider(t, fb, Options{Slots: 1})
+	a := assignSpin(1, 10, true)
+	a.Program = 12345 // wrong hash for the attached bytecode
+	if err := fb.conn.Send(a); err != nil {
+		t.Fatal(err)
+	}
+	res := recvType[*wire.AttemptResult](fb)
+	if res.Status != core.StatusRejected {
+		t.Fatalf("status = %s, want rejected on hash mismatch", res.Status)
+	}
+}
+
+func TestProviderRejectsOverCommit(t *testing.T) {
+	fb := newFakeBroker(t)
+	startProvider(t, fb, Options{Slots: 1})
+	// Fill the single slot with a long-running tasklet, then over-commit.
+	long := assignSpin(1, 50_000_000, true)
+	long.Fuel = 1 << 40
+	if err := fb.conn.Send(long); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let it start
+	if err := fb.conn.Send(assignSpin(2, 10, false)); err != nil {
+		t.Fatal(err)
+	}
+	res := recvType[*wire.AttemptResult](fb)
+	if res.Attempt != 2 || res.Status != core.StatusRejected {
+		t.Fatalf("over-commit result = %+v", res)
+	}
+}
+
+func TestProviderCancelAbortsRunningAttempt(t *testing.T) {
+	fb := newFakeBroker(t)
+	startProvider(t, fb, Options{Slots: 1})
+	long := assignSpin(1, 1<<40, true)
+	long.Fuel = 1 << 50
+	if err := fb.conn.Send(long); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := fb.conn.Send(&wire.CancelAttempt{Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res := recvType[*wire.AttemptResult](fb)
+	if res.Status != core.StatusFault || res.FaultCode != tvm.FaultCancelled {
+		t.Fatalf("cancelled result = %+v", res)
+	}
+}
+
+func TestProviderReportsProgramFault(t *testing.T) {
+	fb := newFakeBroker(t)
+	startProvider(t, fb, Options{Slots: 1})
+	tiny := assignSpin(1, 1_000_000, true)
+	tiny.Fuel = 100 // guaranteed out-of-fuel
+	if err := fb.conn.Send(tiny); err != nil {
+		t.Fatal(err)
+	}
+	res := recvType[*wire.AttemptResult](fb)
+	if res.Status != core.StatusFault || res.FaultCode != tvm.FaultOutOfFuel {
+		t.Fatalf("fault result = %+v", res)
+	}
+}
+
+func TestProviderFailAfterDisconnects(t *testing.T) {
+	fb := newFakeBroker(t)
+	p := startProvider(t, fb, Options{Slots: 1, FailAfter: 2})
+	// The first result must arrive; the second races the injected crash
+	// (a crash is allowed to eat its own last result — the broker treats
+	// it as lost either way), so only send it and wait for the
+	// disconnect.
+	if err := fb.conn.Send(assignSpin(1, 10, true)); err != nil {
+		t.Fatal(err)
+	}
+	recvType[*wire.AttemptResult](fb)
+	if err := fb.conn.Send(assignSpin(2, 10, false)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { p.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("provider did not fail after 2 tasklets")
+	}
+	if p.Executed() != 2 {
+		t.Fatalf("executed = %d", p.Executed())
+	}
+}
+
+func TestProviderHeartbeats(t *testing.T) {
+	fb := newFakeBroker(t)
+	startProvider(t, fb, Options{Slots: 2, HeartbeatInterval: 20 * time.Millisecond})
+	hb := recvType[*wire.Heartbeat](fb)
+	if hb.FreeSlots != 2 {
+		t.Fatalf("free slots = %d", hb.FreeSlots)
+	}
+}
+
+func TestProviderValidatesOptions(t *testing.T) {
+	if _, err := Connect(Options{}); err == nil {
+		t.Fatal("missing broker address accepted")
+	}
+	if _, err := Connect(Options{BrokerAddr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable broker accepted")
+	}
+}
+
+func TestProviderCloseIdempotent(t *testing.T) {
+	fb := newFakeBroker(t)
+	p := startProvider(t, fb, Options{Slots: 1})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

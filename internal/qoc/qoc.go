@@ -1,0 +1,284 @@
+// Package qoc implements the Quality-of-Computation engine: the state
+// machine that turns raw execution attempts into final tasklet results
+// according to the tasklet's QoC goals (best-effort, redundant, voting).
+//
+// The engine is transport-agnostic: the live broker and the discrete-event
+// simulator both drive Tracker instances, feeding attempt outcomes in and
+// acting on the returned Decisions (launch more attempts, cancel redundant
+// ones, deliver the final result).
+package qoc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tvm"
+)
+
+// DefaultRetries is the re-issue budget applied when QoC.MaxRetries is zero.
+const DefaultRetries = 3
+
+// Decision tells the caller what to do after a state change.
+type Decision struct {
+	// Launch is the number of new attempts to schedule now.
+	Launch int
+	// Cancel lists outstanding attempts that became redundant (their
+	// results can no longer affect the outcome); the caller should send
+	// best-effort cancellations.
+	Cancel []core.AttemptID
+	// Done reports that the tasklet reached a final state; Final is valid.
+	Done bool
+	// Final is the tasklet's final result when Done.
+	Final core.Result
+}
+
+// attemptState tracks one outstanding attempt.
+type attemptState struct {
+	provider core.ProviderID
+	launched bool
+}
+
+// Tracker manages the attempt lifecycle of a single tasklet.
+// It is not safe for concurrent use; the broker serializes per-tasklet
+// events through its scheduling loop.
+type Tracker struct {
+	tasklet *core.Tasklet
+	goal    core.QoC
+
+	attempts map[core.AttemptID]*attemptState
+	// okResults accumulates successful attempt results for voting.
+	okResults []core.Result
+	// lastFailure remembers the most recent non-OK result for error
+	// reporting when the tasklet ultimately fails.
+	lastFailure *core.Result
+
+	launched    int // total attempts handed to the caller to launch
+	retryBudget int
+
+	done  bool
+	final core.Result
+}
+
+// NewTracker creates the tracker for one tasklet. The tasklet's QoC is
+// normalized (replica minimums, retry defaults) before use.
+func NewTracker(t *core.Tasklet) *Tracker {
+	goal := t.QoC.Normalize()
+	retries := goal.MaxRetries
+	if retries == 0 {
+		retries = DefaultRetries
+	}
+	return &Tracker{
+		tasklet:     t,
+		goal:        goal,
+		attempts:    make(map[core.AttemptID]*attemptState, goal.Replicas),
+		retryBudget: retries,
+	}
+}
+
+// Tasklet returns the tracked tasklet.
+func (tr *Tracker) Tasklet() *core.Tasklet { return tr.tasklet }
+
+// Goal returns the normalized QoC in force.
+func (tr *Tracker) Goal() core.QoC { return tr.goal }
+
+// Done reports whether the tasklet reached a final state.
+func (tr *Tracker) Done() bool { return tr.done }
+
+// Final returns the final result; valid only after Done.
+func (tr *Tracker) Final() core.Result { return tr.final }
+
+// Outstanding returns the number of attempts in flight.
+func (tr *Tracker) Outstanding() int { return len(tr.attempts) }
+
+// Attempts reports the total number of attempts launched so far.
+func (tr *Tracker) Attempts() int { return tr.launched }
+
+// ActiveProviders returns the providers currently executing attempts, used
+// by the caller to keep replicas on distinct providers.
+func (tr *Tracker) ActiveProviders() map[core.ProviderID]bool {
+	m := make(map[core.ProviderID]bool, len(tr.attempts))
+	for _, a := range tr.attempts {
+		if a.launched {
+			m[a.provider] = true
+		}
+	}
+	return m
+}
+
+// Start returns the initial decision: launch the replica set.
+func (tr *Tracker) Start() Decision {
+	return Decision{Launch: tr.goal.Replicas}
+}
+
+// OnLaunched records that the caller placed an attempt on a provider.
+func (tr *Tracker) OnLaunched(id core.AttemptID, p core.ProviderID) {
+	tr.attempts[id] = &attemptState{provider: p, launched: true}
+	tr.launched++
+}
+
+// OnLaunchFailed records that the caller could not place an attempt (no
+// eligible provider); the attempt stays pending and the caller retries
+// placement later. No state changes beyond bookkeeping are needed.
+func (tr *Tracker) OnLaunchFailed() {}
+
+// OnResult feeds one attempt outcome and returns the next decision.
+// Unknown attempt IDs (duplicates, post-completion stragglers) are ignored.
+func (tr *Tracker) OnResult(res core.Result) Decision {
+	if tr.done {
+		return Decision{Done: true, Final: tr.final}
+	}
+	if _, known := tr.attempts[res.Attempt]; !known {
+		return Decision{}
+	}
+	delete(tr.attempts, res.Attempt)
+
+	switch res.Status {
+	case core.StatusOK:
+		return tr.onSuccess(res)
+	case core.StatusFault:
+		// Deterministic program faults (div-by-zero, index error, abort)
+		// will recur on any provider; re-running wastes work. Environment
+		// faults (cancel) behave like losses.
+		if res.FaultCode == tvm.FaultCancelled {
+			return tr.onLoss(res)
+		}
+		return tr.onFault(res)
+	default: // StatusLost, StatusRejected
+		return tr.onLoss(res)
+	}
+}
+
+func (tr *Tracker) onSuccess(res core.Result) Decision {
+	switch tr.goal.Mode {
+	case core.QoCBestEffort, core.QoCRedundant:
+		return tr.complete(res)
+	case core.QoCVoting:
+		tr.okResults = append(tr.okResults, res)
+		need := core.Majority(tr.goal.Replicas)
+		counts := map[uint64]int{}
+		var winner *core.Result
+		for i := range tr.okResults {
+			h := tr.okResults[i].Hash()
+			counts[h]++
+			if counts[h] >= need {
+				winner = &tr.okResults[i]
+			}
+		}
+		if winner != nil {
+			return tr.complete(*winner)
+		}
+		// No majority yet. If every launched attempt has reported and
+		// agreement is still short, spend retries on extra attempts.
+		if len(tr.attempts) == 0 {
+			if tr.retryBudget > 0 {
+				tr.retryBudget--
+				return Decision{Launch: 1}
+			}
+			return tr.fail(res, "voting: no majority after all attempts")
+		}
+		return Decision{}
+	}
+	return tr.complete(res) // unreachable; defensive
+}
+
+func (tr *Tracker) onFault(res core.Result) Decision {
+	tr.lastFailure = &res
+	switch tr.goal.Mode {
+	case core.QoCBestEffort:
+		// A deterministic fault is the tasklet's true outcome.
+		return tr.complete(res)
+	default:
+		// Redundant/voting: other replicas may still succeed (e.g. the
+		// fault was fuel exhaustion on a throttled provider). When nothing
+		// remains in flight and nothing can, give up.
+		if len(tr.attempts) == 0 && !tr.canStillComplete() {
+			return tr.complete(res)
+		}
+		if len(tr.attempts) == 0 {
+			if tr.retryBudget > 0 {
+				tr.retryBudget--
+				return Decision{Launch: 1}
+			}
+			return tr.complete(res)
+		}
+		return Decision{}
+	}
+}
+
+func (tr *Tracker) onLoss(res core.Result) Decision {
+	tr.lastFailure = &res
+	if tr.retryBudget > 0 {
+		tr.retryBudget--
+		return Decision{Launch: 1}
+	}
+	if len(tr.attempts) == 0 && !tr.tryCompleteFromVotes() {
+		lost := res
+		lost.Status = core.StatusLost
+		return tr.fail(lost, "all attempts lost and retry budget exhausted")
+	}
+	return Decision{}
+}
+
+// canStillComplete reports whether voting could still reach a majority with
+// the retry budget that remains.
+func (tr *Tracker) canStillComplete() bool {
+	if tr.goal.Mode != core.QoCVoting {
+		return tr.retryBudget > 0
+	}
+	need := core.Majority(tr.goal.Replicas)
+	maxAgree := 0
+	counts := map[uint64]int{}
+	for i := range tr.okResults {
+		h := tr.okResults[i].Hash()
+		counts[h]++
+		if counts[h] > maxAgree {
+			maxAgree = counts[h]
+		}
+	}
+	return maxAgree+tr.retryBudget+len(tr.attempts) >= need
+}
+
+// tryCompleteFromVotes completes a voting tasklet if a majority already
+// exists (used when a loss drains the attempt set).
+func (tr *Tracker) tryCompleteFromVotes() bool {
+	if tr.goal.Mode != core.QoCVoting {
+		return false
+	}
+	need := core.Majority(tr.goal.Replicas)
+	counts := map[uint64]int{}
+	for i := range tr.okResults {
+		h := tr.okResults[i].Hash()
+		counts[h]++
+		if counts[h] >= need {
+			tr.complete(tr.okResults[i])
+			return true
+		}
+	}
+	return false
+}
+
+func (tr *Tracker) complete(res core.Result) Decision {
+	tr.done = true
+	tr.final = res
+	tr.final.Tasklet = tr.tasklet.ID
+	tr.final.Job = tr.tasklet.Job
+	tr.final.Index = tr.tasklet.Index
+	cancel := make([]core.AttemptID, 0, len(tr.attempts))
+	for id := range tr.attempts {
+		cancel = append(cancel, id)
+	}
+	tr.attempts = map[core.AttemptID]*attemptState{}
+	return Decision{Done: true, Final: tr.final, Cancel: cancel}
+}
+
+func (tr *Tracker) fail(res core.Result, msg string) Decision {
+	if res.Status == core.StatusOK {
+		res.Status = core.StatusFault
+	}
+	if res.FaultMsg == "" {
+		res.FaultMsg = msg
+	} else {
+		res.FaultMsg = fmt.Sprintf("%s (%s)", msg, res.FaultMsg)
+	}
+	return tr.complete(res)
+}

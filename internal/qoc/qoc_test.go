@@ -1,0 +1,363 @@
+package qoc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tvm"
+)
+
+func newTasklet(q core.QoC) *core.Tasklet {
+	return &core.Tasklet{ID: 1, Job: 2, Index: 3, QoC: q}
+}
+
+// launch simulates the caller placing `n` attempts on providers p0, p0+1...
+func launch(tr *Tracker, firstAttempt core.AttemptID, n int, firstProvider core.ProviderID) []core.AttemptID {
+	ids := make([]core.AttemptID, n)
+	for i := 0; i < n; i++ {
+		id := firstAttempt + core.AttemptID(i)
+		tr.OnLaunched(id, firstProvider+core.ProviderID(i))
+		ids[i] = id
+	}
+	return ids
+}
+
+func okResult(a core.AttemptID, val int64) core.Result {
+	return core.Result{Attempt: a, Status: core.StatusOK, Return: tvm.Int(val)}
+}
+
+func lostResult(a core.AttemptID) core.Result {
+	return core.Result{Attempt: a, Status: core.StatusLost}
+}
+
+func faultResult(a core.AttemptID, code tvm.FaultCode) core.Result {
+	return core.Result{Attempt: a, Status: core.StatusFault, FaultCode: code, FaultMsg: "boom"}
+}
+
+func TestBestEffortHappyPath(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{}))
+	d := tr.Start()
+	if d.Launch != 1 {
+		t.Fatalf("initial launch = %d, want 1", d.Launch)
+	}
+	ids := launch(tr, 1, 1, 10)
+	d = tr.OnResult(okResult(ids[0], 42))
+	if !d.Done || d.Final.Status != core.StatusOK || d.Final.Return.I != 42 {
+		t.Fatalf("decision = %+v", d)
+	}
+	// Final result carries the tasklet identity, not the attempt's zero
+	// fields.
+	if d.Final.Tasklet != 1 || d.Final.Job != 2 || d.Final.Index != 3 {
+		t.Fatalf("identity not stamped: %+v", d.Final)
+	}
+	if !tr.Done() {
+		t.Fatal("tracker not done")
+	}
+}
+
+func TestBestEffortDeterministicFaultIsFinal(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{}))
+	tr.Start()
+	ids := launch(tr, 1, 1, 10)
+	d := tr.OnResult(faultResult(ids[0], tvm.FaultDivByZero))
+	if !d.Done || d.Final.Status != core.StatusFault {
+		t.Fatalf("deterministic fault should complete immediately: %+v", d)
+	}
+	if d.Launch != 0 {
+		t.Fatal("must not retry a deterministic fault")
+	}
+}
+
+func TestBestEffortRetriesLostAttempts(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{}))
+	tr.Start()
+	next := core.AttemptID(1)
+	for retry := 0; retry < DefaultRetries; retry++ {
+		launch(tr, next, 1, core.ProviderID(10+retry))
+		d := tr.OnResult(lostResult(next))
+		if d.Done {
+			t.Fatalf("done after %d losses, want retry", retry+1)
+		}
+		if d.Launch != 1 {
+			t.Fatalf("loss %d: launch = %d, want 1", retry, d.Launch)
+		}
+		next++
+	}
+	// Budget exhausted: the next loss is final.
+	launch(tr, next, 1, 99)
+	d := tr.OnResult(lostResult(next))
+	if !d.Done || d.Final.Status != core.StatusLost {
+		t.Fatalf("decision = %+v, want final lost", d)
+	}
+}
+
+func TestBestEffortCancelledFaultRetries(t *testing.T) {
+	// FaultCancelled is an environment fault, not a program fault.
+	tr := NewTracker(newTasklet(core.QoC{}))
+	tr.Start()
+	ids := launch(tr, 1, 1, 10)
+	d := tr.OnResult(faultResult(ids[0], tvm.FaultCancelled))
+	if d.Done || d.Launch != 1 {
+		t.Fatalf("cancelled attempt should re-issue: %+v", d)
+	}
+}
+
+func TestRedundantFirstResultWinsAndCancelsRest(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCRedundant, Replicas: 3}))
+	d := tr.Start()
+	if d.Launch != 3 {
+		t.Fatalf("launch = %d, want 3", d.Launch)
+	}
+	ids := launch(tr, 1, 3, 10)
+	d = tr.OnResult(okResult(ids[1], 7))
+	if !d.Done || d.Final.Return.I != 7 {
+		t.Fatalf("decision = %+v", d)
+	}
+	if len(d.Cancel) != 2 {
+		t.Fatalf("cancel = %v, want the 2 outstanding attempts", d.Cancel)
+	}
+}
+
+func TestRedundantSurvivesPartialLoss(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCRedundant, Replicas: 2}))
+	tr.Start()
+	ids := launch(tr, 1, 2, 10)
+	d := tr.OnResult(lostResult(ids[0]))
+	if d.Done {
+		t.Fatal("done too early")
+	}
+	if d.Launch != 1 {
+		t.Fatalf("lost replica should re-issue, launch = %d", d.Launch)
+	}
+	d = tr.OnResult(okResult(ids[1], 5))
+	if !d.Done || d.Final.Return.I != 5 {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestRedundantAllFaultReportsFault(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCRedundant, Replicas: 2, MaxRetries: 1}))
+	tr.Start()
+	ids := launch(tr, 1, 2, 10)
+	d := tr.OnResult(faultResult(ids[0], tvm.FaultOutOfFuel))
+	if d.Done {
+		t.Fatal("first fault should not finish a redundant tasklet")
+	}
+	d = tr.OnResult(faultResult(ids[1], tvm.FaultOutOfFuel))
+	// One retry remains: it should be spent.
+	if d.Done || d.Launch != 1 {
+		t.Fatalf("expected retry, got %+v", d)
+	}
+	launch(tr, 3, 1, 30)
+	d = tr.OnResult(faultResult(3, tvm.FaultOutOfFuel))
+	if !d.Done || d.Final.Status != core.StatusFault || d.Final.FaultCode != tvm.FaultOutOfFuel {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestVotingMajorityCompletes(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCVoting, Replicas: 3}))
+	d := tr.Start()
+	if d.Launch != 3 {
+		t.Fatalf("launch = %d", d.Launch)
+	}
+	ids := launch(tr, 1, 3, 10)
+	d = tr.OnResult(okResult(ids[0], 9))
+	if d.Done {
+		t.Fatal("one vote cannot complete a 3-replica voting tasklet")
+	}
+	d = tr.OnResult(okResult(ids[1], 9))
+	if !d.Done || d.Final.Return.I != 9 {
+		t.Fatalf("2/3 agreement should complete: %+v", d)
+	}
+	if len(d.Cancel) != 1 {
+		t.Fatalf("third replica should be cancelled: %v", d.Cancel)
+	}
+}
+
+func TestVotingDisagreementSpawnsExtraAttempt(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCVoting, Replicas: 3, MaxRetries: 2}))
+	tr.Start()
+	ids := launch(tr, 1, 3, 10)
+	tr.OnResult(okResult(ids[0], 1))
+	tr.OnResult(okResult(ids[1], 2)) // disagreement
+	d := tr.OnResult(okResult(ids[2], 3))
+	if d.Done || d.Launch != 1 {
+		t.Fatalf("3-way disagreement should retry: %+v", d)
+	}
+	launch(tr, 4, 1, 40)
+	d = tr.OnResult(okResult(4, 2))
+	if !d.Done || d.Final.Return.I != 2 {
+		t.Fatalf("tie-breaking vote should complete with 2: %+v", d)
+	}
+}
+
+func TestVotingNeverAgreesFails(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCVoting, Replicas: 3, MaxRetries: 1}))
+	tr.Start()
+	ids := launch(tr, 1, 3, 10)
+	tr.OnResult(okResult(ids[0], 1))
+	tr.OnResult(okResult(ids[1], 2))
+	d := tr.OnResult(okResult(ids[2], 3))
+	if d.Launch != 1 {
+		t.Fatalf("expected one retry, got %+v", d)
+	}
+	launch(tr, 4, 1, 40)
+	d = tr.OnResult(okResult(4, 4))
+	if !d.Done || d.Final.Status != core.StatusFault {
+		t.Fatalf("persistent disagreement must fail: %+v", d)
+	}
+}
+
+func TestVotingMajorityAlreadyReachedWhenLossArrives(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCVoting, Replicas: 3, MaxRetries: 0}))
+	tr.Start()
+	ids := launch(tr, 1, 3, 10)
+	tr.OnResult(okResult(ids[0], 9))
+	tr.OnResult(okResult(ids[1], 9))
+	// Already done; the straggler loss must not disturb the final state.
+	d := tr.OnResult(lostResult(ids[2]))
+	if !d.Done || d.Final.Return.I != 9 {
+		t.Fatalf("straggler loss corrupted final state: %+v", d)
+	}
+}
+
+func TestDuplicateAndUnknownResultsIgnored(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{}))
+	tr.Start()
+	ids := launch(tr, 1, 1, 10)
+	d := tr.OnResult(okResult(99, 1)) // unknown attempt
+	if d.Done || d.Launch != 0 {
+		t.Fatalf("unknown attempt changed state: %+v", d)
+	}
+	tr.OnResult(okResult(ids[0], 1))
+	d = tr.OnResult(okResult(ids[0], 2)) // duplicate after completion
+	if !d.Done || d.Final.Return.I != 1 {
+		t.Fatalf("duplicate result changed outcome: %+v", d)
+	}
+}
+
+func TestActiveProvidersTracksInFlight(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCRedundant, Replicas: 2}))
+	tr.Start()
+	ids := launch(tr, 1, 2, 10)
+	ap := tr.ActiveProviders()
+	if !ap[10] || !ap[11] || len(ap) != 2 {
+		t.Fatalf("active providers = %v", ap)
+	}
+	tr.OnResult(lostResult(ids[0]))
+	ap = tr.ActiveProviders()
+	if ap[10] || !ap[11] {
+		t.Fatalf("active providers after loss = %v", ap)
+	}
+}
+
+func TestAttemptsCounting(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCRedundant, Replicas: 3}))
+	tr.Start()
+	launch(tr, 1, 3, 10)
+	if tr.Attempts() != 3 || tr.Outstanding() != 3 {
+		t.Fatalf("attempts=%d outstanding=%d", tr.Attempts(), tr.Outstanding())
+	}
+	tr.OnResult(okResult(1, 1))
+	if tr.Outstanding() != 0 { // completion clears outstanding
+		t.Fatalf("outstanding after done = %d", tr.Outstanding())
+	}
+}
+
+func TestNormalizationAppliedByTracker(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCVoting, Replicas: 1}))
+	if tr.Goal().Replicas != 3 {
+		t.Fatalf("voting replicas = %d, want normalized 3", tr.Goal().Replicas)
+	}
+	if d := tr.Start(); d.Launch != 3 {
+		t.Fatalf("launch = %d, want 3", d.Launch)
+	}
+}
+
+// TestTrackerRandomSequencesTerminate drives trackers with random outcome
+// sequences for every QoC mode and checks the global invariants: the engine
+// always reaches a final state, never launches more attempts than the
+// replica set plus its retry budget (plus voting's disagreement retries),
+// and never changes its mind after completion.
+func TestTrackerRandomSequencesTerminate(t *testing.T) {
+	rng := uint64(0x12345)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+
+	modes := []core.QoC{
+		{},
+		{Mode: core.QoCBestEffort, MaxRetries: 5},
+		{Mode: core.QoCRedundant, Replicas: 2},
+		{Mode: core.QoCRedundant, Replicas: 3, MaxRetries: 2},
+		{Mode: core.QoCVoting, Replicas: 3},
+		{Mode: core.QoCVoting, Replicas: 5, MaxRetries: 4},
+	}
+	for trial := 0; trial < 2000; trial++ {
+		q := modes[next(len(modes))]
+		tr := NewTracker(newTasklet(q))
+		goal := tr.Goal()
+		retries := goal.MaxRetries
+		if retries == 0 {
+			retries = DefaultRetries
+		}
+		// Upper bound on launches: initial replicas + every retry the
+		// budget allows (voting disagreement and losses share the budget).
+		maxLaunches := goal.Replicas + retries
+
+		d := tr.Start()
+		nextAttempt := core.AttemptID(1)
+		nextProvider := core.ProviderID(1)
+		var inFlight []core.AttemptID
+		launched := 0
+		steps := 0
+		for !tr.Done() {
+			steps++
+			if steps > 1000 {
+				t.Fatalf("trial %d (%+v): tracker did not terminate", trial, q)
+			}
+			for i := 0; i < d.Launch; i++ {
+				tr.OnLaunched(nextAttempt, nextProvider)
+				inFlight = append(inFlight, nextAttempt)
+				nextAttempt++
+				nextProvider++
+				launched++
+			}
+			if launched > maxLaunches {
+				t.Fatalf("trial %d (%+v): launched %d > bound %d", trial, q, launched, maxLaunches)
+			}
+			if len(inFlight) == 0 {
+				t.Fatalf("trial %d (%+v): stuck with no attempts outstanding and not done", trial, q)
+			}
+			// Resolve a random in-flight attempt.
+			pick := next(len(inFlight))
+			att := inFlight[pick]
+			inFlight = append(inFlight[:pick], inFlight[pick+1:]...)
+
+			var res core.Result
+			res.Attempt = att
+			switch next(5) {
+			case 0:
+				res.Status = core.StatusLost
+			case 1:
+				res.Status = core.StatusFault
+				res.FaultCode = tvm.FaultOutOfFuel
+				res.FaultMsg = "x"
+			default:
+				res.Status = core.StatusOK
+				res.Return = tvm.Int(int64(next(2))) // two possible answers -> vote splits
+			}
+			d = tr.OnResult(res)
+		}
+		// Post-completion results must not disturb the final state.
+		final := tr.Final()
+		d2 := tr.OnResult(core.Result{Attempt: 999999, Status: core.StatusOK, Return: tvm.Int(7)})
+		if !d2.Done || d2.Final.Hash() != final.Hash() {
+			t.Fatalf("trial %d: completion not stable", trial)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package scheduler implements the computation-placement policies the
+// Tasklet broker (and the simulator) use to map tasklets onto heterogeneous
+// providers. Policies are synchronous and deterministic given their seed;
+// the same implementations run in the live broker and in the discrete-event
+// simulator, which is what makes the heterogeneity experiments (E4)
+// apples-to-apples.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Candidate is the scheduler's view of one provider at decision time.
+type Candidate struct {
+	Info      *core.ProviderInfo
+	FreeSlots int
+	// Backlog counts attempts assigned but not yet completed (including
+	// running ones); load-aware policies minimize Backlog/Slots.
+	Backlog int
+}
+
+// Request describes one placement decision.
+type Request struct {
+	Tasklet *core.Tasklet
+	// Exclude lists providers that must not receive this attempt (QoC
+	// replicas must land on distinct providers; retried attempts avoid the
+	// provider that just failed).
+	Exclude map[core.ProviderID]bool
+}
+
+// Policy picks a provider for a tasklet attempt. Pick returns false when no
+// acceptable provider exists (caller queues the attempt). Implementations
+// may keep internal state (round-robin cursor, RNG) and are safe for use
+// from a single scheduling goroutine; they are not safe for concurrent use.
+type Policy interface {
+	Name() string
+	Pick(req Request, cands []Candidate) (core.ProviderID, bool)
+}
+
+// eligible filters candidates with free capacity that are not excluded,
+// returning them in ascending provider-ID order for determinism.
+func eligible(req Request, cands []Candidate) []Candidate {
+	out := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		if c.FreeSlots <= 0 {
+			continue
+		}
+		if req.Exclude != nil && req.Exclude[c.Info.ID] {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Info.ID < out[j].Info.ID })
+	return out
+}
+
+// Random places each attempt uniformly at random among eligible providers.
+// This is the paper's baseline policy: it ignores heterogeneity entirely.
+type Random struct {
+	rng uint64
+}
+
+// NewRandom creates a Random policy with a deterministic seed.
+func NewRandom(seed uint64) *Random {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Random{rng: seed}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+func (r *Random) next() uint64 {
+	x := r.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Pick implements Policy.
+func (r *Random) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	el := eligible(req, cands)
+	if len(el) == 0 {
+		return 0, false
+	}
+	return el[r.next()%uint64(len(el))].Info.ID, true
+}
+
+// RoundRobin cycles through providers in ID order, skipping busy ones. It
+// balances attempt counts but, like Random, is blind to provider speed.
+type RoundRobin struct {
+	cursor uint64
+}
+
+// NewRoundRobin creates a RoundRobin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round_robin" }
+
+// Pick implements Policy.
+func (rr *RoundRobin) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	el := eligible(req, cands)
+	if len(el) == 0 {
+		return 0, false
+	}
+	pick := el[rr.cursor%uint64(len(el))]
+	rr.cursor++
+	return pick.Info.ID, true
+}
+
+// FastestFree places each attempt on the fastest provider with a free slot
+// (ties broken by lower ID). This is the speed-aware policy that exploits
+// the providers' self-measured benchmark scores.
+type FastestFree struct{}
+
+// NewFastestFree creates a FastestFree policy.
+func NewFastestFree() *FastestFree { return &FastestFree{} }
+
+// Name implements Policy.
+func (*FastestFree) Name() string { return "fastest" }
+
+// Pick implements Policy.
+func (*FastestFree) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	el := eligible(req, cands)
+	if len(el) == 0 {
+		return 0, false
+	}
+	best := el[0]
+	for _, c := range el[1:] {
+		if c.Info.Speed > best.Info.Speed {
+			best = c
+		}
+	}
+	return best.Info.ID, true
+}
+
+// LeastLoaded minimizes the backlog-per-slot ratio, spreading work evenly
+// across providers regardless of their speed.
+type LeastLoaded struct{}
+
+// NewLeastLoaded creates a LeastLoaded policy.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Policy.
+func (*LeastLoaded) Name() string { return "least_loaded" }
+
+// Pick implements Policy.
+func (*LeastLoaded) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	el := eligible(req, cands)
+	if len(el) == 0 {
+		return 0, false
+	}
+	best := el[0]
+	bestRatio := loadRatio(best)
+	for _, c := range el[1:] {
+		if r := loadRatio(c); r < bestRatio {
+			best, bestRatio = c, r
+		}
+	}
+	return best.Info.ID, true
+}
+
+func loadRatio(c Candidate) float64 {
+	slots := c.Info.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	return float64(c.Backlog) / float64(slots)
+}
+
+// WorkSteal approximates proportional-share placement: it ranks providers
+// by expected completion time for this tasklet's fuel, accounting for the
+// backlog already queued on each provider. With accurate speed scores this
+// minimizes makespan on heterogeneous fleets.
+type WorkSteal struct{}
+
+// NewWorkSteal creates a WorkSteal policy.
+func NewWorkSteal() *WorkSteal { return &WorkSteal{} }
+
+// Name implements Policy.
+func (*WorkSteal) Name() string { return "work_steal" }
+
+// Pick implements Policy.
+func (*WorkSteal) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	el := eligible(req, cands)
+	if len(el) == 0 {
+		return 0, false
+	}
+	fuel := uint64(1)
+	if req.Tasklet != nil && req.Tasklet.Fuel > 0 {
+		fuel = req.Tasklet.Fuel
+	}
+	best := el[0]
+	bestCost := expectedCompletion(best, fuel)
+	for _, c := range el[1:] {
+		if cost := expectedCompletion(c, fuel); cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	return best.Info.ID, true
+}
+
+// expectedCompletion estimates seconds until a new attempt would finish on
+// the candidate: (backlog/slots + 1) units of this tasklet's work at the
+// provider's speed.
+func expectedCompletion(c Candidate, fuel uint64) float64 {
+	speed := c.Info.Speed
+	if speed <= 0 {
+		speed = 0.001
+	}
+	slots := c.Info.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	unitsAhead := float64(c.Backlog)/float64(slots) + 1
+	return unitsAhead * float64(fuel) / (speed * 1e6)
+}
+
+// Reliable weights speed by the broker-tracked reliability score, avoiding
+// churn-prone providers for QoC-sensitive tasklets.
+type Reliable struct{}
+
+// NewReliable creates a Reliable policy.
+func NewReliable() *Reliable { return &Reliable{} }
+
+// Name implements Policy.
+func (*Reliable) Name() string { return "reliable" }
+
+// Pick implements Policy.
+func (*Reliable) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	el := eligible(req, cands)
+	if len(el) == 0 {
+		return 0, false
+	}
+	score := func(c Candidate) float64 {
+		rel := c.Info.Reliability
+		if rel <= 0 {
+			rel = 0.01
+		}
+		return rel * rel * (c.Info.Speed + 1)
+	}
+	best := el[0]
+	bestScore := score(best)
+	for _, c := range el[1:] {
+		if s := score(c); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best.Info.ID, true
+}
+
+// Deadline places deadline-carrying tasklets only on providers fast enough
+// to finish within the budget (falling back to the fastest available when
+// none qualifies), and behaves like WorkSteal for unconstrained tasklets.
+type Deadline struct {
+	steal WorkSteal
+}
+
+// NewDeadline creates a Deadline policy.
+func NewDeadline() *Deadline { return &Deadline{} }
+
+// Name implements Policy.
+func (*Deadline) Name() string { return "deadline" }
+
+// Pick implements Policy.
+func (d *Deadline) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	t := req.Tasklet
+	if t == nil || t.QoC.Deadline <= 0 {
+		return d.steal.Pick(req, cands)
+	}
+	el := eligible(req, cands)
+	if len(el) == 0 {
+		return 0, false
+	}
+	fuel := t.Fuel
+	if fuel == 0 {
+		fuel = 1
+	}
+	// Qualify providers whose expected execution fits the remaining
+	// budget; among them take the least loaded to preserve capacity on
+	// the fastest for tighter deadlines.
+	var qualified []Candidate
+	for _, c := range el {
+		if exec := c.Info.ExpectedExec(fuel); exec > 0 && exec <= t.QoC.Deadline {
+			qualified = append(qualified, c)
+		}
+	}
+	if len(qualified) == 0 {
+		// Nothing meets the deadline: best effort on the fastest.
+		var ff FastestFree
+		return ff.Pick(req, cands)
+	}
+	best := qualified[0]
+	bestRatio := loadRatio(best)
+	for _, c := range qualified[1:] {
+		if r := loadRatio(c); r < bestRatio {
+			best, bestRatio = c, r
+		}
+	}
+	return best.Info.ID, true
+}
+
+// Names lists the registered policy names accepted by New.
+func Names() []string {
+	return []string{"random", "round_robin", "fastest", "least_loaded", "work_steal", "reliable", "deadline"}
+}
+
+// New constructs a policy by name; seed feeds stochastic policies.
+func New(name string, seed uint64) (Policy, error) {
+	switch name {
+	case "random":
+		return NewRandom(seed), nil
+	case "round_robin":
+		return NewRoundRobin(), nil
+	case "fastest":
+		return NewFastestFree(), nil
+	case "least_loaded":
+		return NewLeastLoaded(), nil
+	case "work_steal":
+		return NewWorkSteal(), nil
+	case "reliable":
+		return NewReliable(), nil
+	case "deadline":
+		return NewDeadline(), nil
+	default:
+		return nil, fmt.Errorf("scheduler: unknown policy %q (want one of %v)", name, Names())
+	}
+}

@@ -1,0 +1,283 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fleet builds candidates with the given (id, speed, slots, free, backlog)
+// tuples.
+func fleet(rows ...[5]int) []Candidate {
+	cands := make([]Candidate, 0, len(rows))
+	for _, r := range rows {
+		cands = append(cands, Candidate{
+			Info: &core.ProviderInfo{
+				ID:          core.ProviderID(r[0]),
+				Speed:       float64(r[1]),
+				Slots:       r[2],
+				Reliability: 1,
+			},
+			FreeSlots: r[3],
+			Backlog:   r[4],
+		})
+	}
+	return cands
+}
+
+func req() Request { return Request{Tasklet: &core.Tasklet{Fuel: 1_000_000}} }
+
+func TestEligibleFiltersBusyAndExcluded(t *testing.T) {
+	cands := fleet(
+		[5]int{1, 10, 2, 0, 2}, // busy
+		[5]int{2, 10, 2, 1, 1},
+		[5]int{3, 10, 2, 2, 0},
+	)
+	r := req()
+	r.Exclude = map[core.ProviderID]bool{3: true}
+	el := eligible(r, cands)
+	if len(el) != 1 || el[0].Info.ID != 2 {
+		t.Fatalf("eligible = %v", el)
+	}
+}
+
+func TestAllPoliciesRespectExclusionAndCapacity(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			cands := fleet(
+				[5]int{1, 100, 4, 0, 4}, // full
+				[5]int{2, 50, 4, 2, 2},
+				[5]int{3, 10, 4, 4, 0},
+			)
+			r := req()
+			r.Exclude = map[core.ProviderID]bool{2: true}
+			for i := 0; i < 50; i++ {
+				id, ok := p.Pick(r, cands)
+				if !ok {
+					t.Fatal("no pick despite capacity")
+				}
+				if id != 3 {
+					t.Fatalf("picked %d; only provider 3 is eligible", id)
+				}
+			}
+		})
+	}
+}
+
+func TestAllPoliciesReportNoCandidate(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := New(name, 1)
+		if _, ok := p.Pick(req(), nil); ok {
+			t.Errorf("%s picked from empty fleet", name)
+		}
+		busy := fleet([5]int{1, 10, 1, 0, 1})
+		if _, ok := p.Pick(req(), busy); ok {
+			t.Errorf("%s picked a busy provider", name)
+		}
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	cands := fleet([5]int{1, 1, 1, 1, 0}, [5]int{2, 1, 1, 1, 0}, [5]int{3, 1, 1, 1, 0})
+	seq := func(seed uint64) []core.ProviderID {
+		p := NewRandom(seed)
+		var ids []core.ProviderID
+		for i := 0; i < 20; i++ {
+			id, _ := p.Pick(req(), cands)
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	a, b := seq(5), seq(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different sequence")
+		}
+	}
+	c := seq(6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestRandomCoversAllProviders(t *testing.T) {
+	cands := fleet([5]int{1, 1, 1, 1, 0}, [5]int{2, 1, 1, 1, 0}, [5]int{3, 1, 1, 1, 0})
+	p := NewRandom(3)
+	seen := map[core.ProviderID]bool{}
+	for i := 0; i < 200; i++ {
+		id, _ := p.Pick(req(), cands)
+		seen[id] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("random never visited some providers: %v", seen)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	cands := fleet([5]int{1, 1, 1, 1, 0}, [5]int{2, 1, 1, 1, 0}, [5]int{3, 1, 1, 1, 0})
+	p := NewRoundRobin()
+	var got []core.ProviderID
+	for i := 0; i < 6; i++ {
+		id, _ := p.Pick(req(), cands)
+		got = append(got, id)
+	}
+	want := []core.ProviderID{1, 2, 3, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycle = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFastestFreePrefersSpeed(t *testing.T) {
+	cands := fleet([5]int{1, 10, 1, 1, 0}, [5]int{2, 99, 1, 1, 0}, [5]int{3, 50, 1, 1, 0})
+	p := NewFastestFree()
+	if id, _ := p.Pick(req(), cands); id != 2 {
+		t.Fatalf("picked %d, want fastest (2)", id)
+	}
+	// When the fastest is busy, fall to next fastest.
+	cands[1].FreeSlots = 0
+	if id, _ := p.Pick(req(), cands); id != 3 {
+		t.Fatalf("picked %d, want 3", id)
+	}
+}
+
+func TestFastestFreeTieBreaksByID(t *testing.T) {
+	cands := fleet([5]int{7, 50, 1, 1, 0}, [5]int{2, 50, 1, 1, 0})
+	p := NewFastestFree()
+	if id, _ := p.Pick(req(), cands); id != 2 {
+		t.Fatalf("tie broke to %d, want lower ID 2", id)
+	}
+}
+
+func TestLeastLoadedBalancesByRatio(t *testing.T) {
+	cands := fleet(
+		[5]int{1, 10, 4, 1, 3}, // ratio 0.75
+		[5]int{2, 10, 2, 1, 1}, // ratio 0.5
+		[5]int{3, 10, 1, 1, 1}, // ratio 1.0
+	)
+	p := NewLeastLoaded()
+	if id, _ := p.Pick(req(), cands); id != 2 {
+		t.Fatalf("picked %d, want 2 (lowest load ratio)", id)
+	}
+}
+
+func TestWorkStealAccountsForBacklogAndSpeed(t *testing.T) {
+	// Provider 1 is fast but deeply backlogged; provider 2 is slower but
+	// idle and finishes the attempt sooner.
+	cands := fleet(
+		[5]int{1, 100, 1, 1, 20},
+		[5]int{2, 20, 1, 1, 0},
+	)
+	p := NewWorkSteal()
+	if id, _ := p.Pick(req(), cands); id != 2 {
+		t.Fatalf("picked %d, want 2 (idle, earlier completion)", id)
+	}
+	// With both idle the faster provider wins.
+	cands[0].Backlog = 0
+	if id, _ := p.Pick(req(), cands); id != 1 {
+		t.Fatalf("picked %d, want 1 (faster, both idle)", id)
+	}
+}
+
+func TestReliablePenalizesFlakyProviders(t *testing.T) {
+	cands := fleet([5]int{1, 100, 1, 1, 0}, [5]int{2, 60, 1, 1, 0})
+	cands[0].Info.Reliability = 0.3 // fast but flaky
+	cands[1].Info.Reliability = 1.0
+	p := NewReliable()
+	if id, _ := p.Pick(req(), cands); id != 2 {
+		t.Fatalf("picked %d, want reliable provider 2", id)
+	}
+}
+
+func TestNewUnknownPolicy(t *testing.T) {
+	if _, err := New("nope", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPolicyNamesRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+}
+
+func TestDeadlinePolicyQualifiesBySpeed(t *testing.T) {
+	// Tasklet: 1e9 ops with a 5s budget. The 100 Mops/s provider finishes
+	// in 10s (too slow); the 500 Mops/s provider in 2s (qualifies).
+	cands := fleet(
+		[5]int{1, 100, 1, 1, 0},
+		[5]int{2, 500, 1, 1, 0},
+	)
+	p := NewDeadline()
+	r := Request{Tasklet: &core.Tasklet{
+		Fuel: 1_000_000_000,
+		QoC:  core.QoC{Deadline: 5 * time.Second},
+	}}
+	if id, _ := p.Pick(r, cands); id != 2 {
+		t.Fatalf("picked %d, want the only deadline-meeting provider (2)", id)
+	}
+}
+
+func TestDeadlinePolicyPrefersLeastLoadedAmongQualified(t *testing.T) {
+	cands := fleet(
+		[5]int{1, 500, 2, 1, 1}, // qualified, loaded
+		[5]int{2, 500, 2, 2, 0}, // qualified, idle
+	)
+	p := NewDeadline()
+	r := Request{Tasklet: &core.Tasklet{
+		Fuel: 1_000_000_000,
+		QoC:  core.QoC{Deadline: 5 * time.Second},
+	}}
+	if id, _ := p.Pick(r, cands); id != 2 {
+		t.Fatalf("picked %d, want idle qualified provider 2", id)
+	}
+}
+
+func TestDeadlinePolicyFallsBackToFastest(t *testing.T) {
+	// Nobody meets a 1ms deadline on 1e9 ops; best effort = fastest.
+	cands := fleet(
+		[5]int{1, 100, 1, 1, 0},
+		[5]int{2, 500, 1, 1, 0},
+	)
+	p := NewDeadline()
+	r := Request{Tasklet: &core.Tasklet{
+		Fuel: 1_000_000_000,
+		QoC:  core.QoC{Deadline: time.Millisecond},
+	}}
+	if id, _ := p.Pick(r, cands); id != 2 {
+		t.Fatalf("picked %d, want fastest provider 2", id)
+	}
+}
+
+func TestDeadlinePolicyWithoutDeadlineActsLikeWorkSteal(t *testing.T) {
+	cands := fleet(
+		[5]int{1, 100, 1, 1, 20},
+		[5]int{2, 20, 1, 1, 0},
+	)
+	d := NewDeadline()
+	ws := NewWorkSteal()
+	r := req()
+	got, _ := d.Pick(r, cands)
+	want, _ := ws.Pick(r, cands)
+	if got != want {
+		t.Fatalf("deadline policy diverged from work_steal without a deadline: %d vs %d", got, want)
+	}
+}

@@ -1,0 +1,494 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/qoc"
+	"repro/internal/scheduler"
+	"repro/internal/tvm"
+)
+
+// DeviceSpec describes one simulated provider.
+type DeviceSpec struct {
+	Class core.DeviceClass
+	// Slots is the number of concurrent executions (cores donated).
+	Slots int
+	// Speed is the device's execution speed in TVM mega-ops/second. Zero
+	// derives it from the class: desktop-class 100 Mops/s scaled by
+	// core.ClassSpeedFactor.
+	Speed float64
+	// MTBF/MTTR parameterize exponential churn; zero MTBF means the device
+	// never fails.
+	MTBF time.Duration
+	MTTR time.Duration
+	// Faulty devices return corrupted results (their device index instead
+	// of the true value) — the adversary QoC voting defends against.
+	Faulty bool
+}
+
+// speed returns the effective Mops/s.
+func (d DeviceSpec) speed() float64 {
+	if d.Speed > 0 {
+		return d.Speed
+	}
+	return 100 * core.ClassSpeedFactor(d.Class)
+}
+
+// TaskSpec describes one tasklet in the simulated workload.
+type TaskSpec struct {
+	// Fuel is the tasklet's work in VM operations.
+	Fuel uint64
+	// Arrival is when the consumer submits it.
+	Arrival time.Duration
+	QoC     core.QoC
+}
+
+// Config is a complete simulation scenario.
+type Config struct {
+	Devices []DeviceSpec
+	Tasks   []TaskSpec
+	// Policy is the placement policy; nil selects work_steal.
+	Policy scheduler.Policy
+	// Latency is the one-way broker<->provider message delay.
+	Latency time.Duration
+	// DetectDelay is how long after a device fails the broker notices
+	// (heartbeat timeout). Zero selects 2s.
+	DetectDelay time.Duration
+	Seed        uint64
+	// MaxTime aborts runaway scenarios. Zero selects 24h of virtual time.
+	MaxTime time.Duration
+	// Trace records a per-event timeline into Stats.Trace (see trace.go).
+	Trace bool
+}
+
+// Stats is the outcome of a simulation run.
+type Stats struct {
+	// Makespan is the virtual time from first arrival to last completion.
+	Makespan time.Duration
+	// Completed and Failed count tasklets by final status.
+	Completed int
+	Failed    int
+	// Attempts counts executions launched; LostAttempts those that died
+	// with their device; WastedAttempts completed-but-redundant ones.
+	Attempts       int
+	LostAttempts   int
+	WastedAttempts int
+	// Latency is the per-tasklet submission-to-final-result distribution
+	// (milliseconds of virtual time).
+	Latency metrics.Summary
+	// QueueDelay is the per-attempt placement delay distribution (ms).
+	QueueDelay metrics.Summary
+	// BusyTime is each device's cumulative execution time.
+	BusyTime []time.Duration
+	// DeviceExecuted counts attempts finished per device.
+	DeviceExecuted []int
+	// Trace is the event timeline, recorded only when Config.Trace is set.
+	Trace []TraceEvent
+}
+
+// Utilization returns mean device busy fraction over the makespan.
+func (s *Stats) Utilization(devices []DeviceSpec) float64 {
+	if s.Makespan <= 0 || len(devices) == 0 {
+		return 0
+	}
+	var frac float64
+	for i, bt := range s.BusyTime {
+		slots := devices[i].Slots
+		if slots <= 0 {
+			slots = 1
+		}
+		frac += float64(bt) / float64(s.Makespan) / float64(slots)
+	}
+	return frac / float64(len(s.BusyTime))
+}
+
+// attemptRec is one in-flight simulated execution.
+type attemptRec struct {
+	id       core.AttemptID
+	tasklet  core.TaskletID
+	device   int
+	epoch    int // device incarnation at launch; stale completions are void
+	started  time.Duration
+	fuel     uint64
+	finished bool
+}
+
+// deviceState is the runtime state of one simulated device.
+type deviceState struct {
+	spec    DeviceSpec
+	info    core.ProviderInfo
+	up      bool
+	epoch   int
+	free    int
+	backlog int
+	busy    time.Duration
+	done    int
+}
+
+// taskState tracks one tasklet through the QoC engine.
+type taskState struct {
+	t       core.Tasklet
+	tracker *qoc.Tracker
+	arrived time.Duration
+	queued  int // pending placement entries
+}
+
+// sim is the running world.
+type sim struct {
+	cfg     Config
+	eng     *engine
+	devices []*deviceState
+	tasks   map[core.TaskletID]*taskState
+	attempt map[core.AttemptID]*attemptRec
+	pending []pendingEntry
+
+	nextAttempt core.AttemptID
+	stats       Stats
+	latency     metrics.Histogram
+	queueDelay  metrics.Histogram
+	lastDone    time.Duration
+	firstArr    time.Duration
+	remaining   int
+}
+
+type pendingEntry struct {
+	tasklet core.TaskletID
+	since   time.Duration
+}
+
+// Run executes the scenario and returns its statistics.
+func Run(cfg Config) (*Stats, error) {
+	if len(cfg.Devices) == 0 {
+		return nil, errors.New("sim: no devices")
+	}
+	if len(cfg.Tasks) == 0 {
+		return nil, errors.New("sim: no tasks")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = scheduler.NewWorkSteal()
+	}
+	if cfg.DetectDelay <= 0 {
+		cfg.DetectDelay = 2 * time.Second
+	}
+	if cfg.MaxTime <= 0 {
+		cfg.MaxTime = 24 * time.Hour
+	}
+
+	s := &sim{
+		cfg:     cfg,
+		eng:     newEngine(cfg.Seed),
+		tasks:   map[core.TaskletID]*taskState{},
+		attempt: map[core.AttemptID]*attemptRec{},
+	}
+
+	for i, spec := range cfg.Devices {
+		if spec.Slots <= 0 {
+			spec.Slots = 1
+		}
+		d := &deviceState{
+			spec: spec,
+			info: core.ProviderInfo{
+				ID:          core.ProviderID(i + 1),
+				Class:       spec.Class,
+				Slots:       spec.Slots,
+				Speed:       spec.speed(),
+				Reliability: 1,
+			},
+			up:   true,
+			free: spec.Slots,
+		}
+		s.devices = append(s.devices, d)
+		if spec.MTBF > 0 {
+			s.scheduleFailure(i)
+		}
+	}
+	s.stats.BusyTime = make([]time.Duration, len(s.devices))
+	s.stats.DeviceExecuted = make([]int, len(s.devices))
+
+	s.firstArr = time.Duration(-1)
+	s.remaining = len(cfg.Tasks)
+	for i, tspec := range cfg.Tasks {
+		id := core.TaskletID(i + 1)
+		fuel := tspec.Fuel
+		if fuel == 0 {
+			fuel = 1_000_000
+		}
+		t := core.Tasklet{ID: id, Job: 1, Index: i, Fuel: fuel, QoC: tspec.QoC}
+		ts := &taskState{t: t, arrived: tspec.Arrival}
+		ts.tracker = qoc.NewTracker(&ts.t)
+		s.tasks[id] = ts
+		if s.firstArr < 0 || tspec.Arrival < s.firstArr {
+			s.firstArr = tspec.Arrival
+		}
+		arrival := tspec.Arrival
+		s.eng.at(arrival, func() { s.onArrival(ts) })
+	}
+
+	// Drive events until every tasklet is final. Churn events reschedule
+	// themselves forever, so "queue empty" is not the termination
+	// condition — "no tasklets remaining" is.
+	for s.remaining > 0 {
+		if len(s.eng.heap) > 0 && s.eng.heap[0].at > cfg.MaxTime {
+			return nil, fmt.Errorf("sim: exceeded max virtual time %v with %d tasklets unfinished",
+				cfg.MaxTime, s.remaining)
+		}
+		if !s.eng.step() {
+			return nil, fmt.Errorf("sim: event queue drained with %d tasklets unfinished (fleet dead?)", s.remaining)
+		}
+	}
+
+	s.stats.Makespan = s.lastDone - s.firstArr
+	s.stats.Latency = s.latency.Snapshot()
+	s.stats.QueueDelay = s.queueDelay.Snapshot()
+	for i, d := range s.devices {
+		s.stats.BusyTime[i] = d.busy
+		s.stats.DeviceExecuted[i] = d.done
+	}
+	return &s.stats, nil
+}
+
+// ---------- world mechanics ----------
+
+func (s *sim) onArrival(ts *taskState) {
+	s.trace(TraceArrival, -1, ts.t.Index, 0, false)
+	d := ts.tracker.Start()
+	for i := 0; i < d.Launch; i++ {
+		s.pending = append(s.pending, pendingEntry{tasklet: ts.t.ID, since: s.eng.now})
+		ts.queued++
+	}
+	if q := ts.tracker.Goal(); q.Deadline > 0 {
+		id := ts.t.ID
+		s.eng.after(q.Deadline, func() { s.onDeadline(id) })
+	}
+	s.schedule()
+}
+
+func (s *sim) onDeadline(id core.TaskletID) {
+	ts := s.tasks[id]
+	if ts == nil || ts.tracker.Done() {
+		return
+	}
+	s.finalize(ts, core.Result{
+		Tasklet: id, Status: core.StatusFault, FaultMsg: "deadline exceeded",
+	})
+}
+
+// schedule walks the placement queue like the live broker.
+func (s *sim) schedule() {
+	if len(s.pending) == 0 {
+		return
+	}
+	totalFree := 0
+	for _, d := range s.devices {
+		if d.up {
+			totalFree += d.free
+		}
+	}
+	remaining := s.pending[:0]
+	cands := make([]scheduler.Candidate, 0, len(s.devices))
+	for idx, pe := range s.pending {
+		if totalFree <= 0 {
+			remaining = append(remaining, s.pending[idx:]...)
+			break
+		}
+		ts := s.tasks[pe.tasklet]
+		if ts == nil || ts.tracker.Done() {
+			continue
+		}
+		cands = cands[:0]
+		for _, d := range s.devices {
+			if !d.up {
+				continue
+			}
+			cands = append(cands, scheduler.Candidate{
+				Info: &d.info, FreeSlots: d.free, Backlog: d.backlog,
+			})
+		}
+		req := scheduler.Request{Tasklet: &ts.t, Exclude: ts.tracker.ActiveProviders()}
+		pid, ok := s.cfg.Policy.Pick(req, cands)
+		if !ok {
+			remaining = append(remaining, pe)
+			continue
+		}
+		dev := s.devices[int(pid)-1]
+		if !dev.up || dev.free <= 0 {
+			remaining = append(remaining, pe)
+			continue
+		}
+		s.queueDelay.Observe(float64(s.eng.now-pe.since) / 1e6)
+		s.launch(ts, dev)
+		totalFree--
+	}
+	s.pending = remaining
+}
+
+// launch starts one attempt on dev; completion is scheduled after the
+// network latency plus the device-speed-scaled execution time.
+func (s *sim) launch(ts *taskState, dev *deviceState) {
+	s.nextAttempt++
+	aid := s.nextAttempt
+	devIdx := int(dev.info.ID) - 1
+	rec := &attemptRec{
+		id: aid, tasklet: ts.t.ID, device: devIdx, epoch: dev.epoch,
+		started: s.eng.now, fuel: ts.t.Fuel,
+	}
+	s.attempt[aid] = rec
+	dev.free--
+	dev.backlog++
+	ts.tracker.OnLaunched(aid, dev.info.ID)
+	s.stats.Attempts++
+	s.trace(TraceLaunch, devIdx, ts.t.Index, int(aid), false)
+
+	exec := execTime(ts.t.Fuel, dev.info.Speed)
+	total := 2*s.cfg.Latency + exec
+	s.eng.after(total, func() { s.onComplete(rec, exec) })
+}
+
+// execTime converts fuel to wall time at the given speed.
+func execTime(fuel uint64, mopsPerSec float64) time.Duration {
+	if mopsPerSec <= 0 {
+		mopsPerSec = 0.001
+	}
+	return time.Duration(float64(fuel) / (mopsPerSec * 1e6) * float64(time.Second))
+}
+
+// onComplete fires when an attempt's result would arrive at the broker.
+func (s *sim) onComplete(rec *attemptRec, exec time.Duration) {
+	dev := s.devices[rec.device]
+	if rec.finished || dev.epoch != rec.epoch {
+		return // device died mid-execution; loss handled by detection
+	}
+	rec.finished = true
+	delete(s.attempt, rec.id)
+	dev.free++
+	dev.backlog--
+	dev.busy += exec
+	dev.done++
+	s.stats.DeviceExecuted[rec.device] = dev.done
+	s.trace(TraceComplete, rec.device, int(rec.tasklet)-1, int(rec.id), false)
+
+	ts := s.tasks[rec.tasklet]
+	if ts == nil || ts.tracker.Done() {
+		s.stats.WastedAttempts++
+		s.schedule()
+		return
+	}
+
+	ret := tvm.Int(int64(rec.tasklet)) // canonical "correct" result
+	if dev.spec.Faulty {
+		ret = tvm.Int(int64(-1000 - rec.device)) // corrupted, device-specific
+	}
+	res := core.Result{
+		Attempt: rec.id, Tasklet: rec.tasklet, Provider: dev.info.ID,
+		Status: core.StatusOK, Return: ret,
+		FuelUsed: rec.fuel, Exec: exec,
+	}
+	d := ts.tracker.OnResult(res)
+	s.applyDecision(ts, d)
+	s.schedule()
+}
+
+// scheduleFailure arms the next failure of device i.
+func (s *sim) scheduleFailure(i int) {
+	dev := s.devices[i]
+	wait := s.eng.exponential(dev.spec.MTBF)
+	s.eng.after(wait, func() { s.onFail(i) })
+}
+
+func (s *sim) onFail(i int) {
+	dev := s.devices[i]
+	if !dev.up {
+		return
+	}
+	dev.up = false
+	dev.epoch++
+	dev.free = 0
+	dev.backlog = 0
+	s.trace(TraceDeviceFail, i, 0, 0, false)
+
+	// The broker discovers the loss after the detection delay and feeds
+	// losses to the trackers.
+	var lost []*attemptRec
+	for _, rec := range s.attempt {
+		if rec.device == i && !rec.finished {
+			lost = append(lost, rec)
+		}
+	}
+	s.eng.after(s.cfg.DetectDelay, func() {
+		for _, rec := range lost {
+			if rec.finished {
+				continue
+			}
+			rec.finished = true
+			delete(s.attempt, rec.id)
+			s.stats.LostAttempts++
+			s.trace(TraceLost, rec.device, int(rec.tasklet)-1, int(rec.id), false)
+			ts := s.tasks[rec.tasklet]
+			if ts == nil || ts.tracker.Done() {
+				continue
+			}
+			d := ts.tracker.OnResult(core.Result{
+				Attempt: rec.id, Tasklet: rec.tasklet,
+				Provider: dev.info.ID, Status: core.StatusLost,
+			})
+			s.applyDecision(ts, d)
+		}
+		s.schedule()
+	})
+
+	// Recovery.
+	mttr := dev.spec.MTTR
+	if mttr <= 0 {
+		mttr = time.Minute
+	}
+	s.eng.after(s.eng.exponential(mttr), func() { s.onRecover(i) })
+}
+
+func (s *sim) onRecover(i int) {
+	dev := s.devices[i]
+	if dev.up {
+		return
+	}
+	dev.up = true
+	dev.free = dev.spec.Slots
+	dev.backlog = 0
+	s.trace(TraceDeviceRecover, i, 0, 0, false)
+	s.scheduleFailure(i)
+	s.schedule()
+}
+
+// applyDecision mirrors the live broker's reaction to QoC decisions.
+func (s *sim) applyDecision(ts *taskState, d qoc.Decision) {
+	for i := 0; i < d.Launch; i++ {
+		s.pending = append(s.pending, pendingEntry{tasklet: ts.t.ID, since: s.eng.now})
+	}
+	// Cancelled attempts: in simulation the redundant executions simply
+	// run to completion and are counted as wasted (conservative for the
+	// overhead measurements).
+	if d.Done {
+		s.finalize(ts, d.Final)
+	}
+}
+
+// finalize records a tasklet's final state.
+func (s *sim) finalize(ts *taskState, final core.Result) {
+	if ts.tracker.Done() && final.Tasklet == 0 {
+		return
+	}
+	delete(s.tasks, ts.t.ID)
+	s.remaining--
+	s.trace(TraceFinal, -1, ts.t.Index, 0, final.OK())
+	if final.OK() {
+		s.stats.Completed++
+	} else {
+		s.stats.Failed++
+	}
+	s.latency.Observe(float64(s.eng.now-ts.arrived) / 1e6)
+	if s.eng.now > s.lastDone {
+		s.lastDone = s.eng.now
+	}
+}

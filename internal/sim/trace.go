@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TraceKind classifies simulator trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceArrival TraceKind = iota
+	TraceLaunch
+	TraceComplete
+	TraceLost
+	TraceDeviceFail
+	TraceDeviceRecover
+	TraceFinal
+)
+
+// String returns the event-kind name.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceArrival:
+		return "arrival"
+	case TraceLaunch:
+		return "launch"
+	case TraceComplete:
+		return "complete"
+	case TraceLost:
+		return "lost"
+	case TraceDeviceFail:
+		return "device_fail"
+	case TraceDeviceRecover:
+		return "device_recover"
+	case TraceFinal:
+		return "final"
+	default:
+		return fmt.Sprintf("trace(%d)", uint8(k))
+	}
+}
+
+// TraceEvent is one recorded simulator event. Device is -1 when the event
+// has no device (arrival, final); Tasklet/Attempt are 0 for device events.
+type TraceEvent struct {
+	At      time.Duration
+	Kind    TraceKind
+	Device  int
+	Tasklet int
+	Attempt int
+	OK      bool // for TraceFinal: completed vs failed
+}
+
+// String renders one trace line.
+func (e TraceEvent) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %-14s", e.At.Round(time.Microsecond), e.Kind)
+	if e.Device >= 0 {
+		fmt.Fprintf(&b, " dev=%d", e.Device)
+	}
+	if e.Tasklet > 0 {
+		fmt.Fprintf(&b, " task=%d", e.Tasklet)
+	}
+	if e.Attempt > 0 {
+		fmt.Fprintf(&b, " attempt=%d", e.Attempt)
+	}
+	if e.Kind == TraceFinal {
+		fmt.Fprintf(&b, " ok=%v", e.OK)
+	}
+	return b.String()
+}
+
+// Timeline renders a trace as one line per event, in order.
+func Timeline(events []TraceEvent) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// trace appends an event when tracing is enabled.
+func (s *sim) trace(kind TraceKind, device int, tasklet, attempt int, ok bool) {
+	if !s.cfg.Trace {
+		return
+	}
+	s.stats.Trace = append(s.stats.Trace, TraceEvent{
+		At: s.eng.now, Kind: kind, Device: device,
+		Tasklet: tasklet, Attempt: attempt, OK: ok,
+	})
+}

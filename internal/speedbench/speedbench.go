@@ -1,0 +1,103 @@
+// Package speedbench measures a provider's TVM execution speed. Every
+// provider runs the same calibration tasklet at startup and advertises the
+// measured score (TVM mega-ops per second) in its registration; speed-aware
+// scheduling policies rank providers by it.
+//
+// Because the score is measured in the same VM that will execute real
+// tasklets, it automatically reflects whatever makes the host slow: CPU
+// generation, load, emulation, or a provider-configured throttle.
+package speedbench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/tasklang"
+	"repro/internal/tvm"
+)
+
+// calibrationSrc is a mixed integer/float/array kernel chosen to exercise
+// the interpreter's hot paths (arithmetic, branches, locals, array access)
+// in proportions similar to the standard workloads.
+const calibrationSrc = `
+func main(rounds int) int {
+	var acc int = 0;
+	var xs arr = [1, 2, 3, 4, 5, 6, 7, 8];
+	for (var r int = 0; r < rounds; r = r + 1) {
+		var f float = 1.0;
+		for (var i int = 0; i < len(xs); i = i + 1) {
+			acc = acc + xs[i] * (r % 7);
+			f = f * 1.0001;
+			if (acc % 13 == 0) { acc = acc + 1; }
+		}
+		xs[r % len(xs)] = acc % 97;
+	}
+	return acc;
+}
+`
+
+// compiled is the calibration program, compiled once at package init. A
+// compile failure here is a programming error caught by every test run.
+var compiled = func() *tvm.Program {
+	p, err := tasklang.Compile(calibrationSrc)
+	if err != nil {
+		panic(fmt.Sprintf("speedbench: calibration program does not compile: %v", err))
+	}
+	return p
+}()
+
+// Program returns the calibration program (shared, immutable).
+func Program() *tvm.Program { return compiled }
+
+// Options tunes a measurement.
+type Options struct {
+	// MinDuration is the minimum measured wall time; rounds double until a
+	// run takes at least this long. Default 50ms.
+	MinDuration time.Duration
+	// MaxRounds caps the doubling. Default 1 << 20.
+	MaxRounds int
+}
+
+// Score is a measurement result.
+type Score struct {
+	MegaOpsPerSec float64
+	FuelUsed      uint64
+	Elapsed       time.Duration
+	Rounds        int
+}
+
+// Measure runs the calibration kernel until it consumes at least
+// opts.MinDuration of wall time and returns the measured speed.
+func Measure(opts Options) (Score, error) {
+	if opts.MinDuration <= 0 {
+		opts.MinDuration = 50 * time.Millisecond
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 1 << 20
+	}
+	cfg := tvm.DefaultConfig()
+	cfg.Fuel = 1 << 62 // calibration is bounded by rounds, not fuel
+
+	rounds := 1024
+	for {
+		start := time.Now()
+		res, err := tvm.New(compiled, cfg).Run(tvm.Int(int64(rounds)))
+		if err != nil {
+			return Score{}, fmt.Errorf("speedbench: calibration run failed: %w", err)
+		}
+		elapsed := time.Since(start)
+		if elapsed >= opts.MinDuration || rounds >= opts.MaxRounds {
+			secs := elapsed.Seconds()
+			if secs <= 0 {
+				secs = 1e-9
+			}
+			return Score{
+				MegaOpsPerSec: float64(res.FuelUsed) / secs / 1e6,
+				FuelUsed:      res.FuelUsed,
+				Elapsed:       elapsed,
+				Rounds:        rounds,
+			}, nil
+		}
+		rounds *= 2
+	}
+}

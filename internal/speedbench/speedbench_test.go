@@ -1,0 +1,61 @@
+package speedbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tvm"
+)
+
+func TestProgramCompilesAndRuns(t *testing.T) {
+	p := Program()
+	res, err := tvm.New(p, tvm.DefaultConfig()).Run(tvm.Int(100))
+	if err != nil {
+		t.Fatalf("calibration kernel: %v", err)
+	}
+	if res.FuelUsed == 0 {
+		t.Fatal("kernel consumed no fuel")
+	}
+}
+
+func TestMeasureProducesPositiveScore(t *testing.T) {
+	s, err := Measure(Options{MinDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MegaOpsPerSec <= 0 {
+		t.Fatalf("score = %+v", s)
+	}
+	if s.Elapsed < 10*time.Millisecond && s.Rounds < 1<<20 {
+		t.Fatalf("measurement too short without hitting round cap: %+v", s)
+	}
+}
+
+func TestMeasureDeterministicKernel(t *testing.T) {
+	// The kernel's result (not its speed) must be deterministic: two runs
+	// with the same rounds return the same value, which guards against
+	// accidental nondeterminism in the calibration workload.
+	cfg := tvm.DefaultConfig()
+	cfg.Fuel = 1 << 40
+	r1, err := tvm.New(Program(), cfg).Run(tvm.Int(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tvm.New(Program(), cfg).Run(tvm.Int(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Return.Equal(r2.Return) || r1.FuelUsed != r2.FuelUsed {
+		t.Fatal("calibration kernel is nondeterministic")
+	}
+}
+
+func TestMeasureRoundCap(t *testing.T) {
+	s, err := Measure(Options{MinDuration: time.Hour, MaxRounds: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds > 2048 {
+		t.Fatalf("rounds = %d exceeded cap", s.Rounds)
+	}
+}

@@ -1,0 +1,238 @@
+package stdtasks
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tvm"
+)
+
+// runTask executes a standard tasklet locally.
+func runTask(t *testing.T, name string, params ...tvm.Value) *tvm.Result {
+	t.Helper()
+	prog, err := Program(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tvm.DefaultConfig()
+	cfg.Seed = 7
+	res, err := tvm.New(prog, cfg).Run(params...)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+func TestAllSourcesCompile(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := Program(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestProgramCaches(t *testing.T) {
+	a, _ := Program("noop")
+	b, _ := Program("noop")
+	if a != b {
+		t.Fatal("Program should return the cached instance")
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := Program("nonexistent"); err == nil {
+		t.Fatal("unknown tasklet accepted")
+	}
+	if _, err := Bytecode("nonexistent"); err == nil {
+		t.Fatal("unknown bytecode accepted")
+	}
+}
+
+func TestMandelbrotMatchesReference(t *testing.T) {
+	const y, w, h, mi = 37, 64, 96, 50
+	res := runTask(t, "mandelbrot", tvm.Int(y), tvm.Int(w), tvm.Int(h), tvm.Int(mi))
+	refPixels, refTotal := RefMandelbrot(y, w, h, mi)
+	if res.Return.I != int64(refTotal) {
+		t.Fatalf("total = %d, want %d", res.Return.I, refTotal)
+	}
+	if len(res.Emitted) != w {
+		t.Fatalf("emitted %d pixels, want %d", len(res.Emitted), w)
+	}
+	for x, v := range res.Emitted {
+		if v.I != int64(refPixels[x]) {
+			t.Fatalf("pixel %d = %d, want %d", x, v.I, refPixels[x])
+		}
+	}
+}
+
+func TestPrimesMatchesReference(t *testing.T) {
+	tests := [][2]int{{0, 100}, {100, 1000}, {1000, 1100}}
+	for _, tc := range tests {
+		res := runTask(t, "primes", tvm.Int(int64(tc[0])), tvm.Int(int64(tc[1])))
+		want := RefPrimes(tc[0], tc[1])
+		if res.Return.I != int64(want) {
+			t.Errorf("primes[%d,%d) = %d, want %d", tc[0], tc[1], res.Return.I, want)
+		}
+	}
+	// Known value: 25 primes below 100.
+	res := runTask(t, "primes", tvm.Int(0), tvm.Int(100))
+	if res.Return.I != 25 {
+		t.Fatalf("primes below 100 = %d, want 25", res.Return.I)
+	}
+}
+
+func TestMonteCarloConverges(t *testing.T) {
+	res := runTask(t, "montecarlo", tvm.Int(20000))
+	pi := res.Return.F
+	if pi < 3.0 || pi > 3.3 {
+		t.Fatalf("pi estimate = %v", pi)
+	}
+}
+
+func TestMonteCarloSeedSensitivity(t *testing.T) {
+	prog := MustProgram("montecarlo")
+	run := func(seed uint64) float64 {
+		cfg := tvm.DefaultConfig()
+		cfg.Seed = seed
+		res, err := tvm.New(prog, cfg).Run(tvm.Int(5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Return.F
+	}
+	if run(1) != run(1) {
+		t.Fatal("same seed differs")
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds agree exactly; rand() is broken")
+	}
+}
+
+func TestMatmulMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ row, n int }{{0, 8}, {3, 16}, {7, 32}} {
+		res := runTask(t, "matmul", tvm.Int(int64(tc.row)), tvm.Int(int64(tc.n)))
+		want := RefMatmulRow(tc.row, tc.n)
+		if res.Return.I != want {
+			t.Errorf("matmul(%d, %d) = %d, want %d", tc.row, tc.n, res.Return.I, want)
+		}
+	}
+}
+
+func TestWordCountMatchesReference(t *testing.T) {
+	text := "The quick brown fox jumps over the lazy dog. THE END the"
+	res := runTask(t, "wordcount", tvm.Str(text), tvm.Str("the"))
+	want := RefWordCount(text, "the")
+	if res.Return.I != int64(want) {
+		t.Fatalf("wordcount = %d, want %d", res.Return.I, want)
+	}
+	if want < 3 {
+		t.Fatalf("reference broken: %d", want)
+	}
+}
+
+func TestGrepMatchesReference(t *testing.T) {
+	text := strings.Join([]string{
+		"error: disk full",
+		"info: all good",
+		"warn: error rate high",
+		"info: error-free",
+	}, "\n")
+	res := runTask(t, "grep", tvm.Str(text), tvm.Str("error"))
+	want := RefGrep(text, "error")
+	if res.Return.I != int64(len(want)) {
+		t.Fatalf("grep count = %d, want %d", res.Return.I, len(want))
+	}
+	for i, idx := range want {
+		if res.Emitted[i].I != int64(idx) {
+			t.Fatalf("grep hit %d = %d, want %d", i, res.Emitted[i].I, idx)
+		}
+	}
+}
+
+func TestSpinMatchesReference(t *testing.T) {
+	res := runTask(t, "spin", tvm.Int(10000))
+	if res.Return.I != RefSpin(10000) {
+		t.Fatalf("spin = %d, want %d", res.Return.I, RefSpin(10000))
+	}
+}
+
+func TestSpinFuelEstimate(t *testing.T) {
+	// SpinFuel's constant must track the actual per-iteration cost within
+	// 5%; experiments rely on it to build calibrated workloads.
+	prog := MustProgram("spin")
+	for _, iters := range []int64{1000, 100000} {
+		res, err := tvm.New(prog, tvm.DefaultConfig()).Run(tvm.Int(iters))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := float64(SpinFuel(iters))
+		got := float64(res.FuelUsed)
+		if ratio := est / got; ratio < 0.95 || ratio > 1.05 {
+			t.Fatalf("SpinFuel(%d) = %v but measured %v (ratio %.3f)", iters, est, got, ratio)
+		}
+	}
+}
+
+func TestNoopIsCheap(t *testing.T) {
+	res := runTask(t, "noop")
+	if res.FuelUsed > 8 {
+		t.Fatalf("noop fuel = %d, want tiny", res.FuelUsed)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	if len(names) != len(Sources) {
+		t.Fatalf("Names() returned %d of %d", len(names), len(Sources))
+	}
+}
+
+func TestBytecodeRoundTrips(t *testing.T) {
+	data, err := Bytecode("primes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p tvm.Program
+	if err := p.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tvm.New(&p, tvm.DefaultConfig()).Run(tvm.Int(0), tvm.Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return.I != int64(RefPrimes(0, 50)) {
+		t.Fatal("decoded bytecode computes wrong result")
+	}
+}
+
+func TestSortCheckMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		seed int64
+	}{{10, 1}, {100, 42}, {500, 7}} {
+		res := runTask(t, "sortcheck", tvm.Int(int64(tc.n)), tvm.Int(tc.seed))
+		want := RefSortCheck(tc.n, tc.seed)
+		if res.Return.I != want {
+			t.Errorf("sortcheck(%d, %d) = %d, want %d", tc.n, tc.seed, res.Return.I, want)
+		}
+	}
+}
+
+func TestNQueensMatchesReference(t *testing.T) {
+	// Known values: 4->2, 6->4, 8->92.
+	known := map[int]int{4: 2, 6: 4, 8: 92}
+	for n, want := range known {
+		if got := RefNQueens(n); got != want {
+			t.Fatalf("reference nqueens(%d) = %d, want %d", n, got, want)
+		}
+		res := runTask(t, "nqueens", tvm.Int(int64(n)))
+		if res.Return.I != int64(want) {
+			t.Errorf("nqueens(%d) = %d, want %d", n, res.Return.I, want)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package tasklang
+
+// Type is a TCL static type. The checker uses TAny for values whose type is
+// only known at runtime (array elements); the VM enforces kinds dynamically.
+type Type uint8
+
+// TCL types.
+const (
+	TAny Type = iota
+	TInt
+	TFloat
+	TBool
+	TStr
+	TArr
+	TVoid
+)
+
+// String returns the TCL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TAny:
+		return "any"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	case TStr:
+		return "str"
+	case TArr:
+		return "arr"
+	case TVoid:
+		return "void"
+	default:
+		return "type(?)"
+	}
+}
+
+var typeNames = map[string]Type{
+	"any":   TAny,
+	"int":   TInt,
+	"float": TFloat,
+	"bool":  TBool,
+	"str":   TStr,
+	"arr":   TArr,
+	"void":  TVoid,
+}
+
+// File is a parsed TCL source file.
+type File struct {
+	Funcs []*FuncDecl
+
+	// locals records per-function local slot counts, filled by Check and
+	// consumed by Compile.
+	locals map[string]int
+}
+
+// FuncDecl is a top-level function declaration.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   *BlockStmt
+}
+
+// Param is a typed function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtPos() Pos }
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprPos() Pos }
+
+// BlockStmt is a braced statement list with its own scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarStmt declares a variable, optionally typed and initialized.
+// With no type annotation the declared type is inferred from Init; with no
+// initializer the variable starts at the type's zero value.
+type VarStmt struct {
+	Pos      Pos
+	Name     string
+	Type     Type // TAny when omitted
+	HasType  bool
+	Init     Expr // may be nil
+	Slot     int  // assigned by the checker
+	DeclType Type // resolved type after checking
+}
+
+// AssignStmt assigns to an identifier or an index expression.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr // *IdentExpr or *IndexExpr
+	Value  Expr
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else; Else is nil, a *BlockStmt, or another *IfStmt.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init/Post may be nil; Cond nil means true.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // *VarStmt or *AssignStmt or *ExprStmt, no trailing ';'
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil for bare return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Pos Pos }
+
+func (s *BlockStmt) stmtPos() Pos    { return s.Pos }
+func (s *VarStmt) stmtPos() Pos      { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos   { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos     { return s.Pos }
+func (s *IfStmt) stmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos    { return s.Pos }
+func (s *ForStmt) stmtPos() Pos      { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos   { return s.Pos }
+func (s *BreakStmt) stmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) stmtPos() Pos { return s.Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	Pos Pos
+	V   float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos Pos
+	V   bool
+}
+
+// StrLit is a string literal (unescaped).
+type StrLit struct {
+	Pos Pos
+	V   string
+}
+
+// ArrLit is an array literal [e1, e2, ...].
+type ArrLit struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+// IdentExpr references a variable.
+type IdentExpr struct {
+	Pos  Pos
+	Name string
+	Slot int // assigned by the checker
+}
+
+// BinaryExpr applies a binary operator. Op is the lexical token kind.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   TokKind
+	L, R Expr
+}
+
+// UnaryExpr applies unary '-' or '!'.
+type UnaryExpr struct {
+	Pos Pos
+	Op  TokKind
+	X   Expr
+}
+
+// CallExpr calls a user function or builtin by name.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+
+	// Resolution, filled by the checker.
+	FuncIndex int  // user function index, or -1
+	IsBuiltin bool // true when Name resolves to a tvm builtin
+}
+
+// IndexExpr is a[i] on arrays and strings.
+type IndexExpr struct {
+	Pos Pos
+	X   Expr
+	I   Expr
+}
+
+// LenExpr is len(x); len is a keyword-like builtin with its own opcode.
+type LenExpr struct {
+	Pos Pos
+	X   Expr
+}
+
+// PushExpr is push(a, v): appends v to array a in place and evaluates to
+// the array, enabling `xs = push(xs, v)` chains and bare `push(xs, v);`
+// statements. Like len, it compiles to a dedicated opcode.
+type PushExpr struct {
+	Pos Pos
+	X   Expr
+	V   Expr
+}
+
+func (e *IntLit) exprPos() Pos     { return e.Pos }
+func (e *FloatLit) exprPos() Pos   { return e.Pos }
+func (e *BoolLit) exprPos() Pos    { return e.Pos }
+func (e *StrLit) exprPos() Pos     { return e.Pos }
+func (e *ArrLit) exprPos() Pos     { return e.Pos }
+func (e *IdentExpr) exprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }
+func (e *LenExpr) exprPos() Pos    { return e.Pos }
+func (e *PushExpr) exprPos() Pos   { return e.Pos }

@@ -1,0 +1,508 @@
+package tasklang
+
+import (
+	"strconv"
+
+	"repro/internal/tvm"
+)
+
+func parseInt64(s string) (int64, error)     { return strconv.ParseInt(s, 10, 64) }
+func parseFloat64(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+// builtinRets gives static return types for builtins where they are fixed;
+// anything absent defaults to TAny and is checked at runtime by the VM.
+var builtinRets = map[string]Type{
+	"sqrt": TFloat, "sin": TFloat, "cos": TFloat, "log": TFloat, "exp": TFloat,
+	"floor": TFloat, "ceil": TFloat, "pow": TFloat,
+	"int": TInt, "float": TFloat, "str": TStr,
+	"ord": TInt, "chr": TStr, "substr": TStr, "split": TArr,
+	"lower": TStr, "upper": TStr, "find": TInt,
+	"rand": TFloat, "randint": TInt,
+	"parseint": TInt, "parsefloat": TFloat, "hash": TInt,
+	"emit": TVoid, "print": TVoid, "abort": TVoid,
+	"abs": TAny, "min": TAny, "max": TAny,
+}
+
+// varInfo is one declared variable within a scope.
+type varInfo struct {
+	slot int
+	typ  Type
+}
+
+// checker performs semantic analysis: scoping, slot allocation, arity and
+// type checking. It mutates resolution fields in the AST (slots, function
+// indexes) that the code generator consumes.
+type checker struct {
+	file    *File
+	funcIdx map[string]int
+
+	// Per-function state.
+	fn        *FuncDecl
+	scopes    []map[string]*varInfo
+	nextSlot  int
+	maxSlots  int
+	loopDepth int
+}
+
+// Check runs semantic analysis over a parsed file.
+func Check(f *File) error {
+	c := &checker{file: f, funcIdx: make(map[string]int, len(f.Funcs))}
+	for i, fn := range f.Funcs {
+		if _, dup := c.funcIdx[fn.Name]; dup {
+			return errorf(fn.Pos, "function %q redeclared", fn.Name)
+		}
+		if _, isBuiltin := tvm.BuiltinByName(fn.Name); isBuiltin || fn.Name == "len" || fn.Name == "push" {
+			return errorf(fn.Pos, "function %q shadows a builtin", fn.Name)
+		}
+		c.funcIdx[fn.Name] = i
+	}
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.scopes = c.scopes[:0]
+	c.nextSlot = 0
+	c.maxSlots = 0
+	c.loopDepth = 0
+	c.pushScope()
+	defer c.popScope()
+	for _, p := range fn.Params {
+		if _, err := c.declare(p.Pos, p.Name, p.Type); err != nil {
+			return err
+		}
+	}
+	if err := c.checkBlock(fn.Body, false); err != nil {
+		return err
+	}
+	if c.file.locals == nil {
+		c.file.locals = map[string]int{}
+	}
+	c.file.locals[fn.Name] = c.maxSlots
+	return nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*varInfo{}) }
+
+func (c *checker) popScope() {
+	top := c.scopes[len(c.scopes)-1]
+	// Slots of the departing scope are recycled for sibling scopes.
+	c.nextSlot -= len(top)
+	c.scopes = c.scopes[:len(c.scopes)-1]
+}
+
+func (c *checker) declare(pos Pos, name string, t Type) (*varInfo, error) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return nil, errorf(pos, "%q redeclared in this scope", name)
+	}
+	v := &varInfo{slot: c.nextSlot, typ: t}
+	c.nextSlot++
+	if c.nextSlot > c.maxSlots {
+		c.maxSlots = c.nextSlot
+	}
+	top[name] = v
+	return v, nil
+}
+
+func (c *checker) lookup(name string) (*varInfo, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// checkBlock checks the statements of b in a fresh scope. ownScope=false is
+// used for function bodies whose scope (holding the parameters) is already
+// open.
+func (c *checker) checkBlock(b *BlockStmt, ownScope bool) error {
+	if ownScope {
+		c.pushScope()
+		defer c.popScope()
+	}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(s, true)
+
+	case *VarStmt:
+		declType := s.Type
+		if s.Init != nil {
+			it, err := c.checkValueExpr(s.Init)
+			if err != nil {
+				return err
+			}
+			if s.HasType {
+				if !assignable(s.Type, it) {
+					return errorf(s.Pos, "cannot initialize %s variable %q with %s value", s.Type, s.Name, it)
+				}
+			} else {
+				declType = it
+			}
+		}
+		v, err := c.declare(s.Pos, s.Name, declType)
+		if err != nil {
+			return err
+		}
+		s.Slot = v.slot
+		s.DeclType = declType
+		return nil
+
+	case *AssignStmt:
+		vt, err := c.checkValueExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		switch target := s.Target.(type) {
+		case *IdentExpr:
+			v, ok := c.lookup(target.Name)
+			if !ok {
+				return errorf(target.Pos, "undefined variable %q", target.Name)
+			}
+			target.Slot = v.slot
+			if !assignable(v.typ, vt) {
+				return errorf(s.Pos, "cannot assign %s value to %s variable %q", vt, v.typ, target.Name)
+			}
+		case *IndexExpr:
+			xt, err := c.checkValueExpr(target.X)
+			if err != nil {
+				return err
+			}
+			if xt != TArr && xt != TAny {
+				return errorf(target.Pos, "cannot assign into %s (only arr elements are assignable)", xt)
+			}
+			it, err := c.checkValueExpr(target.I)
+			if err != nil {
+				return err
+			}
+			if it != TInt && it != TAny {
+				return errorf(target.Pos, "index must be int, got %s", it)
+			}
+		default:
+			return errorf(s.Pos, "invalid assignment target")
+		}
+		return nil
+
+	case *ExprStmt:
+		_, err := c.checkExpr(s.X) // void allowed here
+		return err
+
+	case *IfStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then, true); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+
+	case *WhileStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(s.Body, true)
+
+	case *ForStmt:
+		// The init declaration scopes over cond, post and body.
+		c.pushScope()
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkCond(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(s.Body, true)
+
+	case *ReturnStmt:
+		if s.X == nil {
+			if c.fn.Ret != TVoid {
+				return errorf(s.Pos, "function %q must return a %s value", c.fn.Name, c.fn.Ret)
+			}
+			return nil
+		}
+		if c.fn.Ret == TVoid {
+			return errorf(s.Pos, "function %q is void and cannot return a value", c.fn.Name)
+		}
+		t, err := c.checkValueExpr(s.X)
+		if err != nil {
+			return err
+		}
+		if !assignable(c.fn.Ret, t) {
+			return errorf(s.Pos, "function %q returns %s, cannot return %s", c.fn.Name, c.fn.Ret, t)
+		}
+		return nil
+
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return errorf(s.Pos, "break outside a loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errorf(s.Pos, "continue outside a loop")
+		}
+		return nil
+	default:
+		return errorf(s.stmtPos(), "internal: unknown statement")
+	}
+}
+
+// checkCond checks a boolean condition expression.
+func (c *checker) checkCond(e Expr) error {
+	t, err := c.checkValueExpr(e)
+	if err != nil {
+		return err
+	}
+	if t != TBool && t != TAny {
+		return errorf(e.exprPos(), "condition must be bool, got %s", t)
+	}
+	return nil
+}
+
+// checkValueExpr checks e and rejects void.
+func (c *checker) checkValueExpr(e Expr) (Type, error) {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return TAny, err
+	}
+	if t == TVoid {
+		return TAny, errorf(e.exprPos(), "void value used as an expression")
+	}
+	return t, nil
+}
+
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return TInt, nil
+	case *FloatLit:
+		return TFloat, nil
+	case *BoolLit:
+		return TBool, nil
+	case *StrLit:
+		return TStr, nil
+
+	case *ArrLit:
+		for _, el := range e.Elems {
+			if _, err := c.checkValueExpr(el); err != nil {
+				return TAny, err
+			}
+		}
+		return TArr, nil
+
+	case *IdentExpr:
+		v, ok := c.lookup(e.Name)
+		if !ok {
+			return TAny, errorf(e.Pos, "undefined variable %q", e.Name)
+		}
+		e.Slot = v.slot
+		return v.typ, nil
+
+	case *UnaryExpr:
+		t, err := c.checkValueExpr(e.X)
+		if err != nil {
+			return TAny, err
+		}
+		switch e.Op {
+		case TokMinus:
+			if t != TInt && t != TFloat && t != TAny {
+				return TAny, errorf(e.Pos, "unary '-' wants a number, got %s", t)
+			}
+			return t, nil
+		case TokBang:
+			if t != TBool && t != TAny {
+				return TAny, errorf(e.Pos, "'!' wants a bool, got %s", t)
+			}
+			return TBool, nil
+		}
+		return TAny, errorf(e.Pos, "internal: unknown unary operator")
+
+	case *BinaryExpr:
+		lt, err := c.checkValueExpr(e.L)
+		if err != nil {
+			return TAny, err
+		}
+		rt, err := c.checkValueExpr(e.R)
+		if err != nil {
+			return TAny, err
+		}
+		return c.binaryType(e, lt, rt)
+
+	case *IndexExpr:
+		xt, err := c.checkValueExpr(e.X)
+		if err != nil {
+			return TAny, err
+		}
+		it, err := c.checkValueExpr(e.I)
+		if err != nil {
+			return TAny, err
+		}
+		if it != TInt && it != TAny {
+			return TAny, errorf(e.Pos, "index must be int, got %s", it)
+		}
+		switch xt {
+		case TArr, TAny:
+			return TAny, nil
+		case TStr:
+			return TInt, nil
+		default:
+			return TAny, errorf(e.Pos, "cannot index %s", xt)
+		}
+
+	case *LenExpr:
+		t, err := c.checkValueExpr(e.X)
+		if err != nil {
+			return TAny, err
+		}
+		if t != TArr && t != TStr && t != TAny {
+			return TAny, errorf(e.Pos, "len wants arr or str, got %s", t)
+		}
+		return TInt, nil
+
+	case *PushExpr:
+		xt, err := c.checkValueExpr(e.X)
+		if err != nil {
+			return TAny, err
+		}
+		if xt != TArr && xt != TAny {
+			return TAny, errorf(e.Pos, "push wants an arr, got %s", xt)
+		}
+		if _, err := c.checkValueExpr(e.V); err != nil {
+			return TAny, err
+		}
+		return TArr, nil
+
+	case *CallExpr:
+		for _, a := range e.Args {
+			if _, err := c.checkValueExpr(a); err != nil {
+				return TAny, err
+			}
+		}
+		if idx, ok := c.funcIdx[e.Name]; ok {
+			fn := c.file.Funcs[idx]
+			if len(e.Args) != len(fn.Params) {
+				return TAny, errorf(e.Pos, "%s wants %d arguments, got %d", e.Name, len(fn.Params), len(e.Args))
+			}
+			for i, a := range e.Args {
+				at, _ := c.checkExpr(a) // already checked; re-derive the type
+				if !assignable(fn.Params[i].Type, at) {
+					return TAny, errorf(a.exprPos(), "argument %d of %s: cannot pass %s as %s",
+						i+1, e.Name, at, fn.Params[i].Type)
+				}
+			}
+			e.FuncIndex = idx
+			return fn.Ret, nil
+		}
+		if b, ok := tvm.BuiltinByName(e.Name); ok {
+			arity, _ := tvm.BuiltinArity(b)
+			if len(e.Args) != arity {
+				return TAny, errorf(e.Pos, "builtin %s wants %d arguments, got %d", e.Name, arity, len(e.Args))
+			}
+			e.IsBuiltin = true
+			if rt, ok := builtinRets[e.Name]; ok {
+				return rt, nil
+			}
+			return TAny, nil
+		}
+		return TAny, errorf(e.Pos, "undefined function %q", e.Name)
+
+	default:
+		return TAny, errorf(e.exprPos(), "internal: unknown expression")
+	}
+}
+
+// binaryType computes the result type of a binary operation and rejects
+// statically-known kind errors.
+func (c *checker) binaryType(e *BinaryExpr, lt, rt Type) (Type, error) {
+	isNum := func(t Type) bool { return t == TInt || t == TFloat || t == TAny }
+	switch e.Op {
+	case TokAndAnd, TokOrOr:
+		if (lt != TBool && lt != TAny) || (rt != TBool && rt != TAny) {
+			return TAny, errorf(e.Pos, "logical operator wants bool operands, got %s and %s", lt, rt)
+		}
+		return TBool, nil
+
+	case TokEq, TokNe:
+		return TBool, nil
+
+	case TokLt, TokLe, TokGt, TokGe:
+		ok := (isNum(lt) && isNum(rt)) ||
+			(lt == TStr && (rt == TStr || rt == TAny)) ||
+			(lt == TAny && rt == TStr)
+		if !ok {
+			return TAny, errorf(e.Pos, "cannot order %s and %s", lt, rt)
+		}
+		return TBool, nil
+
+	case TokPlus:
+		if lt == TStr && (rt == TStr || rt == TAny) {
+			return TStr, nil
+		}
+		if rt == TStr && lt == TAny {
+			return TStr, nil
+		}
+		if rt == TStr || lt == TStr {
+			return TAny, errorf(e.Pos, "cannot add %s and %s", lt, rt)
+		}
+		fallthrough
+
+	case TokMinus, TokStar, TokSlash:
+		if !isNum(lt) || !isNum(rt) {
+			return TAny, errorf(e.Pos, "arithmetic wants numbers, got %s and %s", lt, rt)
+		}
+		if lt == TInt && rt == TInt {
+			return TInt, nil
+		}
+		if lt == TAny || rt == TAny {
+			return TAny, nil
+		}
+		return TFloat, nil
+
+	case TokPercent:
+		if (lt != TInt && lt != TAny) || (rt != TInt && rt != TAny) {
+			return TAny, errorf(e.Pos, "'%%' wants int operands, got %s and %s", lt, rt)
+		}
+		return TInt, nil
+	}
+	return TAny, errorf(e.Pos, "internal: unknown binary operator")
+}
+
+// assignable reports whether a value of type src may be stored where dst is
+// expected. TCL has no implicit numeric conversions: int and float are
+// distinct (convert explicitly with int()/float()); TAny bridges to
+// everything and is checked at runtime.
+func assignable(dst, src Type) bool {
+	return dst == src || dst == TAny || src == TAny
+}

@@ -1,0 +1,268 @@
+package tasklang
+
+import (
+	"strings"
+	"testing"
+)
+
+// wantCompileError asserts compilation fails and the error mentions substr.
+func wantCompileError(t *testing.T, src, substr string) {
+	t.Helper()
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatalf("compiled successfully, want error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err.Error(), substr)
+	}
+}
+
+func TestCheckUndefinedVariable(t *testing.T) {
+	wantCompileError(t, `func main() int { return x; }`, "undefined variable")
+}
+
+func TestCheckUndefinedFunction(t *testing.T) {
+	wantCompileError(t, `func main() int { return nope(1); }`, "undefined function")
+}
+
+func TestCheckRedeclaredVariable(t *testing.T) {
+	wantCompileError(t, `
+func main() int {
+	var a int = 1;
+	var a int = 2;
+	return a;
+}`, "redeclared")
+}
+
+func TestCheckShadowingInNestedScopeAllowed(t *testing.T) {
+	if _, err := Compile(`
+func main() int {
+	var a int = 1;
+	{ var a int = 2; a = a + 1; }
+	return a;
+}`); err != nil {
+		t.Fatalf("legal shadowing rejected: %v", err)
+	}
+}
+
+func TestCheckRedeclaredFunction(t *testing.T) {
+	wantCompileError(t, `
+func f() int { return 1; }
+func f() int { return 2; }
+func main() int { return f(); }`, "redeclared")
+}
+
+func TestCheckFunctionShadowsBuiltin(t *testing.T) {
+	wantCompileError(t, `
+func sqrt(x float) float { return x; }
+func main() int { return 0; }`, "shadows a builtin")
+	wantCompileError(t, `
+func len(x arr) int { return 0; }
+func main() int { return 0; }`, "shadows a builtin")
+}
+
+func TestCheckArityMismatch(t *testing.T) {
+	wantCompileError(t, `
+func f(a int, b int) int { return a + b; }
+func main() int { return f(1); }`, "wants 2 arguments")
+	wantCompileError(t, `func main() float { return sqrt(1.0, 2.0); }`, "wants 1 argument")
+	wantCompileError(t, `func main() int { return len(); }`, "len wants exactly 1 argument")
+}
+
+func TestCheckTypeErrors(t *testing.T) {
+	cases := map[string]string{
+		`func main() int { return "a" * 2; }`:                          "arithmetic wants numbers",
+		`func main() int { var x int = "s"; return x; }`:               "cannot initialize",
+		`func main() int { var x int = 1; x = 2.5; return x; }`:        "cannot assign",
+		`func main() int { var x int = 1; x = true; return x; }`:       "cannot assign",
+		`func main() int { if (1) { return 1; } return 0; }`:           "condition must be bool",
+		`func main() int { while (1 + 2) { } return 0; }`:              "condition must be bool",
+		`func main() int { return 1 && true; }`:                        "logical operator wants bool",
+		`func main() int { return "a" < 1; }`:                          "cannot order",
+		`func main() int { return 1.5 % 2.0; }`:                        "wants int operands",
+		`func main() int { var s str = "x"; s[0] = 65; return 0; }`:    "only arr elements are assignable",
+		`func main() int { var a arr = [1]; return a["x"]; }`:          "index must be int",
+		`func main() int { var x int = 5; return x[0]; }`:              "cannot index",
+		`func main() int { return len(5); }`:                           "len wants arr or str",
+		`func main() int { return -true; }`:                            "unary '-' wants a number",
+		`func main() int { return !5; }`:                               "'!' wants a bool",
+		`func main() int { var v void; return 0; }`:                    "cannot be void",
+		`func f(x void) int { return 0; } func main() int {return 0;}`: "cannot be void",
+	}
+	for src, want := range cases {
+		t.Run(want, func(t *testing.T) {
+			wantCompileError(t, src, want)
+		})
+	}
+}
+
+func TestCheckIntFloatNoImplicitConversion(t *testing.T) {
+	// TCL requires explicit conversion between int and float in
+	// assignments and calls, though mixed arithmetic promotes.
+	wantCompileError(t, `
+func f(x float) float { return x; }
+func main() float { return f(1); }`, "cannot pass int as float")
+	if _, err := Compile(`
+func f(x float) float { return x; }
+func main() float { return f(float(1)); }`); err != nil {
+		t.Fatalf("explicit conversion rejected: %v", err)
+	}
+	if _, err := Compile(`func main() float { return 1 * 2.5; }`); err != nil {
+		t.Fatalf("mixed arithmetic rejected: %v", err)
+	}
+}
+
+func TestCheckReturnRules(t *testing.T) {
+	wantCompileError(t, `func main() int { return; }`, "must return a int")
+	wantCompileError(t, `func main() void { return 5; }`, "void and cannot return")
+	wantCompileError(t, `func main() int { return "s"; }`, "cannot return")
+	wantCompileError(t, `func main() int { return emit(1); }`, "void value used")
+}
+
+func TestCheckVoidCallAsStatementAllowed(t *testing.T) {
+	if _, err := Compile(`func main() void { emit(1); print("x"); }`); err != nil {
+		t.Fatalf("void call statement rejected: %v", err)
+	}
+}
+
+func TestCheckBreakContinueOutsideLoop(t *testing.T) {
+	wantCompileError(t, `func main() void { break; }`, "break outside")
+	wantCompileError(t, `func main() void { continue; }`, "continue outside")
+	wantCompileError(t, `
+func main() void {
+	while (true) { break; }
+	continue;
+}`, "continue outside")
+}
+
+func TestCheckVarNeedsTypeOrInit(t *testing.T) {
+	wantCompileError(t, `func main() void { var x; }`, "needs a type or an initializer")
+}
+
+func TestCheckAssignToExpression(t *testing.T) {
+	wantCompileError(t, `func main() void { 1 + 2 = 3; }`, "left side of '='")
+}
+
+func TestCheckForInitScopes(t *testing.T) {
+	// The loop variable is not visible after the loop.
+	wantCompileError(t, `
+func main() int {
+	for (var i int = 0; i < 3; i = i + 1) { }
+	return i;
+}`, "undefined variable")
+}
+
+func TestCheckSiblingScopesReuseSlots(t *testing.T) {
+	// Two sibling blocks with locals must not inflate the frame; this is a
+	// regression guard on slot recycling.
+	prog, err := Compile(`
+func main() int {
+	var r int = 0;
+	{ var a int = 1; r = r + a; }
+	{ var b int = 2; r = r + b; }
+	return r;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.EntryFunc().NumLocals; got != 2 {
+		t.Fatalf("NumLocals = %d, want 2 (slot recycling broken)", got)
+	}
+}
+
+func TestCheckErrorsCarryPositions(t *testing.T) {
+	_, err := Compile("func main() int {\n\treturn x;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "2:") {
+		t.Fatalf("error lacks line info: %v", err)
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		``,                                    // no functions
+		`func`,                                // truncated
+		`func main( { }`,                      // bad params
+		`func main() int { return 1 }`,        // missing semicolon
+		`func main() int { if true { } }`,     // missing parens
+		`func main() int { var x blah = 1; }`, // unknown type
+		`func main() int { return (1; }`,      // unbalanced paren
+		`func main() int { return [1, ; }`,    // bad array literal
+		`func main() int { `,                  // unclosed block
+		`xyz`,                                 // not a func
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parsed %q without error", src)
+		}
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	f, err := Parse(`
+func main(x int) int {
+	if (x == 1) { return 1; }
+	else if (x == 2) { return 2; }
+	else { return 3; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs, ok := f.Funcs[0].Body.Stmts[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("statement is %T", f.Funcs[0].Body.Stmts[0])
+	}
+	if _, ok := ifs.Else.(*IfStmt); !ok {
+		t.Fatalf("else-if not chained: %T", ifs.Else)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// 1 + 2 * 3 == 7 && true  parses as ((1 + (2*3)) == 7) && true.
+	f, err := Parse(`func main() bool { return 1 + 2 * 3 == 7 && true; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	and, ok := ret.X.(*BinaryExpr)
+	if !ok || and.Op != TokAndAnd {
+		t.Fatalf("top is not &&: %#v", ret.X)
+	}
+	eq, ok := and.L.(*BinaryExpr)
+	if !ok || eq.Op != TokEq {
+		t.Fatalf("left of && is not ==: %#v", and.L)
+	}
+	add, ok := eq.L.(*BinaryExpr)
+	if !ok || add.Op != TokPlus {
+		t.Fatalf("left of == is not +: %#v", eq.L)
+	}
+	if mul, ok := add.R.(*BinaryExpr); !ok || mul.Op != TokStar {
+		t.Fatalf("right of + is not *: %#v", add.R)
+	}
+}
+
+func TestParseUnaryChain(t *testing.T) {
+	if _, err := Parse(`func main() int { return - - 1; }`); err != nil {
+		t.Fatalf("double negation rejected: %v", err)
+	}
+	if _, err := Parse(`func main() bool { return !!true; }`); err != nil {
+		t.Fatalf("double not rejected: %v", err)
+	}
+}
+
+func TestParseIndexChain(t *testing.T) {
+	f, err := Parse(`func main(a arr) int { return a[0][1]; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	outer, ok := ret.X.(*IndexExpr)
+	if !ok {
+		t.Fatalf("not an index: %#v", ret.X)
+	}
+	if _, ok := outer.X.(*IndexExpr); !ok {
+		t.Fatalf("index not left-nested: %#v", outer.X)
+	}
+}

@@ -1,0 +1,435 @@
+package tasklang
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tvm"
+)
+
+// Compile parses, checks and compiles TCL source into a validated TVM
+// program whose entry point is the function named "main".
+func Compile(src string) (*tvm.Program, error) {
+	return CompileEntry(src, "main")
+}
+
+// CompileEntry compiles src selecting the named function as entry point.
+func CompileEntry(src, entry string) (*tvm.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(file); err != nil {
+		return nil, err
+	}
+	foldFile(file)
+	cg := &codegen{file: file, constIdx: map[constKey]int{}}
+	prog, err := cg.generate(entry)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("tasklang: generated invalid bytecode: %w", err)
+	}
+	return prog, nil
+}
+
+// constKey identifies a pool constant for deduplication.
+type constKey struct {
+	kind tvm.Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// codegen emits TVM bytecode from a checked AST.
+type codegen struct {
+	file     *File
+	prog     tvm.Program
+	constIdx map[constKey]int
+
+	// Per-function state.
+	code       []tvm.Instr
+	breakPatch []int // instruction indexes of pending break jumps
+	contPatch  []int // instruction indexes of pending continue jumps
+	loopMark   []int // stack of patch-list lengths at loop entry
+}
+
+func (g *codegen) generate(entry string) (*tvm.Program, error) {
+	entryIdx := -1
+	for i, fn := range g.file.Funcs {
+		if fn.Name == entry {
+			entryIdx = i
+		}
+		g.code = nil
+		if err := g.stmtList(fn.Body.Stmts); err != nil {
+			return nil, err
+		}
+		// Implicit return for functions that fall off the end.
+		g.emit(tvm.OpReturn0, 0)
+		g.prog.Funcs = append(g.prog.Funcs, tvm.FuncProto{
+			Name:      fn.Name,
+			NumParams: len(fn.Params),
+			NumLocals: g.file.locals[fn.Name],
+			Code:      g.code,
+		})
+	}
+	if entryIdx < 0 {
+		return nil, errorf(Pos{1, 1}, "entry function %q not found", entry)
+	}
+	g.prog.Entry = entryIdx
+	return &g.prog, nil
+}
+
+func (g *codegen) emit(op tvm.Op, arg int32) int {
+	g.code = append(g.code, tvm.Instr{Op: op, Arg: arg})
+	return len(g.code) - 1
+}
+
+// patch sets the jump target of the instruction at idx to the current pc.
+func (g *codegen) patch(idx int) { g.code[idx].Arg = int32(len(g.code)) }
+
+func (g *codegen) constant(v tvm.Value) int32 {
+	key := constKey{kind: v.Kind, i: v.I, f: v.F, s: v.S}
+	if idx, ok := g.constIdx[key]; ok {
+		return int32(idx)
+	}
+	g.prog.Consts = append(g.prog.Consts, v)
+	idx := len(g.prog.Consts) - 1
+	g.constIdx[key] = idx
+	return int32(idx)
+}
+
+func (g *codegen) stmtList(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return g.stmtList(s.Stmts)
+
+	case *VarStmt:
+		if s.Init != nil {
+			if err := g.expr(s.Init); err != nil {
+				return err
+			}
+		} else {
+			g.emitZero(s.DeclType)
+		}
+		g.emit(tvm.OpStoreLocal, int32(s.Slot))
+		return nil
+
+	case *AssignStmt:
+		switch target := s.Target.(type) {
+		case *IdentExpr:
+			if err := g.expr(s.Value); err != nil {
+				return err
+			}
+			g.emit(tvm.OpStoreLocal, int32(target.Slot))
+		case *IndexExpr:
+			if err := g.expr(target.X); err != nil {
+				return err
+			}
+			if err := g.expr(target.I); err != nil {
+				return err
+			}
+			if err := g.expr(s.Value); err != nil {
+				return err
+			}
+			g.emit(tvm.OpSetIndex, 0)
+		}
+		return nil
+
+	case *ExprStmt:
+		if err := g.expr(s.X); err != nil {
+			return err
+		}
+		g.emit(tvm.OpPop, 0)
+		return nil
+
+	case *IfStmt:
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		jz := g.emit(tvm.OpJumpIfFalse, 0)
+		if err := g.stmtList(s.Then.Stmts); err != nil {
+			return err
+		}
+		if s.Else == nil {
+			g.patch(jz)
+			return nil
+		}
+		jend := g.emit(tvm.OpJump, 0)
+		g.patch(jz)
+		if err := g.stmt(s.Else); err != nil {
+			return err
+		}
+		g.patch(jend)
+		return nil
+
+	case *WhileStmt:
+		head := len(g.code)
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		jz := g.emit(tvm.OpJumpIfFalse, 0)
+		g.enterLoop()
+		if err := g.stmtList(s.Body.Stmts); err != nil {
+			return err
+		}
+		g.emit(tvm.OpJump, int32(head))
+		g.patch(jz)
+		g.exitLoop(len(g.code), head)
+		return nil
+
+	case *ForStmt:
+		if s.Init != nil {
+			if err := g.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		head := len(g.code)
+		jz := -1
+		if s.Cond != nil {
+			if err := g.expr(s.Cond); err != nil {
+				return err
+			}
+			jz = g.emit(tvm.OpJumpIfFalse, 0)
+		}
+		g.enterLoop()
+		if err := g.stmtList(s.Body.Stmts); err != nil {
+			return err
+		}
+		post := len(g.code)
+		if s.Post != nil {
+			if err := g.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		g.emit(tvm.OpJump, int32(head))
+		if jz >= 0 {
+			g.patch(jz)
+		}
+		g.exitLoop(len(g.code), post)
+		return nil
+
+	case *ReturnStmt:
+		if s.X == nil {
+			g.emit(tvm.OpReturn0, 0)
+			return nil
+		}
+		if err := g.expr(s.X); err != nil {
+			return err
+		}
+		g.emit(tvm.OpReturn, 0)
+		return nil
+
+	case *BreakStmt:
+		g.breakPatch = append(g.breakPatch, g.emit(tvm.OpJump, 0))
+		return nil
+	case *ContinueStmt:
+		g.contPatch = append(g.contPatch, g.emit(tvm.OpJump, 0))
+		return nil
+	default:
+		return errorf(s.stmtPos(), "internal: cannot compile statement %T", s)
+	}
+}
+
+// enterLoop marks the start of a loop's break/continue patch regions.
+func (g *codegen) enterLoop() {
+	g.loopMark = append(g.loopMark, len(g.breakPatch), len(g.contPatch))
+}
+
+// exitLoop patches break jumps to breakTarget and continue jumps to
+// contTarget for the innermost loop.
+func (g *codegen) exitLoop(breakTarget, contTarget int) {
+	cm := g.loopMark[len(g.loopMark)-1]
+	bm := g.loopMark[len(g.loopMark)-2]
+	g.loopMark = g.loopMark[:len(g.loopMark)-2]
+	for _, idx := range g.breakPatch[bm:] {
+		g.code[idx].Arg = int32(breakTarget)
+	}
+	g.breakPatch = g.breakPatch[:bm]
+	for _, idx := range g.contPatch[cm:] {
+		g.code[idx].Arg = int32(contTarget)
+	}
+	g.contPatch = g.contPatch[:cm]
+}
+
+// emitZero pushes the zero value for a declared type.
+func (g *codegen) emitZero(t Type) {
+	switch t {
+	case TInt:
+		g.emit(tvm.OpPushInt, 0)
+	case TFloat:
+		g.emit(tvm.OpPushConst, g.constant(tvm.Float(0)))
+	case TBool:
+		g.emit(tvm.OpPushFalse, 0)
+	case TStr:
+		g.emit(tvm.OpPushConst, g.constant(tvm.Str("")))
+	case TArr:
+		g.emit(tvm.OpNewArray, 0)
+	default:
+		g.emit(tvm.OpPushNil, 0)
+	}
+}
+
+func (g *codegen) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		if e.V >= math.MinInt32 && e.V <= math.MaxInt32 {
+			g.emit(tvm.OpPushInt, int32(e.V))
+		} else {
+			g.emit(tvm.OpPushConst, g.constant(tvm.Int(e.V)))
+		}
+		return nil
+	case *FloatLit:
+		g.emit(tvm.OpPushConst, g.constant(tvm.Float(e.V)))
+		return nil
+	case *BoolLit:
+		if e.V {
+			g.emit(tvm.OpPushTrue, 0)
+		} else {
+			g.emit(tvm.OpPushFalse, 0)
+		}
+		return nil
+	case *StrLit:
+		g.emit(tvm.OpPushConst, g.constant(tvm.Str(e.V)))
+		return nil
+
+	case *ArrLit:
+		for _, el := range e.Elems {
+			if err := g.expr(el); err != nil {
+				return err
+			}
+		}
+		g.emit(tvm.OpNewArray, int32(len(e.Elems)))
+		return nil
+
+	case *IdentExpr:
+		g.emit(tvm.OpLoadLocal, int32(e.Slot))
+		return nil
+
+	case *UnaryExpr:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		if e.Op == TokMinus {
+			g.emit(tvm.OpNeg, 0)
+		} else {
+			g.emit(tvm.OpNot, 0)
+		}
+		return nil
+
+	case *BinaryExpr:
+		return g.binary(e)
+
+	case *IndexExpr:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		if err := g.expr(e.I); err != nil {
+			return err
+		}
+		g.emit(tvm.OpIndex, 0)
+		return nil
+
+	case *LenExpr:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.emit(tvm.OpLen, 0)
+		return nil
+
+	case *PushExpr:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		if err := g.expr(e.V); err != nil {
+			return err
+		}
+		g.emit(tvm.OpAppend, 0)
+		return nil
+
+	case *CallExpr:
+		for _, a := range e.Args {
+			if err := g.expr(a); err != nil {
+				return err
+			}
+		}
+		if e.IsBuiltin {
+			b, _ := tvm.BuiltinByName(e.Name)
+			g.emit(tvm.OpCallB, int32(b)<<8|int32(len(e.Args)))
+		} else {
+			g.emit(tvm.OpCall, int32(e.FuncIndex))
+		}
+		return nil
+
+	default:
+		return errorf(e.exprPos(), "internal: cannot compile expression %T", e)
+	}
+}
+
+func (g *codegen) binary(e *BinaryExpr) error {
+	// Short-circuit logic.
+	switch e.Op {
+	case TokAndAnd:
+		if err := g.expr(e.L); err != nil {
+			return err
+		}
+		jz := g.emit(tvm.OpJumpIfFalse, 0)
+		if err := g.expr(e.R); err != nil {
+			return err
+		}
+		jend := g.emit(tvm.OpJump, 0)
+		g.patch(jz)
+		g.emit(tvm.OpPushFalse, 0)
+		g.patch(jend)
+		return nil
+	case TokOrOr:
+		if err := g.expr(e.L); err != nil {
+			return err
+		}
+		jnz := g.emit(tvm.OpJumpIfTrue, 0)
+		if err := g.expr(e.R); err != nil {
+			return err
+		}
+		jend := g.emit(tvm.OpJump, 0)
+		g.patch(jnz)
+		g.emit(tvm.OpPushTrue, 0)
+		g.patch(jend)
+		return nil
+	}
+
+	if err := g.expr(e.L); err != nil {
+		return err
+	}
+	if err := g.expr(e.R); err != nil {
+		return err
+	}
+	ops := map[TokKind]tvm.Op{
+		TokPlus:    tvm.OpAdd,
+		TokMinus:   tvm.OpSub,
+		TokStar:    tvm.OpMul,
+		TokSlash:   tvm.OpDiv,
+		TokPercent: tvm.OpMod,
+		TokEq:      tvm.OpEq,
+		TokNe:      tvm.OpNe,
+		TokLt:      tvm.OpLt,
+		TokLe:      tvm.OpLe,
+		TokGt:      tvm.OpGt,
+		TokGe:      tvm.OpGe,
+	}
+	op, ok := ops[e.Op]
+	if !ok {
+		return errorf(e.Pos, "internal: unknown binary operator %s", e.Op)
+	}
+	g.emit(op, 0)
+	return nil
+}

@@ -1,0 +1,521 @@
+package tasklang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tvm"
+)
+
+// evalTCL compiles src and runs main with params, failing the test on any
+// compile or runtime error.
+func evalTCL(t *testing.T, src string, params ...tvm.Value) *tvm.Result {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := tvm.New(prog, tvm.DefaultConfig()).Run(params...)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, prog.Disassemble())
+	}
+	return res
+}
+
+// wantInt asserts the program returns the given int.
+func wantInt(t *testing.T, src string, want int64, params ...tvm.Value) {
+	t.Helper()
+	res := evalTCL(t, src, params...)
+	if res.Return.Kind != tvm.KindInt || res.Return.I != want {
+		t.Fatalf("returned %s, want %d", res.Return, want)
+	}
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	wantInt(t, `func main() int { return 2 + 3 * 4 - 10 / 2; }`, 9)
+	wantInt(t, `func main() int { return (2 + 3) * 4; }`, 20)
+	wantInt(t, `func main() int { return 17 % 5; }`, 2)
+	wantInt(t, `func main() int { return -7 + 2; }`, -5)
+}
+
+func TestCompileFloatArithmetic(t *testing.T) {
+	res := evalTCL(t, `func main() float { return 1.5 * 4.0; }`)
+	if res.Return.F != 6.0 {
+		t.Fatalf("= %s", res.Return)
+	}
+}
+
+func TestCompileVariablesAndScopes(t *testing.T) {
+	wantInt(t, `
+func main() int {
+	var a int = 10;
+	var b = a * 2;
+	{
+		var a int = 100;   // shadows outer a
+		b = b + a;
+	}
+	return a + b;          // 10 + 120
+}`, 130)
+}
+
+func TestCompileDefaultZeroValues(t *testing.T) {
+	wantInt(t, `func main() int { var x int; return x; }`, 0)
+	res := evalTCL(t, `func main() str { var s str; return s; }`)
+	if res.Return.S != "" {
+		t.Fatalf("zero str = %s", res.Return)
+	}
+	res = evalTCL(t, `func main() int { var a arr; return len(a); }`)
+	if res.Return.I != 0 {
+		t.Fatalf("zero arr len = %s", res.Return)
+	}
+	res = evalTCL(t, `func main() bool { var b bool; return b; }`)
+	if res.Return.AsBool() {
+		t.Fatalf("zero bool = %s", res.Return)
+	}
+	res = evalTCL(t, `func main() float { var f float; return f; }`)
+	if res.Return.Kind != tvm.KindFloat || res.Return.F != 0 {
+		t.Fatalf("zero float = %s", res.Return)
+	}
+}
+
+func TestCompileIfElseChain(t *testing.T) {
+	src := `
+func classify(x int) int {
+	if (x < 0) { return -1; }
+	else if (x == 0) { return 0; }
+	else { return 1; }
+}
+func main(x int) int { return classify(x); }`
+	wantInt(t, src, -1, tvm.Int(-5))
+	wantInt(t, src, 0, tvm.Int(0))
+	wantInt(t, src, 1, tvm.Int(9))
+}
+
+func TestCompileWhileLoop(t *testing.T) {
+	wantInt(t, `
+func main(n int) int {
+	var sum int = 0;
+	var i int = 0;
+	while (i < n) {
+		sum = sum + i;
+		i = i + 1;
+	}
+	return sum;
+}`, 45, tvm.Int(10))
+}
+
+func TestCompileForLoop(t *testing.T) {
+	wantInt(t, `
+func main(n int) int {
+	var sum int = 0;
+	for (var i int = 0; i < n; i = i + 1) {
+		sum = sum + i;
+	}
+	return sum;
+}`, 4950, tvm.Int(100))
+}
+
+func TestCompileForWithoutCond(t *testing.T) {
+	wantInt(t, `
+func main() int {
+	var i int = 0;
+	for (;;) {
+		i = i + 1;
+		if (i >= 7) { break; }
+	}
+	return i;
+}`, 7)
+}
+
+func TestCompileBreakContinue(t *testing.T) {
+	// Sum of odd numbers below 10, stopping at 7.
+	wantInt(t, `
+func main() int {
+	var sum int = 0;
+	for (var i int = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) { continue; }
+		if (i > 7) { break; }
+		sum = sum + i;
+	}
+	return sum;
+}`, 16) // 1+3+5+7
+}
+
+func TestCompileNestedLoopsBreak(t *testing.T) {
+	// break must bind to the innermost loop.
+	wantInt(t, `
+func main() int {
+	var count int = 0;
+	for (var i int = 0; i < 3; i = i + 1) {
+		for (var j int = 0; j < 100; j = j + 1) {
+			if (j == 2) { break; }
+			count = count + 1;
+		}
+	}
+	return count;
+}`, 6)
+}
+
+func TestCompileContinueInWhileReevaluatesCond(t *testing.T) {
+	wantInt(t, `
+func main() int {
+	var i int = 0;
+	var hits int = 0;
+	while (i < 10) {
+		i = i + 1;
+		if (i % 3 != 0) { continue; }
+		hits = hits + 1;
+	}
+	return hits;
+}`, 3)
+}
+
+func TestCompileRecursion(t *testing.T) {
+	wantInt(t, `
+func fib(n int) int {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main(n int) int { return fib(n); }`, 610, tvm.Int(15))
+}
+
+func TestCompileMutualRecursion(t *testing.T) {
+	wantInt(t, `
+func isEven(n int) bool {
+	if (n == 0) { return true; }
+	return isOdd(n - 1);
+}
+func isOdd(n int) bool {
+	if (n == 0) { return false; }
+	return isEven(n - 1);
+}
+func main() int {
+	if (isEven(10) && isOdd(7)) { return 1; }
+	return 0;
+}`, 1)
+}
+
+func TestCompileArrays(t *testing.T) {
+	wantInt(t, `
+func main() int {
+	var a arr = [10, 20, 30];
+	a[1] = a[1] + 5;
+	var sum int = 0;
+	for (var i int = 0; i < len(a); i = i + 1) {
+		sum = sum + a[i];
+	}
+	return sum;
+}`, 65)
+}
+
+func TestCompileEmitOrdering(t *testing.T) {
+	res := evalTCL(t, `
+func main() void {
+	for (var i int = 0; i < 3; i = i + 1) {
+		emit(i * i);
+	}
+}`)
+	if len(res.Emitted) != 3 || res.Emitted[2].I != 4 {
+		t.Fatalf("emitted = %v", res.Emitted)
+	}
+}
+
+func TestCompileStrings(t *testing.T) {
+	res := evalTCL(t, `
+func main(name str) str {
+	return "hello, " + name + "!";
+}`, tvm.Str("world"))
+	if res.Return.S != "hello, world!" {
+		t.Fatalf("= %s", res.Return)
+	}
+}
+
+func TestCompileStringBuiltins(t *testing.T) {
+	wantInt(t, `
+func main(text str) int {
+	var words arr = split(lower(text), "");
+	var count int = 0;
+	for (var i int = 0; i < len(words); i = i + 1) {
+		if (words[i] == "the") { count = count + 1; }
+	}
+	return count;
+}`, 2, tvm.Str("The quick fox jumps over the lazy dog"))
+}
+
+func TestCompileShortCircuitAnd(t *testing.T) {
+	// Right side would fault (division by zero) if evaluated.
+	wantInt(t, `
+func boom() bool { return 1 / 0 == 0; }
+func main() int {
+	if (false && boom()) { return 1; }
+	return 2;
+}`, 2)
+}
+
+func TestCompileShortCircuitOr(t *testing.T) {
+	wantInt(t, `
+func boom() bool { return 1 / 0 == 0; }
+func main() int {
+	if (true || boom()) { return 1; }
+	return 2;
+}`, 1)
+}
+
+func TestCompileLogicalResultValues(t *testing.T) {
+	wantInt(t, `
+func main(a bool, b bool) int {
+	var r bool = a && b || !a;
+	if (r) { return 1; }
+	return 0;
+}`, 1, tvm.Bool(true), tvm.Bool(true))
+}
+
+func TestCompileVoidFunction(t *testing.T) {
+	res := evalTCL(t, `
+func report(x int) void { emit(x); }
+func main() void {
+	report(1);
+	report(2);
+}`)
+	if len(res.Emitted) != 2 {
+		t.Fatalf("emitted = %v", res.Emitted)
+	}
+}
+
+func TestCompileEntrySelection(t *testing.T) {
+	src := `
+func alpha() int { return 1; }
+func beta() int { return 2; }
+`
+	prog, err := CompileEntry(src, "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tvm.New(prog, tvm.DefaultConfig()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return.I != 2 {
+		t.Fatalf("entry beta returned %s", res.Return)
+	}
+	if _, err := CompileEntry(src, "gamma"); err == nil {
+		t.Fatal("missing entry accepted")
+	}
+	if _, err := Compile(src); err == nil {
+		t.Fatal("missing main accepted")
+	}
+}
+
+func TestCompileConstDedup(t *testing.T) {
+	prog, err := Compile(`func main() float { return 2.5 + 2.5 + 2.5; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Consts) != 1 {
+		t.Fatalf("constant pool = %v, want single deduped const", prog.Consts)
+	}
+}
+
+func TestCompileLargeIntLiteral(t *testing.T) {
+	wantInt(t, `func main() int { return 5000000000; }`, 5_000_000_000)
+}
+
+func TestCompileMonteCarloPiDeterministic(t *testing.T) {
+	src := `
+func main(samples int) float {
+	var hits int = 0;
+	for (var i int = 0; i < samples; i = i + 1) {
+		var x float = rand();
+		var y float = rand();
+		if (x*x + y*y <= 1.0) { hits = hits + 1; }
+	}
+	return 4.0 * float(hits) / float(samples);
+}`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tvm.DefaultConfig()
+	cfg.Seed = 99
+	r1, err := tvm.New(prog, cfg).Run(tvm.Int(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tvm.New(prog, cfg).Run(tvm.Int(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Return.F != r2.Return.F {
+		t.Fatal("same seed, different π estimate")
+	}
+	if r1.Return.F < 2.8 || r1.Return.F > 3.5 {
+		t.Fatalf("π estimate wildly off: %v", r1.Return.F)
+	}
+}
+
+func TestCompileRuntimeFaultCarriesLocation(t *testing.T) {
+	prog, err := Compile(`
+func main(i int) int {
+	var a arr = [1, 2, 3];
+	return a[i];
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tvm.New(prog, tvm.DefaultConfig()).Run(tvm.Int(99))
+	f, ok := tvm.AsFault(err)
+	if !ok || f.Code != tvm.FaultIndexRange || f.Func != "main" {
+		t.Fatalf("fault = %v", err)
+	}
+}
+
+func TestCompiledProgramSurvivesWire(t *testing.T) {
+	prog, err := Compile(`func main(n int) int { return n * n; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := prog.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded tvm.Program
+	if err := decoded.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tvm.New(&decoded, tvm.DefaultConfig()).Run(tvm.Int(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return.I != 144 {
+		t.Fatalf("decoded program returned %s", res.Return)
+	}
+}
+
+func TestCompileDisassemblyGolden(t *testing.T) {
+	// Literal arithmetic folds at compile time (see fold.go); runtime
+	// operands do not.
+	prog, err := Compile(`func main(n int) int { return n + 2; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := prog.Disassemble()
+	for _, want := range []string{"func main/1", "loadl 0", "pushi 2", "add", "ret"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+	folded, err := Compile(`func main() int { return 1 + 2; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(folded.Disassemble(), "add") {
+		t.Fatalf("literal addition not folded:\n%s", folded.Disassemble())
+	}
+}
+
+func TestCompilePushGrowsArray(t *testing.T) {
+	wantInt(t, `
+func main(n int) int {
+	var xs arr = [];
+	for (var i int = 0; i < n; i = i + 1) {
+		xs = push(xs, i * i);
+	}
+	var sum int = 0;
+	for (var i int = 0; i < len(xs); i = i + 1) {
+		sum = sum + xs[i];
+	}
+	return sum;
+}`, 285, tvm.Int(10)) // 0+1+4+...+81
+}
+
+func TestCompilePushAsStatement(t *testing.T) {
+	// push mutates in place, so a bare statement also works.
+	wantInt(t, `
+func main() int {
+	var xs arr = [1];
+	push(xs, 2);
+	push(xs, 3);
+	return len(xs);
+}`, 3)
+}
+
+func TestCompilePushBuildsNestedArrays(t *testing.T) {
+	res := evalTCL(t, `
+func main() void {
+	var rows arr = [];
+	for (var i int = 0; i < 2; i = i + 1) {
+		var row arr = [];
+		for (var j int = 0; j < 3; j = j + 1) {
+			row = push(row, i * 10 + j);
+		}
+		rows = push(rows, row);
+	}
+	emit(rows);
+}`)
+	want := tvm.Arr(
+		tvm.Arr(tvm.Int(0), tvm.Int(1), tvm.Int(2)),
+		tvm.Arr(tvm.Int(10), tvm.Int(11), tvm.Int(12)),
+	)
+	if !res.Emitted[0].Equal(want) {
+		t.Fatalf("rows = %s, want %s", res.Emitted[0], want)
+	}
+}
+
+func TestCompilePushTypeErrors(t *testing.T) {
+	wantCompileError(t, `func main() int { return len(push(5, 1)); }`, "push wants an arr")
+	wantCompileError(t, `func main() void { push([1]); }`, "push wants exactly 2 arguments")
+}
+
+func TestCompileCompoundAssignment(t *testing.T) {
+	wantInt(t, `
+func main(n int) int {
+	var sum int = 0;
+	for (var i int = 0; i < n; i += 1) {
+		sum += i;
+	}
+	sum *= 2;
+	sum -= 10;
+	sum /= 3;
+	sum %= 100;
+	return sum;
+}`, 26, tvm.Int(10)) // ((45*2)-10)/3 = 26; 26 % 100 = 26
+}
+
+func TestCompileCompoundAssignmentFloatsAndStrings(t *testing.T) {
+	res := evalTCL(t, `
+func main() float {
+	var f float = 1.5;
+	f *= 4.0;
+	f += 0.5;
+	return f;
+}`)
+	if res.Return.F != 6.5 {
+		t.Fatalf("= %s", res.Return)
+	}
+	res = evalTCL(t, `
+func main() str {
+	var s str = "a";
+	s += "b";
+	s += "c";
+	return s;
+}`)
+	if res.Return.S != "abc" {
+		t.Fatalf("= %s", res.Return)
+	}
+}
+
+func TestCompileCompoundAssignmentErrors(t *testing.T) {
+	wantCompileError(t, `func main() void { var a arr = [1]; a[0] += 1; }`, "must be a variable")
+	wantCompileError(t, `func main() void { 1 += 2; }`, "must be a variable")
+	wantCompileError(t, `func main() void { var x int = 1; x += "s"; }`, "cannot add")
+	wantCompileError(t, `func main() void { var s str = "x"; s -= "y"; }`, "arithmetic wants numbers")
+}
+
+func TestCompileCompoundInForPost(t *testing.T) {
+	wantInt(t, `
+func main() int {
+	var total int = 0;
+	for (var i int = 1; i <= 5; i *= 2) { total += i; }
+	return total;
+}`, 7) // 1 + 2 + 4
+}

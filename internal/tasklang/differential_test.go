@@ -1,0 +1,207 @@
+package tasklang
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/tvm"
+)
+
+// Differential testing: generate random integer expression trees, render
+// them as TCL, and check that compile→TVM produces exactly the value (or
+// exactly the fault) that a direct Go evaluation of the same tree produces.
+// This pins the full pipeline — lexer, parser, checker, codegen, VM
+// arithmetic including Go's wrap-around and truncated-division semantics.
+
+// expr is a tiny AST mirrored on both sides.
+type dExpr interface {
+	render(b *strings.Builder)
+	// eval returns the value, or ok=false on division/modulo by zero.
+	eval(env []int64) (v int64, ok bool)
+}
+
+type dLit int64
+
+func (l dLit) render(b *strings.Builder) {
+	if l < 0 {
+		fmt.Fprintf(b, "(0 - %d)", -int64(l)) // TCL has no negative literals
+	} else {
+		fmt.Fprintf(b, "%d", int64(l))
+	}
+}
+func (l dLit) eval([]int64) (int64, bool) { return int64(l), true }
+
+type dVar int
+
+func (v dVar) render(b *strings.Builder)      { fmt.Fprintf(b, "p%d", int(v)) }
+func (v dVar) eval(env []int64) (int64, bool) { return env[int(v)], true }
+
+type dBin struct {
+	op   byte // '+', '-', '*', '/', '%'
+	l, r dExpr
+}
+
+func (e dBin) render(b *strings.Builder) {
+	b.WriteByte('(')
+	e.l.render(b)
+	fmt.Fprintf(b, " %c ", e.op)
+	e.r.render(b)
+	b.WriteByte(')')
+}
+
+func (e dBin) eval(env []int64) (int64, bool) {
+	l, ok := e.l.eval(env)
+	if !ok {
+		return 0, false
+	}
+	r, ok := e.r.eval(env)
+	if !ok {
+		return 0, false
+	}
+	switch e.op {
+	case '+':
+		return l + r, true
+	case '-':
+		return l - r, true
+	case '*':
+		return l * r, true
+	case '/':
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case '%':
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	}
+	panic("bad op")
+}
+
+// genExpr builds a random expression of bounded depth over nVars variables.
+func genExpr(r *rand.Rand, depth, nVars int) dExpr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 && nVars > 0 {
+			return dVar(r.Intn(nVars))
+		}
+		// Mix small and large magnitudes to exercise wrap-around.
+		switch r.Intn(4) {
+		case 0:
+			return dLit(r.Int63())
+		case 1:
+			return dLit(-r.Int63())
+		default:
+			return dLit(int64(r.Intn(41) - 20))
+		}
+	}
+	ops := []byte{'+', '-', '*', '/', '%'}
+	return dBin{
+		op: ops[r.Intn(len(ops))],
+		l:  genExpr(r, depth-1, nVars),
+		r:  genExpr(r, depth-1, nVars),
+	}
+}
+
+func TestDifferentialRandomIntExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(20260705))
+	const nVars = 3
+	const cases = 400
+	for i := 0; i < cases; i++ {
+		tree := genExpr(r, 4, nVars)
+		var b strings.Builder
+		b.WriteString("func main(p0 int, p1 int, p2 int) int {\n\treturn ")
+		tree.render(&b)
+		b.WriteString(";\n}\n")
+		src := b.String()
+
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("case %d: compile failed:\n%s\n%v", i, src, err)
+		}
+
+		env := []int64{r.Int63n(100) - 50, r.Int63n(100) - 50, r.Int63()}
+		want, ok := tree.eval(env)
+
+		res, err := tvm.New(prog, tvm.DefaultConfig()).Run(
+			tvm.Int(env[0]), tvm.Int(env[1]), tvm.Int(env[2]))
+		if !ok {
+			// Reference hit division by zero: the VM must fault the same
+			// way.
+			f, isFault := tvm.AsFault(err)
+			if !isFault || f.Code != tvm.FaultDivByZero {
+				t.Fatalf("case %d: want div_by_zero, got %v\n%s\nenv=%v", i, err, src, env)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("case %d: unexpected fault %v\n%s\nenv=%v", i, err, src, env)
+		}
+		if res.Return.Kind != tvm.KindInt || res.Return.I != want {
+			t.Fatalf("case %d: got %s, want %d\n%s\nenv=%v", i, res.Return, want, src, env)
+		}
+	}
+}
+
+// TestDifferentialBoolExpressions does the same for comparison/logic trees.
+func TestDifferentialBoolExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	cmpOps := []string{"==", "!=", "<", "<=", ">", ">="}
+	for i := 0; i < 300; i++ {
+		a, bv := r.Int63n(20)-10, r.Int63n(20)-10
+		c, d := r.Int63n(20)-10, r.Int63n(20)-10
+		op1 := cmpOps[r.Intn(len(cmpOps))]
+		op2 := cmpOps[r.Intn(len(cmpOps))]
+		logic := "&&"
+		if r.Intn(2) == 0 {
+			logic = "||"
+		}
+		neg := r.Intn(2) == 0
+		cond := fmt.Sprintf("%d %s %d %s %d %s %d", a, op1, bv, logic, c, op2, d)
+		if neg {
+			cond = fmt.Sprintf("!(%s)", cond)
+		}
+		src := fmt.Sprintf("func main() int { if (%s) { return 1; } return 0; }", cond)
+
+		cmp := func(op string, x, y int64) bool {
+			switch op {
+			case "==":
+				return x == y
+			case "!=":
+				return x != y
+			case "<":
+				return x < y
+			case "<=":
+				return x <= y
+			case ">":
+				return x > y
+			default:
+				return x >= y
+			}
+		}
+		var want bool
+		if logic == "&&" {
+			want = cmp(op1, a, bv) && cmp(op2, c, d)
+		} else {
+			want = cmp(op1, a, bv) || cmp(op2, c, d)
+		}
+		if neg {
+			want = !want
+		}
+
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("case %d: %v\n%s", i, err, src)
+		}
+		res, err := tvm.New(prog, tvm.DefaultConfig()).Run()
+		if err != nil {
+			t.Fatalf("case %d: %v\n%s", i, err, src)
+		}
+		got := res.Return.I == 1
+		if got != want {
+			t.Fatalf("case %d: got %v, want %v\n%s", i, got, want, src)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package tasklang
+
+// Constant folding: an AST-to-AST pass running after Check and before code
+// generation. It evaluates operations whose operands are literals, using
+// exactly the VM's semantics (Go int64 wrap-around, truncated division,
+// IEEE floats, string concatenation), so folding is observationally
+// invisible — the differential tests in differential_test.go pin this.
+//
+// Operations that would fault at runtime (integer division/modulo by zero)
+// are left unfolded so programs keep their runtime fault behaviour.
+
+// foldFile folds every function body in place.
+func foldFile(f *File) {
+	for _, fn := range f.Funcs {
+		foldBlock(fn.Body)
+	}
+}
+
+func foldBlock(b *BlockStmt) {
+	for _, s := range b.Stmts {
+		foldStmt(s)
+	}
+}
+
+func foldStmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		foldBlock(s)
+	case *VarStmt:
+		if s.Init != nil {
+			s.Init = foldExpr(s.Init)
+		}
+	case *AssignStmt:
+		s.Target = foldExpr(s.Target)
+		s.Value = foldExpr(s.Value)
+	case *ExprStmt:
+		s.X = foldExpr(s.X)
+	case *IfStmt:
+		s.Cond = foldExpr(s.Cond)
+		foldBlock(s.Then)
+		if s.Else != nil {
+			foldStmt(s.Else)
+		}
+	case *WhileStmt:
+		s.Cond = foldExpr(s.Cond)
+		foldBlock(s.Body)
+	case *ForStmt:
+		if s.Init != nil {
+			foldStmt(s.Init)
+		}
+		if s.Cond != nil {
+			s.Cond = foldExpr(s.Cond)
+		}
+		if s.Post != nil {
+			foldStmt(s.Post)
+		}
+		foldBlock(s.Body)
+	case *ReturnStmt:
+		if s.X != nil {
+			s.X = foldExpr(s.X)
+		}
+	}
+}
+
+func foldExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *ArrLit:
+		for i := range e.Elems {
+			e.Elems[i] = foldExpr(e.Elems[i])
+		}
+		return e
+	case *UnaryExpr:
+		e.X = foldExpr(e.X)
+		return foldUnary(e)
+	case *BinaryExpr:
+		e.L = foldExpr(e.L)
+		e.R = foldExpr(e.R)
+		return foldBinary(e)
+	case *CallExpr:
+		for i := range e.Args {
+			e.Args[i] = foldExpr(e.Args[i])
+		}
+		return e
+	case *IndexExpr:
+		e.X = foldExpr(e.X)
+		e.I = foldExpr(e.I)
+		return e
+	case *LenExpr:
+		e.X = foldExpr(e.X)
+		if s, ok := e.X.(*StrLit); ok {
+			return &IntLit{Pos: e.Pos, V: int64(len(s.V))}
+		}
+		return e
+	case *PushExpr:
+		e.X = foldExpr(e.X)
+		e.V = foldExpr(e.V)
+		return e
+	default:
+		return e
+	}
+}
+
+func foldUnary(e *UnaryExpr) Expr {
+	switch x := e.X.(type) {
+	case *IntLit:
+		if e.Op == TokMinus {
+			return &IntLit{Pos: e.Pos, V: -x.V}
+		}
+	case *FloatLit:
+		if e.Op == TokMinus {
+			return &FloatLit{Pos: e.Pos, V: -x.V}
+		}
+	case *BoolLit:
+		if e.Op == TokBang {
+			return &BoolLit{Pos: e.Pos, V: !x.V}
+		}
+	}
+	return e
+}
+
+func foldBinary(e *BinaryExpr) Expr {
+	// Short-circuit folding needs only the left operand. Dropping the
+	// unevaluated right side matches runtime semantics exactly (it would
+	// not have executed).
+	if e.Op == TokAndAnd || e.Op == TokOrOr {
+		if l, ok := e.L.(*BoolLit); ok {
+			if (e.Op == TokAndAnd && !l.V) || (e.Op == TokOrOr && l.V) {
+				return &BoolLit{Pos: e.Pos, V: l.V}
+			}
+			return e.R
+		}
+		return e
+	}
+
+	switch l := e.L.(type) {
+	case *IntLit:
+		if r, ok := e.R.(*IntLit); ok {
+			return foldIntInt(e, l.V, r.V)
+		}
+		if r, ok := e.R.(*FloatLit); ok {
+			return foldFloatFloat(e, float64(l.V), r.V)
+		}
+	case *FloatLit:
+		if r, ok := e.R.(*FloatLit); ok {
+			return foldFloatFloat(e, l.V, r.V)
+		}
+		if r, ok := e.R.(*IntLit); ok {
+			return foldFloatFloat(e, l.V, float64(r.V))
+		}
+	case *StrLit:
+		if r, ok := e.R.(*StrLit); ok {
+			return foldStrStr(e, l.V, r.V)
+		}
+	case *BoolLit:
+		if r, ok := e.R.(*BoolLit); ok {
+			switch e.Op {
+			case TokEq:
+				return &BoolLit{Pos: e.Pos, V: l.V == r.V}
+			case TokNe:
+				return &BoolLit{Pos: e.Pos, V: l.V != r.V}
+			}
+		}
+	}
+	return e
+}
+
+func foldIntInt(e *BinaryExpr, l, r int64) Expr {
+	switch e.Op {
+	case TokPlus:
+		return &IntLit{Pos: e.Pos, V: l + r}
+	case TokMinus:
+		return &IntLit{Pos: e.Pos, V: l - r}
+	case TokStar:
+		return &IntLit{Pos: e.Pos, V: l * r}
+	case TokSlash:
+		if r == 0 {
+			return e // preserve the runtime fault
+		}
+		return &IntLit{Pos: e.Pos, V: l / r}
+	case TokPercent:
+		if r == 0 {
+			return e
+		}
+		return &IntLit{Pos: e.Pos, V: l % r}
+	case TokEq:
+		return &BoolLit{Pos: e.Pos, V: l == r}
+	case TokNe:
+		return &BoolLit{Pos: e.Pos, V: l != r}
+	case TokLt:
+		return &BoolLit{Pos: e.Pos, V: l < r}
+	case TokLe:
+		return &BoolLit{Pos: e.Pos, V: l <= r}
+	case TokGt:
+		return &BoolLit{Pos: e.Pos, V: l > r}
+	case TokGe:
+		return &BoolLit{Pos: e.Pos, V: l >= r}
+	}
+	return e
+}
+
+func foldFloatFloat(e *BinaryExpr, l, r float64) Expr {
+	switch e.Op {
+	case TokPlus:
+		return &FloatLit{Pos: e.Pos, V: l + r}
+	case TokMinus:
+		return &FloatLit{Pos: e.Pos, V: l - r}
+	case TokStar:
+		return &FloatLit{Pos: e.Pos, V: l * r}
+	case TokSlash:
+		// IEEE division by zero is defined (±Inf/NaN), identical in the
+		// VM, so folding is safe.
+		return &FloatLit{Pos: e.Pos, V: l / r}
+	case TokEq:
+		return &BoolLit{Pos: e.Pos, V: l == r}
+	case TokNe:
+		return &BoolLit{Pos: e.Pos, V: l != r}
+	case TokLt:
+		return &BoolLit{Pos: e.Pos, V: l < r}
+	case TokLe:
+		return &BoolLit{Pos: e.Pos, V: l <= r}
+	case TokGt:
+		return &BoolLit{Pos: e.Pos, V: l > r}
+	case TokGe:
+		return &BoolLit{Pos: e.Pos, V: l >= r}
+	}
+	return e
+}
+
+func foldStrStr(e *BinaryExpr, l, r string) Expr {
+	switch e.Op {
+	case TokPlus:
+		return &StrLit{Pos: e.Pos, V: l + r}
+	case TokEq:
+		return &BoolLit{Pos: e.Pos, V: l == r}
+	case TokNe:
+		return &BoolLit{Pos: e.Pos, V: l != r}
+	case TokLt:
+		return &BoolLit{Pos: e.Pos, V: l < r}
+	case TokLe:
+		return &BoolLit{Pos: e.Pos, V: l <= r}
+	case TokGt:
+		return &BoolLit{Pos: e.Pos, V: l > r}
+	case TokGe:
+		return &BoolLit{Pos: e.Pos, V: l >= r}
+	}
+	return e
+}

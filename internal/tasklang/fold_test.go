@@ -1,0 +1,171 @@
+package tasklang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tvm"
+)
+
+// instrCount compiles src and returns main's instruction count excluding
+// the implicit trailing ret0 every function body gets.
+func instrCount(t *testing.T, src string) int {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(prog.EntryFunc().Code) - 1
+}
+
+func TestFoldIntArithmetic(t *testing.T) {
+	// 2 + 3 * 4 folds to a single push.
+	n := instrCount(t, `func main() int { return 2 + 3 * 4; }`)
+	if n != 2 { // pushi 14; ret
+		t.Fatalf("instructions = %d, want 2 (folded)", n)
+	}
+	wantInt(t, `func main() int { return 2 + 3 * 4; }`, 14)
+}
+
+func TestFoldPreservesDivByZeroFault(t *testing.T) {
+	prog, err := Compile(`func main() int { return 1 / 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tvm.New(prog, tvm.DefaultConfig()).Run()
+	f, ok := tvm.AsFault(err)
+	if !ok || f.Code != tvm.FaultDivByZero {
+		t.Fatalf("folded away a runtime fault: %v", err)
+	}
+	if _, err := Compile(`func main() int { return 5 % 0; }`); err != nil {
+		t.Fatalf("mod-by-zero must still compile: %v", err)
+	}
+}
+
+func TestFoldFloatDivByZeroIsIEEE(t *testing.T) {
+	res := evalTCL(t, `func main() float { return 1.0 / 0.0; }`)
+	if res.Return.F <= 0 || res.Return.F == res.Return.F-1 {
+		// +Inf check without importing math: Inf-1 == Inf.
+	}
+	if got := res.Return.String(); got != "+Inf" {
+		t.Fatalf("1.0/0.0 = %s", got)
+	}
+}
+
+func TestFoldComparisonsAndLogic(t *testing.T) {
+	// The whole condition folds to true; only the then-branch remains
+	// reachable, and the condition costs nothing at runtime.
+	src := `func main() int { if (3 < 5 && "a" != "b" || false) { return 1; } return 0; }`
+	wantInt(t, src, 1)
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := prog.Disassemble()
+	if strings.Contains(dis, "lt") || strings.Contains(dis, "pushc") {
+		t.Fatalf("condition not folded:\n%s", dis)
+	}
+}
+
+func TestFoldShortCircuitDropsRightSide(t *testing.T) {
+	// `false && boom()` folds to false without ever compiling the call.
+	prog, err := Compile(`
+func boom() bool { return 1 / 0 == 0; }
+func main() int {
+	if (false && boom()) { return 1; }
+	return 2;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := prog.Disassemble()
+	// main must not contain a call instruction.
+	mainDis := dis[:strings.Index(dis, "func boom")]
+	if strings.Contains(mainDis, "call 1") {
+		t.Fatalf("short-circuit not folded:\n%s", mainDis)
+	}
+	wantInt(t, `
+func boom() bool { return 1 / 0 == 0; }
+func main() int {
+	if (false && boom()) { return 1; }
+	return 2;
+}`, 2)
+}
+
+func TestFoldTrueAndKeepsRightSide(t *testing.T) {
+	// `true && f()` must still evaluate f (for its value).
+	wantInt(t, `
+func f() bool { emit(1); return true; }
+func main() int {
+	if (true && f()) { return 1; }
+	return 0;
+}`, 1)
+	res := evalTCL(t, `
+func f() bool { emit(1); return true; }
+func main() int {
+	if (true && f()) { return 1; }
+	return 0;
+}`)
+	if len(res.Emitted) != 1 {
+		t.Fatal("folding true&&f() dropped f's side effects")
+	}
+}
+
+func TestFoldStringConcat(t *testing.T) {
+	prog, err := Compile(`func main() str { return "a" + "b" + "c"; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Consts) != 1 || prog.Consts[0].S != "abc" {
+		t.Fatalf("consts = %v, want single folded \"abc\"", prog.Consts)
+	}
+}
+
+func TestFoldLenOfStringLiteral(t *testing.T) {
+	n := instrCount(t, `func main() int { return len("hello"); }`)
+	if n != 2 {
+		t.Fatalf("instructions = %d, want 2", n)
+	}
+	wantInt(t, `func main() int { return len("hello"); }`, 5)
+}
+
+func TestFoldUnary(t *testing.T) {
+	wantInt(t, `func main() int { return -(3 + 4); }`, -7)
+	n := instrCount(t, `func main() int { return -(3 + 4); }`)
+	if n != 2 {
+		t.Fatalf("instructions = %d, want 2", n)
+	}
+	wantInt(t, `func main() int { if (!false) { return 1; } return 0; }`, 1)
+}
+
+func TestFoldWrapAroundMatchesVM(t *testing.T) {
+	// Literal overflow folds with Go's wrap-around — the same the VM does.
+	src := `func main() int { return 9223372036854775807 + 1; }`
+	res := evalTCL(t, src)
+	if res.Return.I != -9223372036854775808 {
+		t.Fatalf("wrap = %s", res.Return)
+	}
+}
+
+func TestFoldMixedIntFloat(t *testing.T) {
+	res := evalTCL(t, `func main() float { return 1 + 2.5; }`)
+	if res.Return.Kind != tvm.KindFloat || res.Return.F != 3.5 {
+		t.Fatalf("= %s", res.Return)
+	}
+	res = evalTCL(t, `func main() bool { return 2 == 2.0; }`)
+	if !res.Return.AsBool() {
+		t.Fatalf("2 == 2.0 folded to %s", res.Return)
+	}
+}
+
+func TestFoldInsideControlFlowAndCalls(t *testing.T) {
+	wantInt(t, `
+func f(x int) int { return x; }
+func main() int {
+	var total int = 0;
+	for (var i int = 0 * 5; i < 2 + 1; i = i + (3 - 2)) {
+		total = total + f(10 / 2);
+	}
+	return total;
+}`, 15)
+}

@@ -1,0 +1,53 @@
+package tasklang
+
+import (
+	"testing"
+
+	"repro/internal/tvm"
+)
+
+// FuzzCompile feeds arbitrary text through the whole pipeline. Invariants:
+// the compiler never panics; anything it accepts produces bytecode that
+// passes tvm validation, survives a marshal round trip, and can be executed
+// under a small fuel budget without panicking.
+func FuzzCompile(f *testing.F) {
+	for _, src := range []string{
+		"func main() int { return 1; }",
+		"func main(a int, b int) int { return a % b; }",
+		"func f() void { } func main() int { var x arr = [1,[2],\"s\"]; return len(x); }",
+		"func main() float { return sqrt(2.0) * rand(); }",
+		"func main() int { for (var i int = 0; i < 10; i = i + 1) { emit(i); } return 0; }",
+		"func main() bool { return !(1 < 2) || true && false; }",
+		"func main() str { return \"\\x41\\n\"; }",
+		"/* comment */ func main() int { while (true) { break; } return 0; }",
+		"func main() int { var xs arr = []; xs = push(xs, 1); return xs[0]; }",
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("compiler emitted invalid bytecode: %v\nsource: %q", err, src)
+		}
+		data, err := prog.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var decoded tvm.Program
+		if err := decoded.UnmarshalBinary(data); err != nil {
+			t.Fatalf("round trip: %v\nsource: %q", err, src)
+		}
+		// Execute with tiny limits if the entry takes no parameters; any
+		// fault is acceptable, any panic is a bug.
+		if prog.EntryFunc().NumParams == 0 {
+			cfg := tvm.Config{
+				Fuel: 10_000, MaxStack: 1024, MaxCall: 64,
+				MaxHeap: 4096, MaxEmit: 64, MaxPrint: 8, Seed: 1,
+			}
+			_, _ = tvm.New(prog, cfg).Run()
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package tasklang
+
+import (
+	"strings"
+)
+
+// Lexer turns TCL source text into tokens. It is a classic hand-written
+// scanner over the raw bytes; TCL source is ASCII (string literals may carry
+// arbitrary bytes via escapes).
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the entire input, returning the token stream terminated by
+// an EOF token, or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// skipSpace consumes whitespace and comments (// to end of line, /* */).
+func (lx *Lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errorf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isDigit(c):
+		return lx.number(pos)
+	case isAlpha(c):
+		return lx.identOrKeyword(pos)
+	case c == '"':
+		return lx.stringLit(pos)
+	}
+	lx.advance()
+	two := func(next byte, ifTwo, ifOne TokKind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: ifTwo, Pos: pos}
+		}
+		return Token{Kind: ifOne, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemicolon, Pos: pos}, nil
+	case '+':
+		return two('=', TokPlusAssign, TokPlus), nil
+	case '-':
+		return two('=', TokMinusAssign, TokMinus), nil
+	case '*':
+		return two('=', TokStarAssign, TokStar), nil
+	case '/':
+		return two('=', TokSlashAssign, TokSlash), nil
+	case '%':
+		return two('=', TokPercentAssign, TokPercent), nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '!':
+		return two('=', TokNe, TokBang), nil
+	case '<':
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		return two('=', TokGe, TokGt), nil
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: TokAndAnd, Pos: pos}, nil
+		}
+		return Token{}, errorf(pos, "unexpected character '&' (did you mean '&&'?)")
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: TokOrOr, Pos: pos}, nil
+		}
+		return Token{}, errorf(pos, "unexpected character '|' (did you mean '||'?)")
+	default:
+		return Token{}, errorf(pos, "unexpected character %q", string(c))
+	}
+}
+
+// number scans an int or float literal. Floats contain a '.' or exponent.
+func (lx *Lexer) number(pos Pos) (Token, error) {
+	var b strings.Builder
+	isFloat := false
+	for lx.off < len(lx.src) && isDigit(lx.peek()) {
+		b.WriteByte(lx.advance())
+	}
+	if lx.peek() == '.' && isDigit(lx.peek2()) {
+		isFloat = true
+		b.WriteByte(lx.advance())
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			b.WriteByte(lx.advance())
+		}
+	}
+	if c := lx.peek(); c == 'e' || c == 'E' {
+		// Exponent must be followed by optional sign and digits.
+		save := *lx
+		b2 := b.String()
+		var exp strings.Builder
+		exp.WriteByte(lx.advance())
+		if lx.peek() == '+' || lx.peek() == '-' {
+			exp.WriteByte(lx.advance())
+		}
+		if !isDigit(lx.peek()) {
+			*lx = save // not an exponent; restore
+		} else {
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				exp.WriteByte(lx.advance())
+			}
+			isFloat = true
+			return Token{Kind: TokFloat, Text: b2 + exp.String(), Pos: pos}, nil
+		}
+	}
+	kind := TokInt
+	if isFloat {
+		kind = TokFloat
+	}
+	if isAlpha(lx.peek()) {
+		return Token{}, errorf(lx.pos(), "identifier cannot start immediately after a number")
+	}
+	return Token{Kind: kind, Text: b.String(), Pos: pos}, nil
+}
+
+func (lx *Lexer) identOrKeyword(pos Pos) (Token, error) {
+	var b strings.Builder
+	for lx.off < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+		b.WriteByte(lx.advance())
+	}
+	text := b.String()
+	if kw, ok := keywords[text]; ok {
+		return Token{Kind: kw, Text: text, Pos: pos}, nil
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+}
+
+// stringLit scans a double-quoted string with \n \t \r \\ \" \xNN escapes.
+func (lx *Lexer) stringLit(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, errorf(pos, "unterminated string literal")
+		}
+		c := lx.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokStr, Text: b.String(), Pos: pos}, nil
+		case '\n':
+			return Token{}, errorf(pos, "newline in string literal")
+		case '\\':
+			if lx.off >= len(lx.src) {
+				return Token{}, errorf(pos, "unterminated escape")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'x':
+				if lx.off+1 >= len(lx.src) {
+					return Token{}, errorf(lx.pos(), "truncated \\x escape")
+				}
+				hi, lo := hexVal(lx.advance()), hexVal(lx.advance())
+				if hi < 0 || lo < 0 {
+					return Token{}, errorf(lx.pos(), "invalid \\x escape")
+				}
+				b.WriteByte(byte(hi<<4 | lo))
+			default:
+				return Token{}, errorf(lx.pos(), "unknown escape '\\%s'", string(e))
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
+}

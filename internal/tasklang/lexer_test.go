@@ -1,0 +1,213 @@
+package tasklang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	ks := make([]TokKind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex(`func main() int { return 1 + 2.5 * x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokFunc, TokIdent, TokLParen, TokRParen, TokIdent, TokLBrace,
+		TokReturn, TokInt, TokPlus, TokFloat, TokStar, TokIdent, TokSemicolon,
+		TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`== != <= >= < > = && || ! % [ ] ,`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokEq, TokNe, TokLe, TokGe, TokLt, TokGt, TokAssign, TokAndAnd,
+		TokOrOr, TokBang, TokPercent, TokLBracket, TokRBracket, TokComma, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex(`if iff while whiles true truex`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokIf, TokIdent, TokWhile, TokIdent, TokTrue, TokIdent, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment
+x /* block
+   comment */ y
+`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	if _, err := Lex("/* never closed"); err == nil {
+		t.Fatal("unterminated block comment accepted")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind TokKind
+		text string
+	}{
+		{"0", TokInt, "0"},
+		{"12345", TokInt, "12345"},
+		{"1.5", TokFloat, "1.5"},
+		{"0.25", TokFloat, "0.25"},
+		{"1e3", TokFloat, "1e3"},
+		{"2.5e-2", TokFloat, "2.5e-2"},
+		{"1E+6", TokFloat, "1E+6"},
+	}
+	for _, tc := range tests {
+		toks, err := Lex(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if toks[0].Kind != tc.kind || toks[0].Text != tc.text {
+			t.Errorf("%s -> %s %q, want %s %q", tc.src, toks[0].Kind, toks[0].Text, tc.kind, tc.text)
+		}
+	}
+}
+
+func TestLexDotWithoutDigitsIsNotFloat(t *testing.T) {
+	// "1." is an int followed by an error (no '.' token in TCL).
+	if _, err := Lex("1."); err == nil {
+		t.Fatal("expected error for '1.'")
+	}
+}
+
+func TestLexNumberThenIdentRejected(t *testing.T) {
+	if _, err := Lex("12abc"); err == nil {
+		t.Fatal("expected error for '12abc'")
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`"a\n\t\"\\\x41"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\n\t\"\\A" {
+		t.Fatalf("escapes = %q", toks[0].Text)
+	}
+}
+
+func TestLexStringErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "\"newline\n\"", `"\q"`, `"\x4"`, `"\xzz"`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("accepted bad string %q", src)
+		}
+	}
+}
+
+func TestLexSingleAmpRejected(t *testing.T) {
+	_, err := Lex("a & b")
+	if err == nil || !strings.Contains(err.Error(), "&&") {
+		t.Fatalf("want hint about '&&', got %v", err)
+	}
+	if _, err := Lex("a | b"); err == nil {
+		t.Fatal("single '|' accepted")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb\n\tccc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPos := []Pos{{1, 1}, {2, 3}, {3, 2}}
+	for i, want := range wantPos {
+		if toks[i].Pos != want {
+			t.Errorf("token %d pos = %v, want %v", i, toks[i].Pos, want)
+		}
+	}
+}
+
+func TestLexUnknownChar(t *testing.T) {
+	_, err := Lex("a # b")
+	if err == nil {
+		t.Fatal("accepted '#'")
+	}
+	var cerr *Error
+	if ok := asError(err, &cerr); !ok || cerr.Pos.Col != 3 {
+		t.Fatalf("error position wrong: %v", err)
+	}
+}
+
+func asError(err error, out **Error) bool {
+	if e, ok := err.(*Error); ok {
+		*out = e
+		return true
+	}
+	return false
+}
+
+func TestLexCompoundAssignOperators(t *testing.T) {
+	toks, err := Lex(`+= -= *= /= %= + = %`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokPlusAssign, TokMinusAssign, TokStarAssign, TokSlashAssign,
+		TokPercentAssign, TokPlus, TokAssign, TokPercent, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexSlashAssignVsComment(t *testing.T) {
+	// "/=" must not be confused with the start of a comment.
+	toks, err := Lex("a /= b // trailing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokSlashAssign || len(toks) != 4 {
+		t.Fatalf("toks = %v", kinds(toks))
+	}
+}

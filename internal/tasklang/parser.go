@@ -1,0 +1,587 @@
+package tasklang
+
+// Parser is a recursive-descent parser over the token stream produced by
+// Lex. It builds the AST defined in ast.go and reports the first syntax
+// error with its position.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a TCL source file.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.file()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errorf(p.cur().Pos, "expected %s, found %s", k, p.describe(p.cur()))
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) describe(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return "'" + t.Text + "'"
+	case TokInt, TokFloat:
+		return "'" + t.Text + "'"
+	case TokStr:
+		return "string literal"
+	default:
+		return t.Kind.String()
+	}
+}
+
+func (p *Parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fn)
+	}
+	if len(f.Funcs) == 0 {
+		return nil, errorf(Pos{1, 1}, "source contains no functions")
+	}
+	return f, nil
+}
+
+func (p *Parser) typeName() (Type, error) {
+	tok, err := p.expect(TokIdent)
+	if err != nil {
+		return TAny, errorf(p.cur().Pos, "expected a type name")
+	}
+	t, ok := typeNames[tok.Text]
+	if !ok {
+		return TAny, errorf(tok.Pos, "unknown type %q (want int, float, bool, str, arr, any or void)", tok.Text)
+	}
+	return t, nil
+}
+
+func (p *Parser) funcDecl() (*FuncDecl, error) {
+	kw, err := p.expect(TokFunc)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Pos: kw.Pos, Name: name.Text, Ret: TVoid}
+	if p.cur().Kind != TokRParen {
+		for {
+			pname, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			ptype, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			if ptype == TVoid {
+				return nil, errorf(pname.Pos, "parameter %q cannot be void", pname.Text)
+			}
+			fn.Params = append(fn.Params, Param{Pos: pname.Pos, Name: pname.Text, Type: ptype})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokIdent { // optional return type
+		rt, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		fn.Ret = rt
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, errorf(lb.Pos, "unclosed block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // consume '}'
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.block()
+	case TokVar:
+		s, err := p.varStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokIf:
+		return p.ifStmt()
+	case TokWhile:
+		return p.whileStmt()
+	case TokFor:
+		return p.forStmt()
+	case TokReturn:
+		kw := p.next()
+		s := &ReturnStmt{Pos: kw.Pos}
+		if p.cur().Kind != TokSemicolon {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokBreak:
+		kw := p.next()
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: kw.Pos}, nil
+	case TokContinue:
+		kw := p.next()
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: kw.Pos}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// varStmt parses "var name [type] [= expr]" without the trailing semicolon
+// (shared by statement position and for-init position).
+func (p *Parser) varStmt() (*VarStmt, error) {
+	kw, err := p.expect(TokVar)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	s := &VarStmt{Pos: kw.Pos, Name: name.Text, Type: TAny}
+	if p.cur().Kind == TokIdent {
+		t, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		if t == TVoid {
+			return nil, errorf(name.Pos, "variable %q cannot be void", name.Text)
+		}
+		s.Type = t
+		s.HasType = true
+	}
+	if p.accept(TokAssign) {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if !s.HasType && s.Init == nil {
+		return nil, errorf(kw.Pos, "variable %q needs a type or an initializer", name.Text)
+	}
+	return s, nil
+}
+
+// simpleStmt parses an expression statement or an assignment (without the
+// trailing semicolon).
+func (p *Parser) simpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokAssign) {
+		switch x.(type) {
+		case *IdentExpr, *IndexExpr:
+		default:
+			return nil, errorf(pos, "left side of '=' must be a variable or index expression")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, Target: x, Value: v}, nil
+	}
+	// Compound assignment desugars to `target = target op value`. Targets
+	// are restricted to identifiers so the target is evaluated exactly
+	// once (with `a[f()] += v` the index expression would run twice).
+	compound := map[TokKind]TokKind{
+		TokPlusAssign:    TokPlus,
+		TokMinusAssign:   TokMinus,
+		TokStarAssign:    TokStar,
+		TokSlashAssign:   TokSlash,
+		TokPercentAssign: TokPercent,
+	}
+	if op, ok := compound[p.cur().Kind]; ok {
+		tok := p.next()
+		ident, isIdent := x.(*IdentExpr)
+		if !isIdent {
+			return nil, errorf(tok.Pos, "left side of %s must be a variable", tok.Kind)
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		// The target identifier appears on both sides; the checker
+		// resolves each occurrence to the same slot.
+		lhsCopy := &IdentExpr{Pos: ident.Pos, Name: ident.Name}
+		return &AssignStmt{
+			Pos:    pos,
+			Target: ident,
+			Value:  &BinaryExpr{Pos: tok.Pos, Op: op, L: lhsCopy, R: v},
+		}, nil
+	}
+	return &ExprStmt{Pos: pos, X: x}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	kw := p.next() // 'if'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: kw.Pos, Cond: cond, Then: then}
+	if p.accept(TokElse) {
+		if p.cur().Kind == TokIf {
+			e, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = e
+		} else {
+			e, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = e
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	kw := p.next() // 'while'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: kw.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	kw := p.next() // 'for'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: kw.Pos}
+	if p.cur().Kind != TokSemicolon {
+		if p.cur().Kind == TokVar {
+			init, err := p.varStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		} else {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		}
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokSemicolon {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	expr   := or
+//	or     := and ('||' and)*
+//	and    := eq ('&&' eq)*
+//	eq     := rel (('=='|'!=') rel)*
+//	rel    := add (('<'|'<='|'>'|'>=') add)*
+//	add    := mul (('+'|'-') mul)*
+//	mul    := unary (('*'|'/'|'%') unary)*
+//	unary  := ('-'|'!') unary | postfix
+//	postfix:= primary ('[' expr ']')*
+//	primary:= literal | ident | call | '(' expr ')' | '[' args ']'
+func (p *Parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *Parser) binaryLevel(ops []TokKind, sub func() (Expr, error)) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.cur().Kind == op {
+				tok := p.next()
+				r, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				l = &BinaryExpr{Pos: tok.Pos, Op: op, L: l, R: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) orExpr() (Expr, error) {
+	return p.binaryLevel([]TokKind{TokOrOr}, p.andExpr)
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	return p.binaryLevel([]TokKind{TokAndAnd}, p.eqExpr)
+}
+
+func (p *Parser) eqExpr() (Expr, error) {
+	return p.binaryLevel([]TokKind{TokEq, TokNe}, p.relExpr)
+}
+
+func (p *Parser) relExpr() (Expr, error) {
+	return p.binaryLevel([]TokKind{TokLt, TokLe, TokGt, TokGe}, p.addExpr)
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	return p.binaryLevel([]TokKind{TokPlus, TokMinus}, p.mulExpr)
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	return p.binaryLevel([]TokKind{TokStar, TokSlash, TokPercent}, p.unaryExpr)
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	if k := p.cur().Kind; k == TokMinus || k == TokBang {
+		tok := p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: tok.Pos, Op: k, X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *Parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokLBracket {
+		lb := p.next()
+		i, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{Pos: lb.Pos, X: x, I: i}
+	}
+	return x, nil
+}
+
+func (p *Parser) primaryExpr() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokInt:
+		p.next()
+		v, err := parseInt64(tok.Text)
+		if err != nil {
+			return nil, errorf(tok.Pos, "invalid int literal %q", tok.Text)
+		}
+		return &IntLit{Pos: tok.Pos, V: v}, nil
+	case TokFloat:
+		p.next()
+		v, err := parseFloat64(tok.Text)
+		if err != nil {
+			return nil, errorf(tok.Pos, "invalid float literal %q", tok.Text)
+		}
+		return &FloatLit{Pos: tok.Pos, V: v}, nil
+	case TokStr:
+		p.next()
+		return &StrLit{Pos: tok.Pos, V: tok.Text}, nil
+	case TokTrue:
+		p.next()
+		return &BoolLit{Pos: tok.Pos, V: true}, nil
+	case TokFalse:
+		p.next()
+		return &BoolLit{Pos: tok.Pos, V: false}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokLBracket:
+		p.next()
+		lit := &ArrLit{Pos: tok.Pos}
+		if p.cur().Kind != TokRBracket {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Elems = append(lit.Elems, e)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	case TokIdent:
+		p.next()
+		if p.cur().Kind == TokLParen {
+			p.next()
+			call := &CallExpr{Pos: tok.Pos, Name: tok.Text, FuncIndex: -1}
+			if p.cur().Kind != TokRParen {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			switch call.Name {
+			case "len":
+				if len(call.Args) != 1 {
+					return nil, errorf(tok.Pos, "len wants exactly 1 argument, got %d", len(call.Args))
+				}
+				return &LenExpr{Pos: tok.Pos, X: call.Args[0]}, nil
+			case "push":
+				if len(call.Args) != 2 {
+					return nil, errorf(tok.Pos, "push wants exactly 2 arguments, got %d", len(call.Args))
+				}
+				return &PushExpr{Pos: tok.Pos, X: call.Args[0], V: call.Args[1]}, nil
+			}
+			return call, nil
+		}
+		return &IdentExpr{Pos: tok.Pos, Name: tok.Text}, nil
+	default:
+		return nil, errorf(tok.Pos, "expected an expression, found %s", p.describe(tok))
+	}
+}

@@ -1,0 +1,167 @@
+// Package tasklang implements the TCL ("Tasklet C-Like") compiler. TCL is
+// the small, portable programming model of the Tasklet middleware: consumers
+// write tasklets once in TCL, the compiler produces tvm bytecode, and every
+// provider — whatever its platform — executes that bytecode identically.
+//
+// The pipeline is conventional: Lex → Parse → Check → Compile. All stages
+// report errors with line/column positions; Compile returns a validated
+// *tvm.Program.
+package tasklang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokStr
+
+	// Keywords.
+	TokFunc
+	TokVar
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+	TokTrue
+	TokFalse
+
+	// Punctuation & operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemicolon
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokBang
+
+	// Compound assignment.
+	TokPlusAssign
+	TokMinusAssign
+	TokStarAssign
+	TokSlashAssign
+	TokPercentAssign
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF:           "EOF",
+	TokIdent:         "identifier",
+	TokInt:           "int literal",
+	TokFloat:         "float literal",
+	TokStr:           "string literal",
+	TokFunc:          "'func'",
+	TokVar:           "'var'",
+	TokIf:            "'if'",
+	TokElse:          "'else'",
+	TokWhile:         "'while'",
+	TokFor:           "'for'",
+	TokReturn:        "'return'",
+	TokBreak:         "'break'",
+	TokContinue:      "'continue'",
+	TokTrue:          "'true'",
+	TokFalse:         "'false'",
+	TokLParen:        "'('",
+	TokRParen:        "')'",
+	TokLBrace:        "'{'",
+	TokRBrace:        "'}'",
+	TokLBracket:      "'['",
+	TokRBracket:      "']'",
+	TokComma:         "','",
+	TokSemicolon:     "';'",
+	TokAssign:        "'='",
+	TokPlus:          "'+'",
+	TokMinus:         "'-'",
+	TokStar:          "'*'",
+	TokSlash:         "'/'",
+	TokPercent:       "'%'",
+	TokEq:            "'=='",
+	TokNe:            "'!='",
+	TokLt:            "'<'",
+	TokLe:            "'<='",
+	TokGt:            "'>'",
+	TokGe:            "'>='",
+	TokAndAnd:        "'&&'",
+	TokOrOr:          "'||'",
+	TokBang:          "'!'",
+	TokPlusAssign:    "'+='",
+	TokMinusAssign:   "'-='",
+	TokStarAssign:    "'*='",
+	TokSlashAssign:   "'/='",
+	TokPercentAssign: "'%='",
+}
+
+// String returns a human-readable token-kind name for diagnostics.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"func":     TokFunc,
+	"var":      TokVar,
+	"if":       TokIf,
+	"else":     TokElse,
+	"while":    TokWhile,
+	"for":      TokFor,
+	"return":   TokReturn,
+	"break":    TokBreak,
+	"continue": TokContinue,
+	"true":     TokTrue,
+	"false":    TokFalse,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token. Text holds the raw lexeme for identifiers and
+// literals (string literals are already unescaped).
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,76 @@
+package tvm
+
+import "fmt"
+
+// FaultCode classifies runtime faults. Codes cross the wire: a provider that
+// hits a fault reports the code back to the broker, which uses it for QoC
+// decisions (e.g. an out-of-fuel fault on one provider does not trigger
+// re-issue to a slower one).
+type FaultCode uint8
+
+// Fault codes. Values are part of the wire format; append only.
+const (
+	FaultNone          FaultCode = iota
+	FaultOutOfFuel               // fuel meter exhausted
+	FaultStackOverflow           // operand or call stack limit exceeded
+	FaultTypeMismatch            // operand kind invalid for opcode
+	FaultDivByZero               // integer division or modulo by zero
+	FaultIndexRange              // array/string index out of range
+	FaultBadProgram              // malformed bytecode (bad const/func/local index)
+	FaultBadBuiltin              // unknown builtin or wrong arity
+	FaultOutOfMemory             // allocation limit exceeded
+	FaultUserAbort               // abort() builtin called by the program
+	FaultCancelled               // execution cancelled by the host (provider shutdown, job cancel)
+)
+
+// String returns a stable lower-snake name for the code.
+func (c FaultCode) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultOutOfFuel:
+		return "out_of_fuel"
+	case FaultStackOverflow:
+		return "stack_overflow"
+	case FaultTypeMismatch:
+		return "type_mismatch"
+	case FaultDivByZero:
+		return "div_by_zero"
+	case FaultIndexRange:
+		return "index_range"
+	case FaultBadProgram:
+		return "bad_program"
+	case FaultBadBuiltin:
+		return "bad_builtin"
+	case FaultOutOfMemory:
+		return "out_of_memory"
+	case FaultUserAbort:
+		return "user_abort"
+	case FaultCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(c))
+	}
+}
+
+// Fault is a structured VM runtime error. It records where execution stopped
+// so that faults are debuggable across the wire.
+type Fault struct {
+	Code FaultCode
+	Msg  string
+	Func string // function name, if known
+	PC   int    // instruction index within Func
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	if f.Func != "" {
+		return fmt.Sprintf("tvm: %s: %s (at %s+%d)", f.Code, f.Msg, f.Func, f.PC)
+	}
+	return fmt.Sprintf("tvm: %s: %s", f.Code, f.Msg)
+}
+
+// newFault constructs a fault; the VM fills in Func/PC when it propagates.
+func newFault(code FaultCode, format string, args ...any) *Fault {
+	return &Fault{Code: code, Msg: fmt.Sprintf(format, args...)}
+}

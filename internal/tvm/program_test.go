@@ -1,0 +1,283 @@
+package tvm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProgram() *Program {
+	return &Program{
+		Consts: []Value{Int(42), Float(3.25), Str("hello"), Bool(true)},
+		Funcs: []FuncProto{
+			{Name: "main", NumParams: 2, NumLocals: 4, Code: []Instr{
+				{OpPushConst, 0}, {OpLoadLocal, 1}, {OpAdd, 0},
+				{OpCall, 1}, {OpReturn, 0},
+			}},
+			{Name: "helper", NumParams: 1, NumLocals: 2, Code: []Instr{
+				{OpLoadLocal, 0}, {OpPushInt, -7}, {OpMul, 0},
+				{OpCallB, int32(BSqrt)<<8 | 1}, {OpReturn, 0},
+			}},
+		},
+		Entry: 0,
+	}
+}
+
+func TestProgramMarshalRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Program
+	if err := q.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*p, q) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", p.Disassemble(), q.Disassemble())
+	}
+}
+
+func TestProgramUnmarshalRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE1234"),
+		"truncated": func() []byte {
+			d, _ := sampleProgram().MarshalBinary()
+			return d[:len(d)-3]
+		}(),
+		"trailing": func() []byte {
+			d, _ := sampleProgram().MarshalBinary()
+			return append(d, 0xff)
+		}(),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			var p Program
+			if err := p.UnmarshalBinary(data); err == nil {
+				t.Fatal("accepted malformed program")
+			}
+		})
+	}
+}
+
+func TestProgramUnmarshalRejectsHugeCounts(t *testing.T) {
+	// A tiny buffer claiming 2^31 constants must be rejected without a
+	// giant allocation.
+	data := []byte(programMagic)
+	data = append(data, 0x7f, 0xff, 0xff, 0xff)
+	var p Program
+	if err := p.UnmarshalBinary(data); err == nil {
+		t.Fatal("accepted program with absurd constant count")
+	}
+}
+
+func TestValidateCatchesBadIndices(t *testing.T) {
+	cases := map[string]*Program{
+		"no funcs":    {},
+		"bad entry":   {Funcs: []FuncProto{{Name: "f"}}, Entry: 5},
+		"bad const":   prog1(0, 0, nil, Instr{OpPushConst, 0}),
+		"bad local":   prog1(0, 1, nil, Instr{OpLoadLocal, 3}),
+		"bad jump":    prog1(0, 0, nil, Instr{OpJump, 9}),
+		"bad call":    prog1(0, 0, nil, Instr{OpCall, 2}),
+		"bad builtin": prog1(0, 0, nil, Instr{OpCallB, int32(9999) << 8}),
+		"neg arr":     prog1(0, 0, nil, Instr{OpNewArray, -1}),
+		"locals < params": {Funcs: []FuncProto{
+			{Name: "f", NumParams: 3, NumLocals: 1}}},
+		"arr const": {Consts: []Value{Arr(Int(1))},
+			Funcs: []FuncProto{{Name: "f"}}},
+	}
+	for name, p := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := p.Validate(); err == nil {
+				t.Fatal("invalid program passed Validate")
+			}
+		})
+	}
+}
+
+func TestDisassembleContainsMnemonics(t *testing.T) {
+	out := sampleProgram().Disassemble()
+	for _, want := range []string{"func main/2", "(entry)", "pushc 0", "callb sqrt/1", "func helper/1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// randomValue builds an arbitrary scalar-or-array value of bounded depth.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(6)
+	if depth <= 0 && k == 5 {
+		k = r.Intn(5)
+	}
+	switch k {
+	case 0:
+		return Nil()
+	case 1:
+		return Int(r.Int63() - r.Int63())
+	case 2:
+		return Float(r.NormFloat64() * 1e6)
+	case 3:
+		return Bool(r.Intn(2) == 0)
+	case 4:
+		b := make([]byte, r.Intn(32))
+		r.Read(b)
+		return Str(string(b))
+	default:
+		n := r.Intn(5)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth-1)
+		}
+		return Value{Kind: KindArr, A: &Array{Elems: elems}}
+	}
+}
+
+// Property: every value survives an encode/decode round trip.
+func TestValueCodecRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		v := randomValue(r, 3)
+		data, err := AppendValue(nil, v)
+		if err != nil {
+			t.Fatalf("encode %s: %v", v, err)
+		}
+		got, n, err := DecodeValue(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", v, err)
+		}
+		if n != len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip %s -> %s", v, got)
+		}
+	}
+}
+
+// Property: DecodeValue never panics or over-reads on arbitrary input.
+func TestDecodeValueRobustProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		v, n, err := DecodeValue(data)
+		if err != nil {
+			return true
+		}
+		_ = v.String() // must not panic
+		return n <= len(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hash equality follows value equality for random values, and
+// mutation changes the hash with overwhelming probability.
+func TestHashValueProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		v := randomValue(r, 3)
+		if HashValue(v) != HashValue(v.Clone()) {
+			t.Fatalf("clone hash differs for %s", v)
+		}
+	}
+	if HashValue(Int(1)) == HashValue(Int(2)) {
+		t.Fatal("distinct ints hash equal")
+	}
+	if HashValue(Int(0)) == HashValue(Float(0)) {
+		t.Fatal("hash must be kind-sensitive")
+	}
+	if HashValues([]Value{Int(1), Int(2)}) == HashValues([]Value{Int(2), Int(1)}) {
+		t.Fatal("hash must be order-sensitive")
+	}
+}
+
+// Property: programs with random (valid) const pools round trip.
+func TestProgramRoundTripRandomConsts(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		n := r.Intn(10)
+		consts := make([]Value, n)
+		for j := range consts {
+			// Constant pool allows only scalars.
+			switch r.Intn(4) {
+			case 0:
+				consts[j] = Int(r.Int63())
+			case 1:
+				consts[j] = Float(math.Float64frombits(r.Uint64()))
+				if f := consts[j].F; math.IsNaN(f) {
+					consts[j] = Float(0)
+				}
+			case 2:
+				consts[j] = Bool(r.Intn(2) == 0)
+			default:
+				consts[j] = Str(string(rune('a' + r.Intn(26))))
+			}
+		}
+		p := prog1(0, 0, consts, Instr{OpReturn0, 0})
+		data, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q Program
+		if err := q.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		d2, err := q.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, d2) {
+			t.Fatal("re-marshal not byte-identical")
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{OpAdd, 0}, "add"},
+		{Instr{OpPushInt, 5}, "pushi 5"},
+		{Instr{OpCallB, int32(BEmit)<<8 | 1}, "callb emit/1"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Instr.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindArr.String() != "arr" || Kind(99).String() != "kind(99)" {
+		t.Fatal("Kind.String misbehaves")
+	}
+}
+
+func TestValidateBoundsFrameSizes(t *testing.T) {
+	// Unbounded locals/params are an OOM vector (found by fuzzing): a
+	// hostile program could demand a multi-gigabyte frame allocation.
+	huge := &Program{Funcs: []FuncProto{
+		{Name: "f", NumParams: 0, NumLocals: 1 << 30},
+	}}
+	if err := huge.Validate(); err == nil {
+		t.Fatal("program with 2^30 locals accepted")
+	}
+	manyParams := &Program{Funcs: []FuncProto{
+		{Name: "f", NumParams: MaxParams + 1, NumLocals: MaxParams + 1},
+	}}
+	if err := manyParams.Validate(); err == nil {
+		t.Fatal("program with excess params accepted")
+	}
+	atLimit := &Program{Funcs: []FuncProto{
+		{Name: "f", NumParams: MaxParams, NumLocals: MaxLocals},
+	}}
+	if err := atLimit.Validate(); err != nil {
+		t.Fatalf("program at the limits rejected: %v", err)
+	}
+}

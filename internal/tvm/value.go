@@ -1,0 +1,187 @@
+// Package tvm implements the Tasklet Virtual Machine: a sandboxed,
+// deterministic, stack-based bytecode interpreter that provides the common
+// execution environment the Tasklet middleware uses to overcome platform
+// heterogeneity. The same Program runs identically on every provider.
+//
+// The VM is deliberately small: four scalar kinds (int, float, bool, string)
+// plus arrays, a flat function table, and a fuel meter that bounds execution.
+// All runtime errors surface as *Fault values, never as panics.
+package tvm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNil Kind = iota
+	KindInt
+	KindFloat
+	KindBool
+	KindStr
+	KindArr
+)
+
+// String returns the lower-case name of the kind as used in diagnostics and
+// the TCL type system.
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindStr:
+		return "str"
+	case KindArr:
+		return "arr"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Array is the reference-typed backing store for KindArr values. Two Values
+// holding the same *Array alias the same elements, matching TCL semantics.
+type Array struct {
+	Elems []Value
+}
+
+// Value is the VM's tagged union. The zero value is the nil value.
+//
+// Values are small (word-sized payloads); arrays are held by pointer so
+// copying a Value never copies element storage.
+type Value struct {
+	Kind Kind
+	I    int64   // payload for KindInt and KindBool (0/1)
+	F    float64 // payload for KindFloat
+	S    string  // payload for KindStr
+	A    *Array  // payload for KindArr
+}
+
+// Nil returns the nil value.
+func Nil() Value { return Value{} }
+
+// Int constructs an int value.
+func Int(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// Float constructs a float value.
+func Float(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// Bool constructs a bool value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Kind: KindBool, I: i}
+}
+
+// Str constructs a string value.
+func Str(v string) Value { return Value{Kind: KindStr, S: v} }
+
+// Arr constructs an array value holding the given elements. The slice is
+// used directly (not copied).
+func Arr(elems ...Value) Value { return Value{Kind: KindArr, A: &Array{Elems: elems}} }
+
+// IsNil reports whether the value is the nil value.
+func (v Value) IsNil() bool { return v.Kind == KindNil }
+
+// AsBool reports the truthiness of a bool value. It is only meaningful for
+// KindBool.
+func (v Value) AsBool() bool { return v.I != 0 }
+
+// AsFloat returns the numeric payload widened to float64. Only meaningful
+// for KindInt and KindFloat.
+func (v Value) AsFloat() float64 {
+	if v.Kind == KindInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// Equal reports deep equality of two values. Arrays compare element-wise.
+// Int and float compare equal only when both kind and numeric value match,
+// keeping equality compatible with the hash used for QoC result voting.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNil:
+		return true
+	case KindInt, KindBool:
+		return v.I == o.I
+	case KindFloat:
+		return v.F == o.F || (math.IsNaN(v.F) && math.IsNaN(o.F))
+	case KindStr:
+		return v.S == o.S
+	case KindArr:
+		if len(v.A.Elems) != len(o.A.Elems) {
+			return false
+		}
+		for i := range v.A.Elems {
+			if !v.A.Elems[i].Equal(o.A.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// String renders the value in TCL literal syntax: 42, 3.5, true, "s",
+// [1, 2, 3].
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindStr:
+		return strconv.Quote(v.S)
+	case KindArr:
+		var b strings.Builder
+		b.WriteByte('[')
+		for i, e := range v.A.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(']')
+		return b.String()
+	default:
+		return fmt.Sprintf("value(kind=%d)", uint8(v.Kind))
+	}
+}
+
+// Clone returns a deep copy of the value; arrays are copied recursively.
+// Used when a value crosses an isolation boundary (e.g. tasklet parameters
+// shared by redundant executions).
+func (v Value) Clone() Value {
+	if v.Kind != KindArr {
+		return v
+	}
+	elems := make([]Value, len(v.A.Elems))
+	for i, e := range v.A.Elems {
+		elems[i] = e.Clone()
+	}
+	return Value{Kind: KindArr, A: &Array{Elems: elems}}
+}

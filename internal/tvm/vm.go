@@ -1,0 +1,592 @@
+package tvm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Config bounds a single tasklet execution. Limits exist because providers
+// run untrusted bytecode: a tasklet cannot spin, recurse, allocate or emit
+// beyond its budget. The zero value is not usable; call DefaultConfig.
+type Config struct {
+	Fuel     uint64 // total instruction budget (weighted by fuelCost)
+	MaxStack int    // operand stack depth limit
+	MaxCall  int    // call stack depth limit
+	MaxHeap  int    // total array elements a run may allocate
+	MaxEmit  int    // maximum number of emitted results
+	MaxPrint int    // maximum retained print() lines
+	Seed     uint64 // seed for the deterministic rand() builtin
+
+	// Cancel, when non-nil, is polled periodically by the interpreter;
+	// setting it aborts the run with a FaultCancelled fault. Providers use
+	// this to stop tasklets on shutdown or job cancellation.
+	Cancel *atomic.Bool
+}
+
+// DefaultConfig returns generous but finite limits suitable for the standard
+// workloads: ~100M fuel executes a few seconds of work on a modern core.
+func DefaultConfig() Config {
+	return Config{
+		Fuel:     100_000_000,
+		MaxStack: 64 << 10,
+		MaxCall:  1 << 10,
+		MaxHeap:  8 << 20,
+		MaxEmit:  1 << 16,
+		MaxPrint: 256,
+		Seed:     1,
+	}
+}
+
+// Result is the outcome of a successful run.
+type Result struct {
+	Return   Value    // value returned by the entry function
+	Emitted  []Value  // values the program passed to emit(), in order
+	Printed  []string // debug log lines from print()
+	FuelUsed uint64
+}
+
+// Hash returns a deterministic hash over the semantically relevant outputs
+// (return value and emitted values, not the debug log). Redundant executions
+// of a deterministic tasklet produce equal hashes.
+func (r *Result) Hash() uint64 {
+	return HashValues(append([]Value{r.Return}, r.Emitted...))
+}
+
+// frame is one activation record.
+type frame struct {
+	fn     *FuncProto
+	pc     int
+	locals []Value
+	base   int // operand stack height at entry; restored on return
+}
+
+// VM executes one tasklet program. A VM is single-use and not safe for
+// concurrent use; the enclosing provider runs one VM per slot goroutine.
+type VM struct {
+	prog    *Program
+	cfg     Config
+	stack   []Value
+	frames  []frame
+	fuel    uint64
+	heap    int
+	rng     uint64
+	emitted []Value
+	printed []string
+}
+
+// New creates a VM for prog under the given limits. The program must have
+// been validated (Program.UnmarshalBinary validates; hand-built programs
+// should call Validate explicitly).
+func New(prog *Program, cfg Config) *VM {
+	rng := cfg.Seed
+	if rng == 0 {
+		rng = 0x9e3779b97f4a7c15 // splitmix-style non-zero default
+	}
+	return &VM{prog: prog, cfg: cfg, fuel: cfg.Fuel, rng: rng}
+}
+
+// nextRand advances the xorshift64* generator. Deterministic across
+// platforms, which keeps redundant executions vote-compatible.
+func (vm *VM) nextRand() uint64 {
+	x := vm.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	vm.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// alloc charges n array elements against the heap budget.
+func (vm *VM) alloc(n int) *Fault {
+	vm.heap += n
+	if vm.heap > vm.cfg.MaxHeap {
+		return newFault(FaultOutOfMemory, "heap limit %d elements exceeded", vm.cfg.MaxHeap)
+	}
+	return nil
+}
+
+// Run executes the program's entry function with the given parameters.
+// It returns a *Fault (as error) on any runtime fault; the fault carries the
+// function name and pc where execution stopped.
+func (vm *VM) Run(params ...Value) (*Result, error) {
+	entry := vm.prog.EntryFunc()
+	if len(params) != entry.NumParams {
+		return nil, newFault(FaultBadProgram, "entry %s wants %d params, got %d",
+			entry.Name, entry.NumParams, len(params))
+	}
+	locals := make([]Value, entry.NumLocals)
+	for i, p := range params {
+		locals[i] = p
+	}
+	vm.frames = append(vm.frames, frame{fn: entry, locals: locals})
+
+	ret, fault := vm.loop()
+	if fault != nil {
+		return nil, fault
+	}
+	return &Result{
+		Return:   ret,
+		Emitted:  vm.emitted,
+		Printed:  vm.printed,
+		FuelUsed: vm.cfg.Fuel - vm.fuel,
+	}, nil
+}
+
+// push grows the operand stack, enforcing the depth limit.
+func (vm *VM) push(v Value) *Fault {
+	if len(vm.stack) >= vm.cfg.MaxStack {
+		return newFault(FaultStackOverflow, "operand stack limit %d exceeded", vm.cfg.MaxStack)
+	}
+	vm.stack = append(vm.stack, v)
+	return nil
+}
+
+// pop removes and returns the top of the operand stack.
+func (vm *VM) pop() (Value, *Fault) {
+	if len(vm.stack) == 0 {
+		return Value{}, newFault(FaultBadProgram, "pop from empty stack")
+	}
+	v := vm.stack[len(vm.stack)-1]
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	return v, nil
+}
+
+// loop is the interpreter core. It returns the entry function's return
+// value, or a fault annotated with the faulting location.
+func (vm *VM) loop() (Value, *Fault) {
+	f := &vm.frames[len(vm.frames)-1]
+	const cancelPollMask = 4095 // poll Cancel every 4096 iterations
+	var steps uint64
+	for {
+		steps++
+		if steps&cancelPollMask == 0 && vm.cfg.Cancel != nil && vm.cfg.Cancel.Load() {
+			return Value{}, vm.annotate(newFault(FaultCancelled, "execution cancelled by host"), f)
+		}
+		if f.pc >= len(f.fn.Code) {
+			// Falling off the end of a function returns nil.
+			ret, fault := vm.unwind(Nil())
+			if fault != nil {
+				return Value{}, vm.annotate(fault, f)
+			}
+			if len(vm.frames) == 0 {
+				return ret, nil
+			}
+			f = &vm.frames[len(vm.frames)-1]
+			continue
+		}
+		in := f.fn.Code[f.pc]
+		cost := fuelCost(in.Op)
+		if vm.fuel < cost {
+			return Value{}, vm.annotate(newFault(FaultOutOfFuel, "fuel budget %d exhausted", vm.cfg.Fuel), f)
+		}
+		vm.fuel -= cost
+		f.pc++
+
+		var fault *Fault
+		switch in.Op {
+		case OpNop:
+
+		case OpPushConst:
+			fault = vm.push(vm.prog.Consts[in.Arg])
+		case OpPushInt:
+			fault = vm.push(Int(int64(in.Arg)))
+		case OpPushNil:
+			fault = vm.push(Nil())
+		case OpPushTrue:
+			fault = vm.push(Bool(true))
+		case OpPushFalse:
+			fault = vm.push(Bool(false))
+		case OpPop:
+			_, fault = vm.pop()
+		case OpDup:
+			if len(vm.stack) == 0 {
+				fault = newFault(FaultBadProgram, "dup on empty stack")
+			} else {
+				fault = vm.push(vm.stack[len(vm.stack)-1])
+			}
+
+		case OpLoadLocal:
+			fault = vm.push(f.locals[in.Arg])
+		case OpStoreLocal:
+			var v Value
+			if v, fault = vm.pop(); fault == nil {
+				f.locals[in.Arg] = v
+			}
+
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			fault = vm.binaryArith(in.Op)
+		case OpNeg:
+			var v Value
+			if v, fault = vm.pop(); fault == nil {
+				switch v.Kind {
+				case KindInt:
+					fault = vm.push(Int(-v.I))
+				case KindFloat:
+					fault = vm.push(Float(-v.F))
+				default:
+					fault = newFault(FaultTypeMismatch, "neg wants a number, got %s", v.Kind)
+				}
+			}
+
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			fault = vm.compare(in.Op)
+
+		case OpNot:
+			var v Value
+			if v, fault = vm.pop(); fault == nil {
+				if v.Kind != KindBool {
+					fault = newFault(FaultTypeMismatch, "not wants a bool, got %s", v.Kind)
+				} else {
+					fault = vm.push(Bool(v.I == 0))
+				}
+			}
+
+		case OpJump:
+			f.pc = int(in.Arg)
+		case OpJumpIfFalse, OpJumpIfTrue:
+			var v Value
+			if v, fault = vm.pop(); fault == nil {
+				if v.Kind != KindBool {
+					fault = newFault(FaultTypeMismatch, "branch wants a bool, got %s", v.Kind)
+				} else if v.AsBool() == (in.Op == OpJumpIfTrue) {
+					f.pc = int(in.Arg)
+				}
+			}
+
+		case OpCall:
+			if len(vm.frames) >= vm.cfg.MaxCall {
+				fault = newFault(FaultStackOverflow, "call depth limit %d exceeded", vm.cfg.MaxCall)
+				break
+			}
+			callee := &vm.prog.Funcs[in.Arg]
+			if len(vm.stack) < callee.NumParams {
+				fault = newFault(FaultBadProgram, "call %s: %d args on stack, want %d",
+					callee.Name, len(vm.stack), callee.NumParams)
+				break
+			}
+			locals := make([]Value, callee.NumLocals)
+			base := len(vm.stack) - callee.NumParams
+			copy(locals, vm.stack[base:])
+			vm.stack = vm.stack[:base]
+			vm.frames = append(vm.frames, frame{fn: callee, locals: locals, base: base})
+			f = &vm.frames[len(vm.frames)-1]
+
+		case OpCallB:
+			id := Builtin(in.Arg >> 8)
+			argc := int(in.Arg & 0xff)
+			spec, ok := builtinTable[id]
+			if !ok {
+				fault = newFault(FaultBadBuiltin, "unknown builtin %d", int(id))
+				break
+			}
+			if argc != spec.arity {
+				fault = newFault(FaultBadBuiltin, "%s wants %d args, got %d", spec.name, spec.arity, argc)
+				break
+			}
+			if len(vm.stack) < argc {
+				fault = newFault(FaultBadProgram, "builtin %s: stack underflow", spec.name)
+				break
+			}
+			args := vm.stack[len(vm.stack)-argc:]
+			var ret Value
+			ret, fault = spec.fn(vm, args)
+			if fault == nil {
+				vm.stack = vm.stack[:len(vm.stack)-argc]
+				fault = vm.push(ret)
+			}
+
+		case OpReturn, OpReturn0:
+			ret := Nil()
+			if in.Op == OpReturn {
+				if ret, fault = vm.pop(); fault != nil {
+					break
+				}
+			}
+			var done Value
+			done, fault = vm.unwind(ret)
+			if fault == nil && len(vm.frames) == 0 {
+				return done, nil
+			}
+			if fault == nil {
+				f = &vm.frames[len(vm.frames)-1]
+			}
+
+		case OpNewArray:
+			n := int(in.Arg)
+			if len(vm.stack) < n {
+				fault = newFault(FaultBadProgram, "newarr %d: stack underflow", n)
+				break
+			}
+			if fault = vm.alloc(n); fault != nil {
+				break
+			}
+			elems := make([]Value, n)
+			copy(elems, vm.stack[len(vm.stack)-n:])
+			vm.stack = vm.stack[:len(vm.stack)-n]
+			fault = vm.push(Value{Kind: KindArr, A: &Array{Elems: elems}})
+
+		case OpIndex:
+			fault = vm.index()
+		case OpSetIndex:
+			fault = vm.setIndex()
+		case OpLen:
+			var v Value
+			if v, fault = vm.pop(); fault == nil {
+				switch v.Kind {
+				case KindArr:
+					fault = vm.push(Int(int64(len(v.A.Elems))))
+				case KindStr:
+					fault = vm.push(Int(int64(len(v.S))))
+				default:
+					fault = newFault(FaultTypeMismatch, "len wants arr or str, got %s", v.Kind)
+				}
+			}
+		case OpAppend:
+			var v, a Value
+			if v, fault = vm.pop(); fault != nil {
+				break
+			}
+			if a, fault = vm.pop(); fault != nil {
+				break
+			}
+			if a.Kind != KindArr {
+				fault = newFault(FaultTypeMismatch, "append wants an arr, got %s", a.Kind)
+				break
+			}
+			if fault = vm.alloc(1); fault != nil {
+				break
+			}
+			a.A.Elems = append(a.A.Elems, v)
+			fault = vm.push(a)
+
+		default:
+			fault = newFault(FaultBadProgram, "illegal opcode %d", uint8(in.Op))
+		}
+
+		if fault != nil {
+			// f.pc was already advanced; report the faulting instruction.
+			fault.Func = f.fn.Name
+			fault.PC = f.pc - 1
+			return Value{}, fault
+		}
+	}
+}
+
+// unwind pops the current frame, truncates the operand stack to the frame's
+// base, and pushes ret for the caller. When the last frame returns, ret is
+// the program result and is returned via the first return value.
+func (vm *VM) unwind(ret Value) (Value, *Fault) {
+	fr := vm.frames[len(vm.frames)-1]
+	vm.frames = vm.frames[:len(vm.frames)-1]
+	vm.stack = vm.stack[:fr.base]
+	if len(vm.frames) == 0 {
+		return ret, nil
+	}
+	return Value{}, vm.push(ret)
+}
+
+func (vm *VM) annotate(f *Fault, fr *frame) *Fault {
+	if f.Func == "" {
+		f.Func = fr.fn.Name
+		f.PC = fr.pc
+	}
+	return f
+}
+
+// binaryArith implements add/sub/mul/div/mod with int/float promotion and
+// string concatenation for add.
+func (vm *VM) binaryArith(op Op) *Fault {
+	b, fault := vm.pop()
+	if fault != nil {
+		return fault
+	}
+	a, fault := vm.pop()
+	if fault != nil {
+		return fault
+	}
+	if op == OpAdd && a.Kind == KindStr && b.Kind == KindStr {
+		return vm.push(Str(a.S + b.S))
+	}
+	if !isNum(a) || !isNum(b) {
+		return newFault(FaultTypeMismatch, "%s wants numbers, got %s, %s", op, a.Kind, b.Kind)
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		switch op {
+		case OpAdd:
+			return vm.push(Int(a.I + b.I))
+		case OpSub:
+			return vm.push(Int(a.I - b.I))
+		case OpMul:
+			return vm.push(Int(a.I * b.I))
+		case OpDiv:
+			if b.I == 0 {
+				return newFault(FaultDivByZero, "integer division by zero")
+			}
+			return vm.push(Int(a.I / b.I))
+		case OpMod:
+			if b.I == 0 {
+				return newFault(FaultDivByZero, "modulo by zero")
+			}
+			return vm.push(Int(a.I % b.I))
+		}
+	}
+	if op == OpMod {
+		return newFault(FaultTypeMismatch, "mod wants ints, got %s, %s", a.Kind, b.Kind)
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case OpAdd:
+		return vm.push(Float(x + y))
+	case OpSub:
+		return vm.push(Float(x - y))
+	case OpMul:
+		return vm.push(Float(x * y))
+	case OpDiv:
+		// IEEE semantics: float division by zero yields ±Inf/NaN, which is
+		// deterministic and therefore allowed.
+		return vm.push(Float(x / y))
+	}
+	return newFault(FaultBadProgram, "unreachable arithmetic op %s", op)
+}
+
+// compare implements the six comparison ops. Equality works on any pair of
+// kinds (cross-kind is false, except int/float which compare numerically);
+// ordering requires two numbers or two strings.
+func (vm *VM) compare(op Op) *Fault {
+	b, fault := vm.pop()
+	if fault != nil {
+		return fault
+	}
+	a, fault := vm.pop()
+	if fault != nil {
+		return fault
+	}
+	if op == OpEq || op == OpNe {
+		var eq bool
+		if isNum(a) && isNum(b) && a.Kind != b.Kind {
+			eq = a.AsFloat() == b.AsFloat()
+		} else {
+			eq = a.Equal(b)
+		}
+		return vm.push(Bool(eq == (op == OpEq)))
+	}
+	var cmp int
+	switch {
+	case isNum(a) && isNum(b):
+		if a.Kind == KindInt && b.Kind == KindInt {
+			switch {
+			case a.I < b.I:
+				cmp = -1
+			case a.I > b.I:
+				cmp = 1
+			}
+		} else {
+			x, y := a.AsFloat(), b.AsFloat()
+			switch {
+			case x < y:
+				cmp = -1
+			case x > y:
+				cmp = 1
+			}
+		}
+	case a.Kind == KindStr && b.Kind == KindStr:
+		switch {
+		case a.S < b.S:
+			cmp = -1
+		case a.S > b.S:
+			cmp = 1
+		}
+	default:
+		return newFault(FaultTypeMismatch, "%s wants two numbers or two strings, got %s, %s", op, a.Kind, b.Kind)
+	}
+	var r bool
+	switch op {
+	case OpLt:
+		r = cmp < 0
+	case OpLe:
+		r = cmp <= 0
+	case OpGt:
+		r = cmp > 0
+	case OpGe:
+		r = cmp >= 0
+	}
+	return vm.push(Bool(r))
+}
+
+func (vm *VM) index() *Fault {
+	i, fault := vm.pop()
+	if fault != nil {
+		return fault
+	}
+	a, fault := vm.pop()
+	if fault != nil {
+		return fault
+	}
+	if i.Kind != KindInt {
+		return newFault(FaultTypeMismatch, "index wants an int, got %s", i.Kind)
+	}
+	switch a.Kind {
+	case KindArr:
+		if i.I < 0 || i.I >= int64(len(a.A.Elems)) {
+			return newFault(FaultIndexRange, "index %d out of range for arr of len %d", i.I, len(a.A.Elems))
+		}
+		return vm.push(a.A.Elems[i.I])
+	case KindStr:
+		if i.I < 0 || i.I >= int64(len(a.S)) {
+			return newFault(FaultIndexRange, "index %d out of range for str of len %d", i.I, len(a.S))
+		}
+		return vm.push(Int(int64(a.S[i.I])))
+	default:
+		return newFault(FaultTypeMismatch, "cannot index %s", a.Kind)
+	}
+}
+
+func (vm *VM) setIndex() *Fault {
+	v, fault := vm.pop()
+	if fault != nil {
+		return fault
+	}
+	i, fault := vm.pop()
+	if fault != nil {
+		return fault
+	}
+	a, fault := vm.pop()
+	if fault != nil {
+		return fault
+	}
+	if a.Kind != KindArr {
+		return newFault(FaultTypeMismatch, "cannot assign into %s", a.Kind)
+	}
+	if i.Kind != KindInt {
+		return newFault(FaultTypeMismatch, "index wants an int, got %s", i.Kind)
+	}
+	if i.I < 0 || i.I >= int64(len(a.A.Elems)) {
+		return newFault(FaultIndexRange, "index %d out of range for arr of len %d", i.I, len(a.A.Elems))
+	}
+	a.A.Elems[i.I] = v
+	return nil
+}
+
+// Execute is a convenience wrapper: validate, run with cfg, and map the
+// fault into an error. It is the API the provider runtime uses.
+func Execute(prog *Program, cfg Config, params ...Value) (*Result, error) {
+	if prog == nil {
+		return nil, errors.New("tvm: nil program")
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return New(prog, cfg).Run(params...)
+}
+
+// AsFault extracts the *Fault from an error returned by Run/Execute, if any.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+var _ fmt.Stringer = Op(0) // interface compliance documentation

@@ -1,0 +1,519 @@
+package tvm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// prog1 builds a single-function program for opcode-level tests.
+func prog1(params, locals int, consts []Value, code ...Instr) *Program {
+	return &Program{
+		Consts: consts,
+		Funcs:  []FuncProto{{Name: "main", NumParams: params, NumLocals: locals, Code: code}},
+	}
+}
+
+// run executes a single-function program and returns the result.
+func run(t *testing.T, p *Program, params ...Value) *Result {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	res, err := New(p, DefaultConfig()).Run(params...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// runFault executes a program expecting a fault with the given code.
+func runFault(t *testing.T, p *Program, want FaultCode, params ...Value) *Fault {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	_, err := New(p, DefaultConfig()).Run(params...)
+	if err == nil {
+		t.Fatalf("expected %s fault, got success", want)
+	}
+	f, ok := AsFault(err)
+	if !ok {
+		t.Fatalf("error is not a Fault: %v", err)
+	}
+	if f.Code != want {
+		t.Fatalf("fault code = %s, want %s (%v)", f.Code, want, err)
+	}
+	return f
+}
+
+func TestArithmeticInt(t *testing.T) {
+	tests := []struct {
+		name string
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{"add", OpAdd, 7, 5, 12},
+		{"sub", OpSub, 7, 5, 2},
+		{"mul", OpMul, 7, 5, 35},
+		{"div", OpDiv, 7, 5, 1},
+		{"div-neg", OpDiv, -7, 2, -3},
+		{"mod", OpMod, 7, 5, 2},
+		{"mod-neg", OpMod, -7, 5, -2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := prog1(0, 0, []Value{Int(tc.a), Int(tc.b)},
+				Instr{OpPushConst, 0}, Instr{OpPushConst, 1}, Instr{tc.op, 0}, Instr{OpReturn, 0})
+			res := run(t, p)
+			if res.Return.Kind != KindInt || res.Return.I != tc.want {
+				t.Fatalf("%d %s %d = %s, want %d", tc.a, tc.op, tc.b, res.Return, tc.want)
+			}
+		})
+	}
+}
+
+func TestArithmeticFloatPromotion(t *testing.T) {
+	// int + float promotes to float.
+	p := prog1(0, 0, []Value{Int(1), Float(2.5)},
+		Instr{OpPushConst, 0}, Instr{OpPushConst, 1}, Instr{OpAdd, 0}, Instr{OpReturn, 0})
+	res := run(t, p)
+	if res.Return.Kind != KindFloat || res.Return.F != 3.5 {
+		t.Fatalf("1 + 2.5 = %s, want 3.5", res.Return)
+	}
+}
+
+func TestFloatDivByZeroIsIEEE(t *testing.T) {
+	p := prog1(0, 0, []Value{Float(1), Float(0)},
+		Instr{OpPushConst, 0}, Instr{OpPushConst, 1}, Instr{OpDiv, 0}, Instr{OpReturn, 0})
+	res := run(t, p)
+	if !math.IsInf(res.Return.F, 1) {
+		t.Fatalf("1.0/0.0 = %s, want +Inf", res.Return)
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	p := prog1(0, 0, []Value{Str("foo"), Str("bar")},
+		Instr{OpPushConst, 0}, Instr{OpPushConst, 1}, Instr{OpAdd, 0}, Instr{OpReturn, 0})
+	res := run(t, p)
+	if res.Return.S != "foobar" {
+		t.Fatalf("concat = %s", res.Return)
+	}
+}
+
+func TestIntDivByZeroFaults(t *testing.T) {
+	p := prog1(0, 0, []Value{Int(1), Int(0)},
+		Instr{OpPushConst, 0}, Instr{OpPushConst, 1}, Instr{OpDiv, 0}, Instr{OpReturn, 0})
+	f := runFault(t, p, FaultDivByZero)
+	if f.Func != "main" || f.PC != 2 {
+		t.Fatalf("fault location = %s+%d, want main+2", f.Func, f.PC)
+	}
+}
+
+func TestModByZeroFaults(t *testing.T) {
+	p := prog1(0, 0, []Value{Int(1), Int(0)},
+		Instr{OpPushConst, 0}, Instr{OpPushConst, 1}, Instr{OpMod, 0}, Instr{OpReturn, 0})
+	runFault(t, p, FaultDivByZero)
+}
+
+func TestTypeMismatchArith(t *testing.T) {
+	p := prog1(0, 0, []Value{Str("x"), Int(1)},
+		Instr{OpPushConst, 0}, Instr{OpPushConst, 1}, Instr{OpMul, 0}, Instr{OpReturn, 0})
+	runFault(t, p, FaultTypeMismatch)
+}
+
+func TestComparisons(t *testing.T) {
+	tests := []struct {
+		op     Op
+		a, b   Value
+		want   bool
+		expect bool // false => expect type fault
+	}{
+		{OpLt, Int(1), Int(2), true, true},
+		{OpLe, Int(2), Int(2), true, true},
+		{OpGt, Float(2.5), Int(2), true, true},
+		{OpGe, Int(1), Float(1.5), false, true},
+		{OpEq, Str("a"), Str("a"), true, true},
+		{OpNe, Str("a"), Str("b"), true, true},
+		{OpEq, Int(2), Float(2), true, true},   // numeric cross-kind equality
+		{OpEq, Int(1), Str("1"), false, true},  // cross-kind is unequal, not a fault
+		{OpLt, Str("a"), Str("b"), true, true}, // string ordering
+		{OpLt, Int(1), Str("b"), false, false}, // ordering across kinds faults
+	}
+	for _, tc := range tests {
+		p := prog1(0, 0, []Value{tc.a, tc.b},
+			Instr{OpPushConst, 0}, Instr{OpPushConst, 1}, Instr{tc.op, 0}, Instr{OpReturn, 0})
+		if !tc.expect {
+			runFault(t, p, FaultTypeMismatch)
+			continue
+		}
+		res := run(t, p)
+		if res.Return.Kind != KindBool || res.Return.AsBool() != tc.want {
+			t.Errorf("%s %s %s = %s, want %v", tc.a, tc.op, tc.b, res.Return, tc.want)
+		}
+	}
+}
+
+func TestNegAndNot(t *testing.T) {
+	p := prog1(0, 0, []Value{Int(5)},
+		Instr{OpPushConst, 0}, Instr{OpNeg, 0}, Instr{OpReturn, 0})
+	if res := run(t, p); res.Return.I != -5 {
+		t.Fatalf("neg = %s", res.Return)
+	}
+	p = prog1(0, 0, nil,
+		Instr{OpPushTrue, 0}, Instr{OpNot, 0}, Instr{OpReturn, 0})
+	if res := run(t, p); res.Return.AsBool() {
+		t.Fatalf("!true should be false")
+	}
+}
+
+func TestLocalsAndParams(t *testing.T) {
+	// main(a, b) { c = a*10; return c + b }
+	p := prog1(2, 3, nil,
+		Instr{OpLoadLocal, 0},
+		Instr{OpPushInt, 10},
+		Instr{OpMul, 0},
+		Instr{OpStoreLocal, 2},
+		Instr{OpLoadLocal, 2},
+		Instr{OpLoadLocal, 1},
+		Instr{OpAdd, 0},
+		Instr{OpReturn, 0},
+	)
+	res := run(t, p, Int(4), Int(3))
+	if res.Return.I != 43 {
+		t.Fatalf("result = %s, want 43", res.Return)
+	}
+}
+
+func TestWrongParamCount(t *testing.T) {
+	p := prog1(2, 2, nil, Instr{OpReturn0, 0})
+	_, err := New(p, DefaultConfig()).Run(Int(1))
+	if err == nil {
+		t.Fatal("expected param-count error")
+	}
+}
+
+func TestJumpLoop(t *testing.T) {
+	// sum = 0; i = 0; while i < n { sum += i; i++ }; return sum
+	p := prog1(1, 3, nil,
+		Instr{OpPushInt, 0}, Instr{OpStoreLocal, 1}, // sum = 0
+		Instr{OpPushInt, 0}, Instr{OpStoreLocal, 2}, // i = 0
+		// loop head (pc 4)
+		Instr{OpLoadLocal, 2}, Instr{OpLoadLocal, 0}, Instr{OpLt, 0},
+		Instr{OpJumpIfFalse, 16},
+		Instr{OpLoadLocal, 1}, Instr{OpLoadLocal, 2}, Instr{OpAdd, 0}, Instr{OpStoreLocal, 1},
+		Instr{OpLoadLocal, 2}, Instr{OpPushInt, 1}, Instr{OpAdd, 0}, Instr{OpStoreLocal, 2},
+		// (pc 16 target below)
+	)
+	p.Funcs[0].Code = append(p.Funcs[0].Code[:16],
+		Instr{OpLoadLocal, 1}, Instr{OpReturn, 0})
+	// fix the loop-back jump: insert before return (we appended at 16, so
+	// jump back to 4 must be at pc 16; rebuild properly instead)
+	code := p.Funcs[0].Code[:16]
+	code = append(code, Instr{OpJump, 4})
+	code = append(code, Instr{OpLoadLocal, 1}, Instr{OpReturn, 0})
+	// Now the JumpIfFalse target must be 17 (the load after jump-back).
+	code[7] = Instr{OpJumpIfFalse, 17}
+	p.Funcs[0].Code = code
+
+	res := run(t, p, Int(10))
+	if res.Return.I != 45 {
+		t.Fatalf("sum 0..9 = %s, want 45", res.Return)
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	// add3(x) { return x + 3 }  main(a) { return add3(a) * 2 }
+	p := &Program{
+		Funcs: []FuncProto{
+			{Name: "main", NumParams: 1, NumLocals: 1, Code: []Instr{
+				{OpLoadLocal, 0},
+				{OpCall, 1},
+				{OpPushInt, 2},
+				{OpMul, 0},
+				{OpReturn, 0},
+			}},
+			{Name: "add3", NumParams: 1, NumLocals: 1, Code: []Instr{
+				{OpLoadLocal, 0},
+				{OpPushInt, 3},
+				{OpAdd, 0},
+				{OpReturn, 0},
+			}},
+		},
+		Entry: 0,
+	}
+	res := run(t, p, Int(5))
+	if res.Return.I != 16 {
+		t.Fatalf("main(5) = %s, want 16", res.Return)
+	}
+}
+
+func TestRecursionFibonacci(t *testing.T) {
+	// fib(n) { if n < 2 return n; return fib(n-1) + fib(n-2) }
+	p := &Program{
+		Funcs: []FuncProto{
+			{Name: "fib", NumParams: 1, NumLocals: 1, Code: []Instr{
+				{OpLoadLocal, 0}, {OpPushInt, 2}, {OpLt, 0},
+				{OpJumpIfFalse, 6},
+				{OpLoadLocal, 0}, {OpReturn, 0},
+				{OpLoadLocal, 0}, {OpPushInt, 1}, {OpSub, 0}, {OpCall, 0},
+				{OpLoadLocal, 0}, {OpPushInt, 2}, {OpSub, 0}, {OpCall, 0},
+				{OpAdd, 0}, {OpReturn, 0},
+			}},
+		},
+	}
+	res := run(t, p, Int(15))
+	if res.Return.I != 610 {
+		t.Fatalf("fib(15) = %s, want 610", res.Return)
+	}
+}
+
+func TestInfiniteRecursionFaults(t *testing.T) {
+	p := &Program{
+		Funcs: []FuncProto{{Name: "loop", NumParams: 0, NumLocals: 0, Code: []Instr{
+			{OpCall, 0}, {OpReturn0, 0},
+		}}},
+	}
+	runFault(t, p, FaultStackOverflow)
+}
+
+func TestOutOfFuel(t *testing.T) {
+	p := prog1(0, 0, nil,
+		Instr{OpJump, 0}) // spin forever
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Fuel = 1000
+	_, err := New(p, cfg).Run()
+	f, ok := AsFault(err)
+	if !ok || f.Code != FaultOutOfFuel {
+		t.Fatalf("want out_of_fuel, got %v", err)
+	}
+}
+
+func TestFuelAccounting(t *testing.T) {
+	p := prog1(0, 0, nil,
+		Instr{OpPushInt, 1}, Instr{OpPushInt, 2}, Instr{OpAdd, 0}, Instr{OpReturn, 0})
+	res := run(t, p)
+	if res.FuelUsed != 4 {
+		t.Fatalf("fuel used = %d, want 4", res.FuelUsed)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	// a = [10, 20, 30]; a[1] = 5; return a[0] + a[1] + len(a)
+	p := prog1(0, 1, nil,
+		Instr{OpPushInt, 10}, Instr{OpPushInt, 20}, Instr{OpPushInt, 30},
+		Instr{OpNewArray, 3}, Instr{OpStoreLocal, 0},
+		Instr{OpLoadLocal, 0}, Instr{OpPushInt, 1}, Instr{OpPushInt, 5}, Instr{OpSetIndex, 0},
+		Instr{OpLoadLocal, 0}, Instr{OpPushInt, 0}, Instr{OpIndex, 0},
+		Instr{OpLoadLocal, 0}, Instr{OpPushInt, 1}, Instr{OpIndex, 0},
+		Instr{OpAdd, 0},
+		Instr{OpLoadLocal, 0}, Instr{OpLen, 0},
+		Instr{OpAdd, 0},
+		Instr{OpReturn, 0},
+	)
+	res := run(t, p)
+	if res.Return.I != 18 {
+		t.Fatalf("result = %s, want 18", res.Return)
+	}
+}
+
+func TestArrayIndexOutOfRange(t *testing.T) {
+	p := prog1(0, 0, nil,
+		Instr{OpPushInt, 1}, Instr{OpNewArray, 1},
+		Instr{OpPushInt, 5}, Instr{OpIndex, 0}, Instr{OpReturn, 0})
+	runFault(t, p, FaultIndexRange)
+}
+
+func TestNegativeIndexFaults(t *testing.T) {
+	p := prog1(0, 0, nil,
+		Instr{OpPushInt, 1}, Instr{OpNewArray, 1},
+		Instr{OpPushInt, -1}, Instr{OpIndex, 0}, Instr{OpReturn, 0})
+	runFault(t, p, FaultIndexRange)
+}
+
+func TestStringIndexYieldsByte(t *testing.T) {
+	p := prog1(0, 0, []Value{Str("AB")},
+		Instr{OpPushConst, 0}, Instr{OpPushInt, 1}, Instr{OpIndex, 0}, Instr{OpReturn, 0})
+	res := run(t, p)
+	if res.Return.I != 'B' {
+		t.Fatalf("\"AB\"[1] = %s, want %d", res.Return, 'B')
+	}
+}
+
+func TestAppendGrowsSharedArray(t *testing.T) {
+	// Arrays are reference values: append mutates in place.
+	p := prog1(0, 2, nil,
+		Instr{OpNewArray, 0}, Instr{OpStoreLocal, 0},
+		Instr{OpLoadLocal, 0}, Instr{OpStoreLocal, 1}, // alias
+		Instr{OpLoadLocal, 0}, Instr{OpPushInt, 42}, Instr{OpAppend, 0}, Instr{OpPop, 0},
+		Instr{OpLoadLocal, 1}, Instr{OpLen, 0}, Instr{OpReturn, 0},
+	)
+	res := run(t, p)
+	if res.Return.I != 1 {
+		t.Fatalf("alias len = %s, want 1", res.Return)
+	}
+}
+
+func TestHeapLimit(t *testing.T) {
+	// Loop appending forever must trip the heap limit, not OOM the host.
+	p := prog1(0, 1, nil,
+		Instr{OpNewArray, 0}, Instr{OpStoreLocal, 0},
+		Instr{OpLoadLocal, 0}, Instr{OpPushInt, 1}, Instr{OpAppend, 0}, Instr{OpPop, 0},
+		Instr{OpJump, 2},
+	)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxHeap = 100
+	_, err := New(p, cfg).Run()
+	f, ok := AsFault(err)
+	if !ok || f.Code != FaultOutOfMemory {
+		t.Fatalf("want out_of_memory, got %v", err)
+	}
+}
+
+func TestOperandStackLimit(t *testing.T) {
+	p := prog1(0, 0, nil,
+		Instr{OpPushInt, 1}, Instr{OpJump, 0})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxStack = 64
+	_, err := New(p, cfg).Run()
+	f, ok := AsFault(err)
+	if !ok || f.Code != FaultStackOverflow {
+		t.Fatalf("want stack_overflow, got %v", err)
+	}
+}
+
+func TestFallOffEndReturnsNil(t *testing.T) {
+	p := prog1(0, 0, nil, Instr{OpNop, 0})
+	res := run(t, p)
+	if !res.Return.IsNil() {
+		t.Fatalf("implicit return = %s, want nil", res.Return)
+	}
+}
+
+func TestEmitCollectsResults(t *testing.T) {
+	p := prog1(0, 0, []Value{Str("x")},
+		Instr{OpPushInt, 1}, Instr{OpCallB, int32(BEmit)<<8 | 1}, Instr{OpPop, 0},
+		Instr{OpPushConst, 0}, Instr{OpCallB, int32(BEmit)<<8 | 1}, Instr{OpPop, 0},
+		Instr{OpReturn0, 0},
+	)
+	res := run(t, p)
+	if len(res.Emitted) != 2 || res.Emitted[0].I != 1 || res.Emitted[1].S != "x" {
+		t.Fatalf("emitted = %v", res.Emitted)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	p := prog1(0, 0, nil,
+		Instr{OpCallB, int32(BRand)<<8 | 0}, Instr{OpReturn, 0})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	r1, err := New(p, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(p, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Return.F != r2.Return.F {
+		t.Fatalf("same seed produced different rand: %v vs %v", r1.Return.F, r2.Return.F)
+	}
+	if r1.Return.F < 0 || r1.Return.F >= 1 {
+		t.Fatalf("rand out of [0,1): %v", r1.Return.F)
+	}
+	cfg.Seed = 43
+	r3, err := New(p, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Return.F == r1.Return.F {
+		t.Fatalf("different seeds produced identical rand")
+	}
+}
+
+func TestResultHashStableAcrossRuns(t *testing.T) {
+	p := prog1(0, 0, nil,
+		Instr{OpPushInt, 7}, Instr{OpCallB, int32(BEmit)<<8 | 1}, Instr{OpPop, 0},
+		Instr{OpPushInt, 9}, Instr{OpReturn, 0})
+	r1 := run(t, p)
+	r2 := run(t, p)
+	if r1.Hash() != r2.Hash() {
+		t.Fatal("hashes of identical runs differ")
+	}
+}
+
+func TestUserAbort(t *testing.T) {
+	p := prog1(0, 0, []Value{Str("boom")},
+		Instr{OpPushConst, 0}, Instr{OpCallB, int32(BAbort)<<8 | 1}, Instr{OpReturn0, 0})
+	f := runFault(t, p, FaultUserAbort)
+	if !strings.Contains(f.Msg, "boom") {
+		t.Fatalf("abort message lost: %v", f)
+	}
+}
+
+func TestExecuteRejectsNilAndInvalid(t *testing.T) {
+	if _, err := Execute(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	bad := prog1(0, 0, nil, Instr{OpPushConst, 99})
+	if _, err := Execute(bad, DefaultConfig()); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Nil(), "nil"},
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{Bool(true), "true"},
+		{Str("a\"b"), `"a\"b"`},
+		{Arr(Int(1), Str("x")), `[1, "x"]`},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", tc.v.Kind, got, tc.want)
+		}
+	}
+}
+
+func TestValueCloneIsDeep(t *testing.T) {
+	orig := Arr(Arr(Int(1)), Int(2))
+	clone := orig.Clone()
+	clone.A.Elems[0].A.Elems[0] = Int(99)
+	if orig.A.Elems[0].A.Elems[0].I != 1 {
+		t.Fatal("clone shares nested storage with original")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Arr(Int(1), Str("a")).Equal(Arr(Int(1), Str("a"))) {
+		t.Fatal("equal arrays not Equal")
+	}
+	if Arr(Int(1)).Equal(Arr(Int(2))) {
+		t.Fatal("unequal arrays Equal")
+	}
+	if Int(1).Equal(Float(1)) {
+		t.Fatal("Equal must be kind-sensitive (voting depends on it)")
+	}
+	nan := Float(math.NaN())
+	if !nan.Equal(nan) {
+		t.Fatal("NaN should equal NaN for voting purposes")
+	}
+}

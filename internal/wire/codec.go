@@ -1,0 +1,208 @@
+// Package wire implements the Tasklet middleware's TCP protocol: a
+// length-prefixed binary framing layer and the message vocabulary spoken
+// between consumers, the broker, and providers.
+//
+// The codec is hand-rolled and versioned (no gob/JSON): frames are
+// deterministic, bounded, and decodable by any implementation of the spec.
+// Frame layout:
+//
+//	u32 payload length | u8 message type | payload
+//
+// Integers are big-endian. Strings and byte slices are u32-length-prefixed.
+// TVM values use the tvm value encoding (shared with program constants).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tvm"
+)
+
+// MaxFrame bounds a frame payload. Programs and parameter sets for large
+// jobs must fit; 64 MiB is far beyond any workload in this repository while
+// still preventing a hostile peer from forcing unbounded allocation.
+const MaxFrame = 64 << 20
+
+// enc accumulates an encoded payload.
+type enc struct {
+	buf []byte
+	err error
+}
+
+func (e *enc) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *enc) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *enc) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *enc) boolv(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *enc) value(v tvm.Value) {
+	if e.err != nil {
+		return
+	}
+	b, err := tvm.AppendValue(e.buf, v)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.buf = b
+}
+
+func (e *enc) values(vs []tvm.Value) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.value(v)
+	}
+}
+
+// dec is a cursor over a received payload with a sticky error.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+var errShort = errors.New("wire: truncated message")
+
+func (d *dec) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail(errShort)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if d.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u16() uint16 {
+	b := d.take(2)
+	if d.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if d.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if d.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *dec) i64() int64     { return int64(d.u64()) }
+func (d *dec) f64() float64   { return math.Float64frombits(d.u64()) }
+func (d *dec) boolv() bool    { return d.u8() != 0 }
+func (d *dec) remaining() int { return len(d.buf) - d.off }
+
+func (d *dec) str() string {
+	n := d.u32()
+	if d.err == nil && int(n) > d.remaining() {
+		d.fail(errShort)
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+func (d *dec) bytesv() []byte {
+	n := d.u32()
+	if d.err == nil && int(n) > d.remaining() {
+		d.fail(errShort)
+		return nil
+	}
+	b := d.take(int(n))
+	if d.err != nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func (d *dec) value() tvm.Value {
+	if d.err != nil {
+		return tvm.Value{}
+	}
+	v, n, err := tvm.DecodeValue(d.buf[d.off:])
+	if err != nil {
+		d.fail(fmt.Errorf("wire: bad value: %w", err))
+		return tvm.Value{}
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) values() []tvm.Value {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if int(n) > d.remaining() { // every value takes >= 1 byte
+		d.fail(errShort)
+		return nil
+	}
+	vs := make([]tvm.Value, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		vs = append(vs, d.value())
+	}
+	return vs
+}
+
+// finish returns an error if decoding failed or left trailing bytes.
+func (d *dec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", d.remaining())
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Marshal encodes a message into a complete frame (length, type, payload).
+func Marshal(m Message) ([]byte, error) {
+	var e enc
+	m.encode(&e)
+	if e.err != nil {
+		return nil, fmt.Errorf("wire: encode %s: %w", m.Type(), e.err)
+	}
+	if len(e.buf) > MaxFrame {
+		return nil, fmt.Errorf("wire: %s payload %d exceeds frame limit", m.Type(), len(e.buf))
+	}
+	frame := make([]byte, 0, 5+len(e.buf))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(e.buf)))
+	frame = append(frame, byte(m.Type()))
+	frame = append(frame, e.buf...)
+	return frame, nil
+}
+
+// Unmarshal decodes a payload of the given type.
+func Unmarshal(t MsgType, payload []byte) (Message, error) {
+	m, err := newMessage(t)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{buf: payload}
+	m.decode(&d)
+	if err := d.finish(); err != nil {
+		return nil, fmt.Errorf("wire: decode %s: %w", t, err)
+	}
+	return m, nil
+}
+
+// Conn wraps a net.Conn with buffered, mutex-protected message I/O. Reads
+// and writes may proceed concurrently (one reader, any number of writers).
+type Conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	// ReadTimeout, when nonzero, bounds each ReadMessage call.
+	ReadTimeout time.Duration
+}
+
+// NewConn wraps nc.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		r:  bufio.NewReaderSize(nc, 64<<10),
+		w:  bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Send encodes and writes one message, flushing the buffer. Safe for
+// concurrent use.
+func (c *Conn) Send(m Message) error {
+	frame, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(frame); err != nil {
+		return fmt.Errorf("wire: send %s: %w", m.Type(), err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush %s: %w", m.Type(), err)
+	}
+	return nil
+}
+
+// Recv reads and decodes the next message. Only one goroutine may call
+// Recv at a time.
+func (c *Conn) Recv() (Message, error) {
+	if c.ReadTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.ReadTimeout)); err != nil {
+			return nil, err
+		}
+	} else if err := c.nc.SetReadDeadline(time.Time{}); err != nil {
+		// A deadline armed by an earlier Recv (e.g. during the handshake)
+		// must not linger once the timeout is disabled.
+		return nil, err
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	t := MsgType(hdr[4])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading %s payload: %w", t, err)
+	}
+	return Unmarshal(t, payload)
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }

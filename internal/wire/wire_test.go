@@ -1,0 +1,272 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tvm"
+)
+
+// allMessages returns one populated instance of every message type.
+func allMessages() []Message {
+	return []Message{
+		&Hello{Version: ProtocolVersion, Role: RoleProvider, Name: "node-7"},
+		&Welcome{ID: 42},
+		&ErrorMsg{Code: ErrCodeBadJob, Msg: "no such program"},
+		&Register{Slots: 4, Class: core.ClassLaptop, Speed: 123.5},
+		&Heartbeat{FreeSlots: 2},
+		&Assign{
+			Attempt: 9, Tasklet: 8, Program: 77,
+			ProgramData: []byte{1, 2, 3},
+			Params:      []tvm.Value{tvm.Int(1), tvm.Str("x"), tvm.Arr(tvm.Float(2.5))},
+			Fuel:        1000, Seed: 5,
+		},
+		&CancelAttempt{Attempt: 9},
+		&AttemptResult{
+			Attempt: 9, Tasklet: 8, Status: core.StatusFault,
+			Return:    tvm.Nil(),
+			Emitted:   []tvm.Value{tvm.Int(3)},
+			FaultCode: tvm.FaultOutOfFuel, FaultMsg: "budget exhausted",
+			FuelUsed: 999, ExecNanos: 12345,
+		},
+		&SubmitJob{
+			Program: []byte{9, 9, 9},
+			Params:  [][]tvm.Value{{tvm.Int(1)}, {tvm.Int(2)}},
+			QoC: core.QoC{
+				Mode: core.QoCVoting, Replicas: 3, MaxRetries: 2,
+				Deadline: 5 * time.Second, PreferFast: true,
+			},
+			Fuel: 10_000, Seed: 1,
+		},
+		&JobAccepted{Job: 3, Tasklets: 128},
+		&ResultPush{
+			Job: 3, Tasklet: 8, Index: 17, Status: core.StatusOK,
+			Return:   tvm.Float(3.14),
+			Emitted:  []tvm.Value{tvm.Str("out")},
+			Provider: 2, Attempts: 2, ExecNanos: 777,
+		},
+		&JobDone{Job: 3, Completed: 120, Failed: 8},
+		&CancelJob{Job: 3},
+		&Bye{},
+		&QueryFleet{},
+		&FleetInfo{
+			Providers: []ProviderEntry{
+				{ID: 1, Class: core.ClassServer, Slots: 4, FreeSlots: 2,
+					Speed: 200.5, Reliability: 0.95, Executed: 1234},
+				{ID: 2, Class: core.ClassMobile, Slots: 1, FreeSlots: 1, Speed: 25},
+			},
+			Pending: 7,
+		},
+	}
+}
+
+func TestMarshalRoundTripAllTypes(t *testing.T) {
+	for _, m := range allMessages() {
+		t.Run(m.Type().String(), func(t *testing.T) {
+			frame, err := Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := frame[5:]
+			got, err := Unmarshal(m.Type(), payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(m, got) {
+				t.Fatalf("round trip:\n in: %#v\nout: %#v", m, got)
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	for _, m := range allMessages() {
+		frame, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := frame[5:]
+		for cut := 1; cut <= len(payload); cut++ {
+			if _, err := Unmarshal(m.Type(), payload[:len(payload)-cut]); err == nil {
+				// Some prefixes of variable-length messages can decode by
+				// coincidence only if every field is length-guarded; any
+				// success here is a framing bug.
+				t.Fatalf("%s: truncation by %d accepted", m.Type(), cut)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailing(t *testing.T) {
+	frame, _ := Marshal(&Welcome{ID: 1})
+	payload := append(frame[5:], 0xAB)
+	if _, err := Unmarshal(TypeWelcome, payload); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestUnmarshalUnknownType(t *testing.T) {
+	if _, err := Unmarshal(MsgType(250), nil); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+// Property: random byte payloads never panic the decoder.
+func TestUnmarshalRobustProperty(t *testing.T) {
+	f := func(tByte uint8, payload []byte) bool {
+		_, _ = Unmarshal(MsgType(tByte%20), payload)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitJobRejectsHugeParamCount(t *testing.T) {
+	// Claiming 2^31 parameter sets in a small buffer must fail fast.
+	var e enc
+	e.bytes([]byte("prog"))
+	e.u32(1 << 31)
+	if _, err := Unmarshal(TypeSubmitJob, e.buf); err == nil {
+		t.Fatal("absurd param count accepted")
+	}
+}
+
+func TestConnSendRecv(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	cc, sc := NewConn(client), NewConn(server)
+
+	done := make(chan error, 1)
+	go func() {
+		for _, m := range allMessages() {
+			if err := cc.Send(m); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	for _, want := range allMessages() {
+		got, err := sc.Recv()
+		if err != nil {
+			t.Fatalf("recv %s: %v", want.Type(), err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("over pipe:\n in: %#v\nout: %#v", want, got)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+func TestConnRecvTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			defer conn.Close()
+			time.Sleep(200 * time.Millisecond)
+		}
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(nc)
+	defer c.Close()
+	c.ReadTimeout = 30 * time.Millisecond
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestConnRejectsOversizedFrame(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(TypeHello)}
+		client.Write(hdr)
+	}()
+	sc := NewConn(server)
+	if _, err := sc.Recv(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestConcurrentSendersInterleaveWholeFrames(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	cc, sc := NewConn(client), NewConn(server)
+
+	const perSender, senders = 50, 4
+	for i := 0; i < senders; i++ {
+		go func(id int) {
+			for j := 0; j < perSender; j++ {
+				_ = cc.Send(&Heartbeat{FreeSlots: id})
+			}
+		}(i)
+	}
+	counts := map[int]int{}
+	for i := 0; i < senders*perSender; i++ {
+		m, err := sc.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		hb, ok := m.(*Heartbeat)
+		if !ok {
+			t.Fatalf("frame corrupted: got %T", m)
+		}
+		counts[hb.FreeSlots]++
+	}
+	for i := 0; i < senders; i++ {
+		if counts[i] != perSender {
+			t.Fatalf("sender %d delivered %d frames, want %d", i, counts[i], perSender)
+		}
+	}
+}
+
+func TestMarshalFrameLayout(t *testing.T) {
+	frame, err := Marshal(&Welcome{ID: 0x0102030405060708})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0, 0, 0, 8, // payload length
+		byte(TypeWelcome),
+		1, 2, 3, 4, 5, 6, 7, 8,
+	}
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("frame = %x, want %x", frame, want)
+	}
+}
+
+func TestValueArraysSurviveWire(t *testing.T) {
+	nested := tvm.Arr(tvm.Arr(tvm.Int(1), tvm.Int(2)), tvm.Str("deep"), tvm.Nil())
+	m := &Assign{Params: []tvm.Value{nested}}
+	frame, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(TypeAssign, frame[5:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.(*Assign).Params[0].Equal(nested) {
+		t.Fatalf("nested array mangled: %s", got.(*Assign).Params[0])
+	}
+}

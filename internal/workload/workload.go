@@ -1,0 +1,198 @@
+// Package workload generates the fleets, task batches and arrival processes
+// the experiments sweep over: homogeneous and mixed device fleets with
+// controlled speed spread, fixed and heavy-tailed tasklet sizes, closed
+// batches and open Poisson arrivals. All generators are deterministic given
+// their seed.
+package workload
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// rng is a self-contained xorshift64* generator.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (r *rng) uniform() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// exp samples an exponential with the given mean.
+func (r *rng) exp(mean float64) float64 {
+	u := r.uniform()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(u)
+}
+
+// ---------- fleets ----------
+
+// Homogeneous builds n identical devices.
+func Homogeneous(n int, class core.DeviceClass, slots int) []sim.DeviceSpec {
+	devs := make([]sim.DeviceSpec, n)
+	for i := range devs {
+		devs[i] = sim.DeviceSpec{Class: class, Slots: slots}
+	}
+	return devs
+}
+
+// PaperMix reproduces the device mix of the paper's testbed era: a couple
+// of servers, office desktops, laptops, and a tail of phones. The slice
+// cycles through the mix to reach n devices.
+func PaperMix(n int) []sim.DeviceSpec {
+	pattern := []sim.DeviceSpec{
+		{Class: core.ClassServer, Slots: 4},
+		{Class: core.ClassDesktop, Slots: 2},
+		{Class: core.ClassDesktop, Slots: 2},
+		{Class: core.ClassLaptop, Slots: 2},
+		{Class: core.ClassLaptop, Slots: 1},
+		{Class: core.ClassMobile, Slots: 1},
+		{Class: core.ClassMobile, Slots: 1},
+		{Class: core.ClassMobile, Slots: 1},
+	}
+	devs := make([]sim.DeviceSpec, n)
+	for i := range devs {
+		devs[i] = pattern[i%len(pattern)]
+	}
+	return devs
+}
+
+// SpreadFleet builds n single-slot devices whose speeds are log-uniformly
+// spread over [base/sqrt(spread), base*sqrt(spread)]; spread = 1 is
+// homogeneous. The heterogeneity experiment (E4) sweeps spread while
+// holding aggregate capacity roughly constant.
+func SpreadFleet(n int, base float64, spread float64, seed uint64) []sim.DeviceSpec {
+	r := newRNG(seed)
+	if spread < 1 {
+		spread = 1
+	}
+	devs := make([]sim.DeviceSpec, n)
+	for i := range devs {
+		// log-uniform in [-ln(sqrt(spread)), +ln(sqrt(spread))]
+		e := (r.uniform() - 0.5) * math.Log(spread)
+		devs[i] = sim.DeviceSpec{
+			Class: core.ClassDesktop,
+			Slots: 1,
+			Speed: base * math.Exp(e),
+		}
+	}
+	return devs
+}
+
+// WithChurn returns a copy of the fleet with every device given the same
+// exponential failure/recovery behaviour.
+func WithChurn(devs []sim.DeviceSpec, mtbf, mttr time.Duration) []sim.DeviceSpec {
+	out := make([]sim.DeviceSpec, len(devs))
+	copy(out, devs)
+	for i := range out {
+		out[i].MTBF = mtbf
+		out[i].MTTR = mttr
+	}
+	return out
+}
+
+// TotalSpeed sums the fleet's aggregate capacity in Mops/s, counting each
+// slot at the device's full speed (slots model independent cores).
+func TotalSpeed(devs []sim.DeviceSpec) float64 {
+	var total float64
+	for _, d := range devs {
+		slots := d.Slots
+		if slots <= 0 {
+			slots = 1
+		}
+		speed := d.Speed
+		if speed <= 0 {
+			speed = 100 * core.ClassSpeedFactor(d.Class)
+		}
+		total += speed * float64(slots)
+	}
+	return total
+}
+
+// ---------- task batches ----------
+
+// Batch builds n tasklets of fixed fuel arriving at time zero (a closed
+// batch: the scaling and makespan experiments use it).
+func Batch(n int, fuel uint64, q core.QoC) []sim.TaskSpec {
+	tasks := make([]sim.TaskSpec, n)
+	for i := range tasks {
+		tasks[i] = sim.TaskSpec{Fuel: fuel, QoC: q}
+	}
+	return tasks
+}
+
+// Poisson builds n tasklets with exponential inter-arrival times at the
+// given rate (tasklets/second). The open-system experiments (E4, E7) use
+// it to control offered load.
+func Poisson(n int, fuel uint64, rate float64, q core.QoC, seed uint64) []sim.TaskSpec {
+	r := newRNG(seed)
+	tasks := make([]sim.TaskSpec, n)
+	var at float64
+	for i := range tasks {
+		at += r.exp(1 / rate)
+		tasks[i] = sim.TaskSpec{
+			Fuel:    fuel,
+			Arrival: time.Duration(at * float64(time.Second)),
+			QoC:     q,
+		}
+	}
+	return tasks
+}
+
+// HeavyTailed builds n tasklets whose fuel follows a bounded Pareto
+// distribution (alpha 1.5) between min and max fuel — the classic
+// "most tasklets small, a few huge" compute workload shape.
+func HeavyTailed(n int, minFuel, maxFuel uint64, q core.QoC, seed uint64) []sim.TaskSpec {
+	r := newRNG(seed)
+	const alpha = 1.5
+	lo, hi := float64(minFuel), float64(maxFuel)
+	tasks := make([]sim.TaskSpec, n)
+	for i := range tasks {
+		// Inverse-CDF sampling of a bounded Pareto.
+		u := r.uniform()
+		x := math.Pow(
+			math.Pow(lo, -alpha)-u*(math.Pow(lo, -alpha)-math.Pow(hi, -alpha)),
+			-1/alpha,
+		)
+		tasks[i] = sim.TaskSpec{Fuel: uint64(x), QoC: q}
+	}
+	return tasks
+}
+
+// TotalFuel sums a batch's work.
+func TotalFuel(tasks []sim.TaskSpec) uint64 {
+	var total uint64
+	for _, t := range tasks {
+		total += t.Fuel
+	}
+	return total
+}
+
+// IdealMakespan is the lower bound on makespan for a closed batch: total
+// work divided by aggregate fleet speed.
+func IdealMakespan(tasks []sim.TaskSpec, devs []sim.DeviceSpec) time.Duration {
+	speed := TotalSpeed(devs)
+	if speed <= 0 {
+		return 0
+	}
+	secs := float64(TotalFuel(tasks)) / (speed * 1e6)
+	return time.Duration(secs * float64(time.Second))
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestHomogeneous(t *testing.T) {
+	devs := Homogeneous(5, core.ClassLaptop, 2)
+	if len(devs) != 5 {
+		t.Fatalf("len = %d", len(devs))
+	}
+	for _, d := range devs {
+		if d.Class != core.ClassLaptop || d.Slots != 2 {
+			t.Fatalf("device = %+v", d)
+		}
+	}
+}
+
+func TestPaperMixCyclesAndContainsClasses(t *testing.T) {
+	devs := PaperMix(20)
+	if len(devs) != 20 {
+		t.Fatalf("len = %d", len(devs))
+	}
+	seen := map[core.DeviceClass]bool{}
+	for _, d := range devs {
+		seen[d.Class] = true
+	}
+	for _, c := range []core.DeviceClass{core.ClassServer, core.ClassDesktop, core.ClassLaptop, core.ClassMobile} {
+		if !seen[c] {
+			t.Fatalf("class %s missing from mix", c)
+		}
+	}
+	if devs[0].Class != devs[8].Class {
+		t.Fatal("pattern does not cycle with period 8")
+	}
+}
+
+func TestSpreadFleetBounds(t *testing.T) {
+	const base, spread = 100.0, 16.0
+	devs := SpreadFleet(200, base, spread, 7)
+	lo, hi := base/math.Sqrt(spread), base*math.Sqrt(spread)
+	var min, max float64 = math.Inf(1), 0
+	for _, d := range devs {
+		if d.Speed < lo-1e-9 || d.Speed > hi+1e-9 {
+			t.Fatalf("speed %v outside [%v, %v]", d.Speed, lo, hi)
+		}
+		min = math.Min(min, d.Speed)
+		max = math.Max(max, d.Speed)
+	}
+	if max/min < spread/2 {
+		t.Fatalf("observed spread %.1f too narrow for requested %.0f", max/min, spread)
+	}
+}
+
+func TestSpreadFleetDeterministic(t *testing.T) {
+	a := SpreadFleet(10, 100, 4, 3)
+	b := SpreadFleet(10, 100, 4, 3)
+	for i := range a {
+		if a[i].Speed != b[i].Speed {
+			t.Fatal("same seed differs")
+		}
+	}
+	c := SpreadFleet(10, 100, 4, 4)
+	same := true
+	for i := range a {
+		if a[i].Speed != c[i].Speed {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds agree")
+	}
+}
+
+func TestSpreadOneIsHomogeneous(t *testing.T) {
+	devs := SpreadFleet(10, 100, 1, 1)
+	for _, d := range devs {
+		if math.Abs(d.Speed-100) > 1e-9 {
+			t.Fatalf("spread=1 produced speed %v", d.Speed)
+		}
+	}
+}
+
+func TestWithChurnCopies(t *testing.T) {
+	orig := Homogeneous(3, core.ClassDesktop, 1)
+	churned := WithChurn(orig, time.Minute, 10*time.Second)
+	if orig[0].MTBF != 0 {
+		t.Fatal("WithChurn mutated its input")
+	}
+	for _, d := range churned {
+		if d.MTBF != time.Minute || d.MTTR != 10*time.Second {
+			t.Fatalf("churn not applied: %+v", d)
+		}
+	}
+}
+
+func TestTotalSpeed(t *testing.T) {
+	devs := []sim.DeviceSpec{
+		{Class: core.ClassDesktop, Slots: 2},            // 2 x 100
+		{Class: core.ClassServer, Slots: 1},             // 200
+		{Class: core.ClassDesktop, Slots: 1, Speed: 50}, // explicit 50
+	}
+	if got := TotalSpeed(devs); math.Abs(got-450) > 1e-9 {
+		t.Fatalf("TotalSpeed = %v, want 450", got)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	q := core.QoC{Mode: core.QoCRedundant, Replicas: 2}
+	tasks := Batch(10, 5000, q)
+	if len(tasks) != 10 {
+		t.Fatalf("len = %d", len(tasks))
+	}
+	for _, task := range tasks {
+		if task.Fuel != 5000 || task.Arrival != 0 || task.QoC != q {
+			t.Fatalf("task = %+v", task)
+		}
+	}
+	if TotalFuel(tasks) != 50000 {
+		t.Fatalf("TotalFuel = %d", TotalFuel(tasks))
+	}
+}
+
+func TestPoissonArrivalsIncreaseAndMatchRate(t *testing.T) {
+	const n, rate = 20000, 50.0
+	tasks := Poisson(n, 1000, rate, core.QoC{}, 3)
+	var last time.Duration
+	for i, task := range tasks {
+		if task.Arrival < last {
+			t.Fatalf("arrival %d goes backwards", i)
+		}
+		last = task.Arrival
+	}
+	gotRate := float64(n) / last.Seconds()
+	if math.Abs(gotRate-rate)/rate > 0.05 {
+		t.Fatalf("observed rate %.1f, want ~%.0f", gotRate, rate)
+	}
+}
+
+func TestHeavyTailedBoundsAndShape(t *testing.T) {
+	const n = 20000
+	tasks := HeavyTailed(n, 1000, 1_000_000, core.QoC{}, 9)
+	small := 0
+	for _, task := range tasks {
+		if task.Fuel < 1000 || task.Fuel > 1_000_000 {
+			t.Fatalf("fuel %d outside bounds", task.Fuel)
+		}
+		if task.Fuel < 10_000 {
+			small++
+		}
+	}
+	// Pareto alpha=1.5 between 1e3 and 1e6: the majority of samples are
+	// near the minimum.
+	if frac := float64(small) / n; frac < 0.5 {
+		t.Fatalf("only %.0f%% of tasklets are small; tail shape wrong", frac*100)
+	}
+}
+
+func TestIdealMakespan(t *testing.T) {
+	devs := Homogeneous(2, core.ClassDesktop, 1) // 200 Mops/s total
+	tasks := Batch(10, 100_000_000, core.QoC{})  // 1e9 ops
+	got := IdealMakespan(tasks, devs)
+	if math.Abs(got.Seconds()-5) > 1e-9 {
+		t.Fatalf("ideal makespan = %v, want 5s", got)
+	}
+	if IdealMakespan(tasks, nil) != 0 {
+		t.Fatal("empty fleet should return 0")
+	}
+}
+
+func TestGeneratedScenarioRunsInSimulator(t *testing.T) {
+	stats, err := sim.Run(sim.Config{
+		Devices: PaperMix(8),
+		Tasks:   HeavyTailed(100, 1_000_000, 50_000_000, core.QoC{}, 1),
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 100 {
+		t.Fatalf("completed = %d", stats.Completed)
+	}
+	ideal := IdealMakespan(HeavyTailed(100, 1_000_000, 50_000_000, core.QoC{}, 1), PaperMix(8))
+	if stats.Makespan < ideal {
+		t.Fatalf("makespan %v beat the ideal bound %v", stats.Makespan, ideal)
+	}
+}

@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench fuzz clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: everything must build, vet clean, and pass the full
+# test suite (including the fuzz seed corpus, which plain `go test` replays)
+# under the race detector.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench runs the headline interpreter benchmarks with allocation reporting.
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkVM_|BenchmarkE1_SpinVM|BenchmarkAblation_Optimize' -benchmem .
+
+# fuzz gives the program decoder + differential interpreter fuzzer a short
+# budget; lengthen FUZZTIME for deeper runs.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz FuzzProgramUnmarshal -fuzztime $(FUZZTIME) ./internal/tvm/
+
+clean:
+	$(GO) clean ./...

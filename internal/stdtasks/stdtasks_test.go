@@ -236,3 +236,46 @@ func TestNQueensMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+// TestOptimizedMatchesReference runs every standard tasklet through the
+// optimized (fused fast-path) interpreter and the reference interpreter
+// (tvm.Config.NoOptimize) and asserts identical result hashes and fuel use —
+// a differential guard for the load-time optimization pass over realistic
+// programs (loops, recursion, arrays, strings, builtins).
+func TestOptimizedMatchesReference(t *testing.T) {
+	params := map[string][]tvm.Value{
+		"grep":       {tvm.Str("info ok\nerror bad\ninfo fine\nerror worse\n"), tvm.Str("error")},
+		"mandelbrot": {tvm.Int(10), tvm.Int(32), tvm.Int(32), tvm.Int(50)},
+		"matmul":     {tvm.Int(1), tvm.Int(12)},
+		"montecarlo": {tvm.Int(5000)},
+		"noop":       {},
+		"nqueens":    {tvm.Int(6)},
+		"primes":     {tvm.Int(0), tvm.Int(500)},
+		"sortcheck":  {tvm.Int(64), tvm.Int(3)},
+		"spin":       {tvm.Int(5000)},
+		"wordcount":  {tvm.Str("the cat and the dog and the bird"), tvm.Str("the")},
+	}
+	for _, name := range Names() {
+		p, ok := params[name]
+		if !ok {
+			t.Errorf("%s: no differential params registered; add it to this test", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			prog := MustProgram(name)
+			optCfg := tvm.DefaultConfig()
+			optCfg.Seed = 7
+			opt, optErr := tvm.New(prog, optCfg).Run(p...)
+			refCfg := optCfg
+			refCfg.NoOptimize = true
+			ref, refErr := tvm.New(prog, refCfg).Run(p...)
+			if optErr != nil || refErr != nil {
+				t.Fatalf("unexpected fault: optimized %v, reference %v", optErr, refErr)
+			}
+			if opt.Hash() != ref.Hash() || opt.FuelUsed != ref.FuelUsed {
+				t.Fatalf("divergence: hash %d/%d fuel %d/%d",
+					opt.Hash(), ref.Hash(), opt.FuelUsed, ref.FuelUsed)
+			}
+		})
+	}
+}

@@ -31,6 +31,10 @@ func CompileEntry(src, entry string) (*tvm.Program, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("tasklang: generated invalid bytecode: %w", err)
 	}
+	// Build the fused fast-path stream up front so compiled programs are
+	// immutable (and optimization cost is paid once) before they are shared
+	// with concurrently running VMs.
+	prog.Optimize()
 	return prog, nil
 }
 

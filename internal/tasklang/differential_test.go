@@ -81,6 +81,37 @@ func (e dBin) eval(env []int64) (int64, bool) {
 	panic("bad op")
 }
 
+// runBothInterpreters executes a compiled program through the optimized
+// (fused fast-path) interpreter and the reference interpreter
+// (Config.NoOptimize) and asserts every observable outcome is identical:
+// Result.Hash, FuelUsed, and fault code/pc on error. It returns the
+// optimized-mode outcome, which the callers then compare against the Go-side
+// evaluation.
+func runBothInterpreters(t *testing.T, prog *tvm.Program, params ...tvm.Value) (*tvm.Result, error) {
+	t.Helper()
+	optRes, optErr := tvm.New(prog, tvm.DefaultConfig()).Run(params...)
+	refCfg := tvm.DefaultConfig()
+	refCfg.NoOptimize = true
+	refRes, refErr := tvm.New(prog, refCfg).Run(params...)
+
+	switch {
+	case optErr == nil && refErr == nil:
+		if optRes.Hash() != refRes.Hash() || optRes.FuelUsed != refRes.FuelUsed {
+			t.Fatalf("optimized/reference divergence: hash %d/%d fuel %d/%d\n%s",
+				optRes.Hash(), refRes.Hash(), optRes.FuelUsed, refRes.FuelUsed, prog.Disassemble())
+		}
+	case optErr != nil && refErr != nil:
+		of, ok1 := tvm.AsFault(optErr)
+		rf, ok2 := tvm.AsFault(refErr)
+		if !ok1 || !ok2 || of.Code != rf.Code || of.PC != rf.PC || of.Func != rf.Func {
+			t.Fatalf("optimized/reference fault divergence: %v vs %v\n%s", optErr, refErr, prog.Disassemble())
+		}
+	default:
+		t.Fatalf("optimized/reference outcome divergence: err %v vs %v\n%s", optErr, refErr, prog.Disassemble())
+	}
+	return optRes, optErr
+}
+
 // genExpr builds a random expression of bounded depth over nVars variables.
 func genExpr(r *rand.Rand, depth, nVars int) dExpr {
 	if depth <= 0 || r.Intn(3) == 0 {
@@ -125,7 +156,7 @@ func TestDifferentialRandomIntExpressions(t *testing.T) {
 		env := []int64{r.Int63n(100) - 50, r.Int63n(100) - 50, r.Int63()}
 		want, ok := tree.eval(env)
 
-		res, err := tvm.New(prog, tvm.DefaultConfig()).Run(
+		res, err := runBothInterpreters(t, prog,
 			tvm.Int(env[0]), tvm.Int(env[1]), tvm.Int(env[2]))
 		if !ok {
 			// Reference hit division by zero: the VM must fault the same
@@ -195,7 +226,7 @@ func TestDifferentialBoolExpressions(t *testing.T) {
 		if err != nil {
 			t.Fatalf("case %d: %v\n%s", i, err, src)
 		}
-		res, err := tvm.New(prog, tvm.DefaultConfig()).Run()
+		res, err := runBothInterpreters(t, prog)
 		if err != nil {
 			t.Fatalf("case %d: %v\n%s", i, err, src)
 		}

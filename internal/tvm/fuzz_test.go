@@ -20,13 +20,15 @@ func FuzzProgramUnmarshal(f *testing.F) {
 		}
 		// Decoded implies validated; run it to shake out interpreter
 		// assumptions. Zero-value (nil) parameters are legal dynamic
-		// values for any kind check.
+		// values for any kind check. Every accepted program doubles as a
+		// differential probe of the load-time optimization pass: the fused
+		// and straight streams must agree on every observable outcome.
 		params := make([]Value, p.EntryFunc().NumParams)
 		cfg := Config{
 			Fuel: 5_000, MaxStack: 512, MaxCall: 32,
 			MaxHeap: 2048, MaxEmit: 32, MaxPrint: 4, Seed: 1,
 		}
-		_, _ = New(&p, cfg).Run(params...)
+		runBothModes(t, &p, cfg, params...)
 	})
 }
 

@@ -64,6 +64,48 @@ const (
 	OpAppend   // pop v, pop a (array); append v to a; push a
 )
 
+// opWireMax is the highest opcode that may appear in the wire format. Ops
+// above it are internal superinstructions produced by the load-time
+// optimization pass (see optimize.go); they never appear in Program.Code and
+// never cross the wire.
+const opWireMax = OpAppend
+
+// Superinstructions. Each fuses a short sequence of wire opcodes that the
+// TCL compiler emits back to back on hot paths. They exist only in the
+// optimized instruction stream: the fuser is the sole producer, so their
+// operands are trusted (bounds were validated on the original instructions).
+// The `sub` field of an optimized instruction carries the underlying
+// arithmetic/comparison opcode.
+const (
+	opLocIntArith      Op = 200 + iota // loadl a; pushi b; arith            → push
+	opLocConstArith                    // loadl a; pushc b; arith            → push
+	opLocLocArith                      // loadl a; loadl b; arith            → push
+	opLocIntArithStore                 // loadl a; pushi b; arith; storel c  → locals[c]
+	opArithStore                       // arith; storel a                    → locals[a]
+	opLocIntCmp                        // loadl a; pushi b; cmp              → push bool
+	opLocLocCmp                        // loadl a; loadl b; cmp              → push bool
+	opCmpBr                            // cmp; jz/jnz a                      → branch
+	opLocIntCmpBr                      // loadl a; pushi b; cmp; jz/jnz c    → branch
+	opLocLocCmpBr                      // loadl a; loadl b; cmp; jz/jnz c    → branch
+	opLocCallB                         // loadl a; callb b                   → push result
+	opIllegal                          // sanitized unknown opcode (a = original byte)
+)
+
+var fusedNames = map[Op]string{
+	opLocIntArith:      "loc.int.arith",
+	opLocConstArith:    "loc.const.arith",
+	opLocLocArith:      "loc.loc.arith",
+	opLocIntArithStore: "loc.int.arith.store",
+	opArithStore:       "arith.store",
+	opLocIntCmp:        "loc.int.cmp",
+	opLocLocCmp:        "loc.loc.cmp",
+	opCmpBr:            "cmp.br",
+	opLocIntCmpBr:      "loc.int.cmp.br",
+	opLocLocCmpBr:      "loc.loc.cmp.br",
+	opLocCallB:         "loc.callb",
+	opIllegal:          "illegal",
+}
+
 var opNames = map[Op]string{
 	OpNop:         "nop",
 	OpPushConst:   "pushc",
@@ -105,6 +147,9 @@ var opNames = map[Op]string{
 // String returns the assembler mnemonic for the opcode.
 func (o Op) String() string {
 	if s, ok := opNames[o]; ok {
+		return s
+	}
+	if s, ok := fusedNames[o]; ok {
 		return s
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))

@@ -14,6 +14,13 @@ type FuncProto struct {
 	NumParams int
 	NumLocals int // total local slots, including parameters
 	Code      []Instr
+
+	// Executed instruction streams, built by prepare/Optimize (optimize.go).
+	// fast is the straight 1:1 translation of Code; opt is the fused
+	// fast-path stream. Neither crosses the wire nor affects equality of
+	// freshly decoded programs (UnmarshalBinary does not build them).
+	fast []optInstr
+	opt  []optInstr
 }
 
 // Frame-size limits enforced by Validate. They bound the memory one call
@@ -34,6 +41,10 @@ type Program struct {
 	Consts []Value
 	Funcs  []FuncProto
 	Entry  int
+
+	// Stream-construction state, guarded by prepareMu (optimize.go).
+	prepped   bool
+	optimized bool
 }
 
 // EntryFunc returns the entry-point function.

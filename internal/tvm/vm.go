@@ -18,6 +18,12 @@ type Config struct {
 	MaxPrint int    // maximum retained print() lines
 	Seed     uint64 // seed for the deterministic rand() builtin
 
+	// NoOptimize forces the VM onto the straight (unfused) instruction
+	// stream even when the program has been through Program.Optimize.
+	// The two streams are semantically identical — NoOptimize exists for
+	// differential testing and ablation benchmarks.
+	NoOptimize bool
+
 	// Cancel, when non-nil, is polled periodically by the interpreter;
 	// setting it aborts the run with a FaultCancelled fault. Providers use
 	// this to stop tasklets on shutdown or job cancellation.
@@ -61,8 +67,11 @@ type frame struct {
 	base   int // operand stack height at entry; restored on return
 }
 
-// VM executes one tasklet program. A VM is single-use and not safe for
-// concurrent use; the enclosing provider runs one VM per slot goroutine.
+// VM executes one tasklet program. A VM is not safe for concurrent use; the
+// enclosing provider runs one VM per slot goroutine. After a run completes,
+// Reset prepares the VM for another run of the same program, reusing the
+// operand stack, call frames and locals free list so that steady-state
+// re-execution is allocation-free.
 type VM struct {
 	prog    *Program
 	cfg     Config
@@ -73,17 +82,76 @@ type VM struct {
 	rng     uint64
 	emitted []Value
 	printed []string
+
+	// localsPool recycles call-frame locals slices so OpCall does not
+	// allocate on re-entrant workloads. Bounded by the maximum call depth.
+	localsPool [][]Value
+
+	// deopt forces the straight stream for the rest of the run. It is set
+	// when a block's fuel or stack margin cannot be verified up front; the
+	// straight stream then reproduces the reference fault exactly.
+	deopt bool
+
+	// res backs the *Result returned by Run; reusing it keeps the
+	// steady-state (Reset + Run) path allocation-free. It is invalidated
+	// by the next Reset.
+	res Result
 }
 
 // New creates a VM for prog under the given limits. The program must have
 // been validated (Program.UnmarshalBinary validates; hand-built programs
 // should call Validate explicitly).
 func New(prog *Program, cfg Config) *VM {
+	if !prog.prepped {
+		// Compile- and wire-loaded programs are prepared (and usually
+		// optimized) before they are shared; this fallback covers
+		// hand-built programs. prepare serializes internally.
+		prog.prepare()
+	}
 	rng := cfg.Seed
 	if rng == 0 {
 		rng = 0x9e3779b97f4a7c15 // splitmix-style non-zero default
 	}
 	return &VM{prog: prog, cfg: cfg, fuel: cfg.Fuel, rng: rng}
+}
+
+// Reset returns the VM to its initial state so the same program can be run
+// again under the same limits. Internal buffers (operand stack, frame stack,
+// locals free list) are retained, making repeated Reset+Run cycles
+// allocation-free for programs that do not emit or print. The Result
+// returned by the previous Run is invalidated.
+func (vm *VM) Reset() {
+	for i := range vm.frames {
+		fr := &vm.frames[i]
+		if cap(fr.locals) > 0 {
+			vm.localsPool = append(vm.localsPool, fr.locals)
+		}
+		*fr = frame{}
+	}
+	vm.frames = vm.frames[:0]
+	// Clear retained Values (stack slack and pooled locals) so arrays from
+	// the previous run are not kept alive across runs.
+	stack := vm.stack[:cap(vm.stack)]
+	for i := range stack {
+		stack[i] = Value{}
+	}
+	vm.stack = vm.stack[:0]
+	for _, s := range vm.localsPool {
+		s = s[:cap(s)]
+		for i := range s {
+			s[i] = Value{}
+		}
+	}
+	vm.fuel = vm.cfg.Fuel
+	vm.heap = 0
+	vm.rng = vm.cfg.Seed
+	if vm.rng == 0 {
+		vm.rng = 0x9e3779b97f4a7c15
+	}
+	vm.emitted = nil
+	vm.printed = nil
+	vm.deopt = false
+	vm.res = Result{}
 }
 
 // nextRand advances the xorshift64* generator. Deterministic across
@@ -106,18 +174,33 @@ func (vm *VM) alloc(n int) *Fault {
 	return nil
 }
 
+// getLocals returns a locals slice of length n, reusing the free list when
+// possible. Slices too small to fit are discarded.
+func (vm *VM) getLocals(n int) []Value {
+	for k := len(vm.localsPool); k > 0; k-- {
+		s := vm.localsPool[k-1]
+		vm.localsPool = vm.localsPool[:k-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]Value, n)
+}
+
 // Run executes the program's entry function with the given parameters.
 // It returns a *Fault (as error) on any runtime fault; the fault carries the
-// function name and pc where execution stopped.
+// function name and pc where execution stopped. The returned Result is
+// owned by the VM and invalidated by the next Reset.
 func (vm *VM) Run(params ...Value) (*Result, error) {
 	entry := vm.prog.EntryFunc()
 	if len(params) != entry.NumParams {
 		return nil, newFault(FaultBadProgram, "entry %s wants %d params, got %d",
 			entry.Name, entry.NumParams, len(params))
 	}
-	locals := make([]Value, entry.NumLocals)
-	for i, p := range params {
-		locals[i] = p
+	locals := vm.getLocals(entry.NumLocals)
+	n := copy(locals, params)
+	for i := n; i < len(locals); i++ {
+		locals[i] = Value{}
 	}
 	vm.frames = append(vm.frames, frame{fn: entry, locals: locals})
 
@@ -125,12 +208,13 @@ func (vm *VM) Run(params ...Value) (*Result, error) {
 	if fault != nil {
 		return nil, fault
 	}
-	return &Result{
+	vm.res = Result{
 		Return:   ret,
 		Emitted:  vm.emitted,
 		Printed:  vm.printed,
 		FuelUsed: vm.cfg.Fuel - vm.fuel,
-	}, nil
+	}
+	return &vm.res, nil
 }
 
 // push grows the operand stack, enforcing the depth limit.
@@ -142,55 +226,115 @@ func (vm *VM) push(v Value) *Fault {
 	return nil
 }
 
+// underflowFault is the shared operand-stack underflow fault, used uniformly
+// by plain pops, OpDup, and fused ops that consume stack operands.
+func underflowFault() *Fault {
+	return newFault(FaultBadProgram, "pop from empty stack")
+}
+
 // pop removes and returns the top of the operand stack.
 func (vm *VM) pop() (Value, *Fault) {
 	if len(vm.stack) == 0 {
-		return Value{}, newFault(FaultBadProgram, "pop from empty stack")
+		return Value{}, underflowFault()
 	}
 	v := vm.stack[len(vm.stack)-1]
 	vm.stack = vm.stack[:len(vm.stack)-1]
 	return v, nil
 }
 
+// stream selects the instruction stream for a function: the fused fast path
+// when available and enabled, otherwise the straight translation.
+func (vm *VM) stream(fn *FuncProto) ([]optInstr, bool) {
+	if fn.opt != nil && !vm.cfg.NoOptimize && !vm.deopt {
+		return fn.opt, true
+	}
+	return fn.fast, false
+}
+
+// faultAt annotates a fault with the current location unless a deeper
+// handler already did.
+func faultAt(ft *Fault, f *frame, pc int) *Fault {
+	if ft.Func == "" {
+		ft.Func = f.fn.Name
+		ft.PC = pc
+	}
+	return ft
+}
+
 // loop is the interpreter core. It returns the entry function's return
 // value, or a fault annotated with the faulting location.
+//
+// The hot-path state — current frame, instruction stream, pc and the next
+// fuel-charge pc — is cached in locals and written back only on frame
+// switches. In fused streams fuel and stack headroom are verified once per
+// basic block (nextCharge tracks the next block leader); if a block's
+// margin cannot be verified the VM deoptimizes to the straight stream at
+// the block leader, which reproduces the reference interpreter's fault
+// exactly.
 func (vm *VM) loop() (Value, *Fault) {
 	f := &vm.frames[len(vm.frames)-1]
-	const cancelPollMask = 4095 // poll Cancel every 4096 iterations
+	code, fused := vm.stream(f.fn)
+	pc := f.pc
+	nextCharge := pc
+	maxStack := vm.cfg.MaxStack
+
+	const cancelPollMask = 4095 // poll Cancel every 4096 dispatches
 	var steps uint64
 	for {
 		steps++
 		if steps&cancelPollMask == 0 && vm.cfg.Cancel != nil && vm.cfg.Cancel.Load() {
-			return Value{}, vm.annotate(newFault(FaultCancelled, "execution cancelled by host"), f)
+			return Value{}, faultAt(newFault(FaultCancelled, "execution cancelled by host"), f, pc)
 		}
-		if f.pc >= len(f.fn.Code) {
+		if pc >= len(code) {
 			// Falling off the end of a function returns nil.
 			ret, fault := vm.unwind(Nil())
 			if fault != nil {
-				return Value{}, vm.annotate(fault, f)
+				return Value{}, faultAt(fault, f, pc)
 			}
 			if len(vm.frames) == 0 {
 				return ret, nil
 			}
 			f = &vm.frames[len(vm.frames)-1]
+			code, fused = vm.stream(f.fn)
+			pc = f.pc
+			nextCharge = pc
 			continue
 		}
-		in := f.fn.Code[f.pc]
-		cost := fuelCost(in.Op)
-		if vm.fuel < cost {
-			return Value{}, vm.annotate(newFault(FaultOutOfFuel, "fuel budget %d exhausted", vm.cfg.Fuel), f)
+		if pc == nextCharge {
+			oi := &code[pc]
+			if fused {
+				if vm.fuel < uint64(oi.blockFuel) || len(vm.stack)+int(oi.blockGrow) > maxStack {
+					// Deoptimize: replay this block per-instruction on the
+					// straight stream so the inevitable fault lands exactly
+					// where the reference interpreter puts it.
+					vm.deopt = true
+					code, fused = f.fn.fast, false
+					continue
+				}
+				vm.fuel -= uint64(oi.blockFuel)
+				nextCharge = int(oi.blockEnd)
+			} else {
+				cost := uint64(oi.blockFuel) // per-instruction cost
+				if vm.fuel < cost {
+					return Value{}, faultAt(newFault(FaultOutOfFuel, "fuel budget %d exhausted", vm.cfg.Fuel), f, pc)
+				}
+				vm.fuel -= cost
+				nextCharge = pc + 1
+			}
 		}
-		vm.fuel -= cost
-		f.pc++
 
+		oi := &code[pc]
+		npc := pc + int(oi.n)
 		var fault *Fault
-		switch in.Op {
+		faultOff := 0
+
+		switch oi.op {
 		case OpNop:
 
 		case OpPushConst:
-			fault = vm.push(vm.prog.Consts[in.Arg])
+			fault = vm.push(vm.prog.Consts[oi.a])
 		case OpPushInt:
-			fault = vm.push(Int(int64(in.Arg)))
+			fault = vm.push(Int(int64(oi.a)))
 		case OpPushNil:
 			fault = vm.push(Nil())
 		case OpPushTrue:
@@ -201,21 +345,21 @@ func (vm *VM) loop() (Value, *Fault) {
 			_, fault = vm.pop()
 		case OpDup:
 			if len(vm.stack) == 0 {
-				fault = newFault(FaultBadProgram, "dup on empty stack")
+				fault = underflowFault()
 			} else {
 				fault = vm.push(vm.stack[len(vm.stack)-1])
 			}
 
 		case OpLoadLocal:
-			fault = vm.push(f.locals[in.Arg])
+			fault = vm.push(f.locals[oi.a])
 		case OpStoreLocal:
 			var v Value
 			if v, fault = vm.pop(); fault == nil {
-				f.locals[in.Arg] = v
+				f.locals[oi.a] = v
 			}
 
 		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
-			fault = vm.binaryArith(in.Op)
+			fault = vm.binaryArith(oi.op)
 		case OpNeg:
 			var v Value
 			if v, fault = vm.pop(); fault == nil {
@@ -230,7 +374,7 @@ func (vm *VM) loop() (Value, *Fault) {
 			}
 
 		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
-			fault = vm.compare(in.Op)
+			fault = vm.compare(oi.op)
 
 		case OpNot:
 			var v Value
@@ -243,14 +387,16 @@ func (vm *VM) loop() (Value, *Fault) {
 			}
 
 		case OpJump:
-			f.pc = int(in.Arg)
+			npc = int(oi.a)
+			nextCharge = npc
 		case OpJumpIfFalse, OpJumpIfTrue:
 			var v Value
 			if v, fault = vm.pop(); fault == nil {
 				if v.Kind != KindBool {
 					fault = newFault(FaultTypeMismatch, "branch wants a bool, got %s", v.Kind)
-				} else if v.AsBool() == (in.Op == OpJumpIfTrue) {
-					f.pc = int(in.Arg)
+				} else if v.AsBool() == (oi.op == OpJumpIfTrue) {
+					npc = int(oi.a)
+					nextCharge = npc
 				}
 			}
 
@@ -259,22 +405,29 @@ func (vm *VM) loop() (Value, *Fault) {
 				fault = newFault(FaultStackOverflow, "call depth limit %d exceeded", vm.cfg.MaxCall)
 				break
 			}
-			callee := &vm.prog.Funcs[in.Arg]
+			callee := &vm.prog.Funcs[oi.a]
 			if len(vm.stack) < callee.NumParams {
 				fault = newFault(FaultBadProgram, "call %s: %d args on stack, want %d",
 					callee.Name, len(vm.stack), callee.NumParams)
 				break
 			}
-			locals := make([]Value, callee.NumLocals)
 			base := len(vm.stack) - callee.NumParams
+			locals := vm.getLocals(callee.NumLocals)
 			copy(locals, vm.stack[base:])
+			for i := callee.NumParams; i < len(locals); i++ {
+				locals[i] = Value{}
+			}
 			vm.stack = vm.stack[:base]
+			f.pc = npc
 			vm.frames = append(vm.frames, frame{fn: callee, locals: locals, base: base})
 			f = &vm.frames[len(vm.frames)-1]
+			code, fused = vm.stream(callee)
+			npc = 0
+			nextCharge = 0
 
 		case OpCallB:
-			id := Builtin(in.Arg >> 8)
-			argc := int(in.Arg & 0xff)
+			id := Builtin(oi.a >> 8)
+			argc := int(oi.a & 0xff)
 			spec, ok := builtinTable[id]
 			if !ok {
 				fault = newFault(FaultBadBuiltin, "unknown builtin %d", int(id))
@@ -298,7 +451,7 @@ func (vm *VM) loop() (Value, *Fault) {
 
 		case OpReturn, OpReturn0:
 			ret := Nil()
-			if in.Op == OpReturn {
+			if oi.op == OpReturn {
 				if ret, fault = vm.pop(); fault != nil {
 					break
 				}
@@ -310,10 +463,13 @@ func (vm *VM) loop() (Value, *Fault) {
 			}
 			if fault == nil {
 				f = &vm.frames[len(vm.frames)-1]
+				code, fused = vm.stream(f.fn)
+				npc = f.pc
+				nextCharge = npc
 			}
 
 		case OpNewArray:
-			n := int(in.Arg)
+			n := int(oi.a)
 			if len(vm.stack) < n {
 				fault = newFault(FaultBadProgram, "newarr %d: stack underflow", n)
 				break
@@ -360,42 +516,211 @@ func (vm *VM) loop() (Value, *Fault) {
 			a.A.Elems = append(a.A.Elems, v)
 			fault = vm.push(a)
 
+		// ---- superinstructions (fused streams only; operands trusted,
+		// stack headroom verified at block entry) ----
+
+		case opLocIntArith, opLocConstArith, opLocLocArith:
+			x := f.locals[oi.a]
+			var y Value
+			switch oi.op {
+			case opLocIntArith:
+				y = Value{Kind: KindInt, I: int64(oi.b)}
+			case opLocConstArith:
+				y = vm.prog.Consts[oi.b]
+			default:
+				y = f.locals[oi.b]
+			}
+			if x.Kind == KindInt && y.Kind == KindInt && oi.sub <= OpMul {
+				var r int64
+				switch oi.sub {
+				case OpAdd:
+					r = x.I + y.I
+				case OpSub:
+					r = x.I - y.I
+				default:
+					r = x.I * y.I
+				}
+				vm.stack = append(vm.stack, Value{Kind: KindInt, I: r})
+				break
+			}
+			var v Value
+			if v, fault = arithVals(oi.sub, x, y); fault != nil {
+				faultOff = 2
+				break
+			}
+			vm.stack = append(vm.stack, v)
+
+		case opLocIntArithStore:
+			x := f.locals[oi.a]
+			if x.Kind == KindInt && oi.sub <= OpMul {
+				var r int64
+				switch oi.sub {
+				case OpAdd:
+					r = x.I + int64(oi.b)
+				case OpSub:
+					r = x.I - int64(oi.b)
+				default:
+					r = x.I * int64(oi.b)
+				}
+				f.locals[oi.c] = Value{Kind: KindInt, I: r}
+				break
+			}
+			var v Value
+			if v, fault = arithVals(oi.sub, x, Int(int64(oi.b))); fault != nil {
+				faultOff = 2
+				break
+			}
+			f.locals[oi.c] = v
+
+		case opArithStore:
+			n := len(vm.stack)
+			if n < 2 {
+				fault = underflowFault()
+				break
+			}
+			x, y := vm.stack[n-2], vm.stack[n-1]
+			vm.stack = vm.stack[:n-2]
+			var v Value
+			if v, fault = arithVals(oi.sub, x, y); fault != nil {
+				break
+			}
+			f.locals[oi.a] = v
+
+		case opLocIntCmp, opLocLocCmp:
+			x := f.locals[oi.a]
+			var y Value
+			if oi.op == opLocIntCmp {
+				y = Value{Kind: KindInt, I: int64(oi.b)}
+			} else {
+				y = f.locals[oi.b]
+			}
+			var v Value
+			if x.Kind == KindInt && y.Kind == KindInt {
+				v = Bool(intCmp(oi.sub, x.I, y.I))
+			} else if v, fault = cmpVals(oi.sub, x, y); fault != nil {
+				faultOff = 2
+				break
+			}
+			vm.stack = append(vm.stack, v)
+
+		case opCmpBr:
+			n := len(vm.stack)
+			if n < 2 {
+				fault = underflowFault()
+				break
+			}
+			x, y := vm.stack[n-2], vm.stack[n-1]
+			vm.stack = vm.stack[:n-2]
+			var cond bool
+			if x.Kind == KindInt && y.Kind == KindInt {
+				cond = intCmp(oi.sub, x.I, y.I)
+			} else {
+				var v Value
+				if v, fault = cmpVals(oi.sub, x, y); fault != nil {
+					break
+				}
+				cond = v.I != 0
+			}
+			if cond == (oi.flag == 1) {
+				npc = int(oi.a)
+				nextCharge = npc
+			}
+
+		case opLocIntCmpBr, opLocLocCmpBr:
+			x := f.locals[oi.a]
+			var y Value
+			if oi.op == opLocIntCmpBr {
+				y = Value{Kind: KindInt, I: int64(oi.b)}
+			} else {
+				y = f.locals[oi.b]
+			}
+			var cond bool
+			if x.Kind == KindInt && y.Kind == KindInt {
+				cond = intCmp(oi.sub, x.I, y.I)
+			} else {
+				var v Value
+				if v, fault = cmpVals(oi.sub, x, y); fault != nil {
+					faultOff = 2
+					break
+				}
+				cond = v.I != 0
+			}
+			if cond == (oi.flag == 1) {
+				npc = int(oi.c)
+				nextCharge = npc
+			}
+
+		case opLocCallB:
+			vm.stack = append(vm.stack, f.locals[oi.a])
+			id := Builtin(oi.b >> 8)
+			argc := int(oi.b & 0xff)
+			spec := builtinTable[id] // fusion guaranteed existence and arity
+			if len(vm.stack) < argc {
+				fault = newFault(FaultBadProgram, "builtin %s: stack underflow", spec.name)
+				faultOff = 1
+				break
+			}
+			args := vm.stack[len(vm.stack)-argc:]
+			var ret Value
+			if ret, fault = spec.fn(vm, args); fault != nil {
+				faultOff = 1
+				break
+			}
+			vm.stack = vm.stack[:len(vm.stack)-argc]
+			vm.stack = append(vm.stack, ret)
+
+		case opIllegal:
+			fault = newFault(FaultBadProgram, "illegal opcode %d", uint8(oi.a))
+
 		default:
-			fault = newFault(FaultBadProgram, "illegal opcode %d", uint8(in.Op))
+			fault = newFault(FaultBadProgram, "illegal opcode %d", uint8(oi.op))
 		}
 
 		if fault != nil {
-			// f.pc was already advanced; report the faulting instruction.
 			fault.Func = f.fn.Name
-			fault.PC = f.pc - 1
+			fault.PC = pc + faultOff
 			return Value{}, fault
 		}
+		pc = npc
 	}
 }
 
 // unwind pops the current frame, truncates the operand stack to the frame's
-// base, and pushes ret for the caller. When the last frame returns, ret is
-// the program result and is returned via the first return value.
+// base, recycles the frame's locals, and pushes ret for the caller. When the
+// last frame returns, ret is the program result and is returned via the
+// first return value.
 func (vm *VM) unwind(ret Value) (Value, *Fault) {
 	fr := vm.frames[len(vm.frames)-1]
 	vm.frames = vm.frames[:len(vm.frames)-1]
 	vm.stack = vm.stack[:fr.base]
+	if cap(fr.locals) > 0 {
+		vm.localsPool = append(vm.localsPool, fr.locals)
+	}
 	if len(vm.frames) == 0 {
 		return ret, nil
 	}
 	return Value{}, vm.push(ret)
 }
 
-func (vm *VM) annotate(f *Fault, fr *frame) *Fault {
-	if f.Func == "" {
-		f.Func = fr.fn.Name
-		f.PC = fr.pc
+// intCmp evaluates an int/int comparison.
+func intCmp(op Op, a, b int64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	default:
+		return a >= b
 	}
-	return f
 }
 
-// binaryArith implements add/sub/mul/div/mod with int/float promotion and
-// string concatenation for add.
+// binaryArith implements add/sub/mul/div/mod over the operand stack.
 func (vm *VM) binaryArith(op Op) *Fault {
 	b, fault := vm.pop()
 	if fault != nil {
@@ -405,54 +730,63 @@ func (vm *VM) binaryArith(op Op) *Fault {
 	if fault != nil {
 		return fault
 	}
+	v, fault := arithVals(op, a, b)
+	if fault != nil {
+		return fault
+	}
+	return vm.push(v)
+}
+
+// arithVals implements add/sub/mul/div/mod with int/float promotion and
+// string concatenation for add. Shared by the plain stack ops and the fused
+// superinstructions so both report identical faults.
+func arithVals(op Op, a, b Value) (Value, *Fault) {
 	if op == OpAdd && a.Kind == KindStr && b.Kind == KindStr {
-		return vm.push(Str(a.S + b.S))
+		return Str(a.S + b.S), nil
 	}
 	if !isNum(a) || !isNum(b) {
-		return newFault(FaultTypeMismatch, "%s wants numbers, got %s, %s", op, a.Kind, b.Kind)
+		return Value{}, newFault(FaultTypeMismatch, "%s wants numbers, got %s, %s", op, a.Kind, b.Kind)
 	}
 	if a.Kind == KindInt && b.Kind == KindInt {
 		switch op {
 		case OpAdd:
-			return vm.push(Int(a.I + b.I))
+			return Int(a.I + b.I), nil
 		case OpSub:
-			return vm.push(Int(a.I - b.I))
+			return Int(a.I - b.I), nil
 		case OpMul:
-			return vm.push(Int(a.I * b.I))
+			return Int(a.I * b.I), nil
 		case OpDiv:
 			if b.I == 0 {
-				return newFault(FaultDivByZero, "integer division by zero")
+				return Value{}, newFault(FaultDivByZero, "integer division by zero")
 			}
-			return vm.push(Int(a.I / b.I))
+			return Int(a.I / b.I), nil
 		case OpMod:
 			if b.I == 0 {
-				return newFault(FaultDivByZero, "modulo by zero")
+				return Value{}, newFault(FaultDivByZero, "modulo by zero")
 			}
-			return vm.push(Int(a.I % b.I))
+			return Int(a.I % b.I), nil
 		}
 	}
 	if op == OpMod {
-		return newFault(FaultTypeMismatch, "mod wants ints, got %s, %s", a.Kind, b.Kind)
+		return Value{}, newFault(FaultTypeMismatch, "mod wants ints, got %s, %s", a.Kind, b.Kind)
 	}
 	x, y := a.AsFloat(), b.AsFloat()
 	switch op {
 	case OpAdd:
-		return vm.push(Float(x + y))
+		return Float(x + y), nil
 	case OpSub:
-		return vm.push(Float(x - y))
+		return Float(x - y), nil
 	case OpMul:
-		return vm.push(Float(x * y))
+		return Float(x * y), nil
 	case OpDiv:
 		// IEEE semantics: float division by zero yields ±Inf/NaN, which is
 		// deterministic and therefore allowed.
-		return vm.push(Float(x / y))
+		return Float(x / y), nil
 	}
-	return newFault(FaultBadProgram, "unreachable arithmetic op %s", op)
+	return Value{}, newFault(FaultBadProgram, "unreachable arithmetic op %s", op)
 }
 
-// compare implements the six comparison ops. Equality works on any pair of
-// kinds (cross-kind is false, except int/float which compare numerically);
-// ordering requires two numbers or two strings.
+// compare implements the six comparison ops over the operand stack.
 func (vm *VM) compare(op Op) *Fault {
 	b, fault := vm.pop()
 	if fault != nil {
@@ -462,6 +796,18 @@ func (vm *VM) compare(op Op) *Fault {
 	if fault != nil {
 		return fault
 	}
+	v, fault := cmpVals(op, a, b)
+	if fault != nil {
+		return fault
+	}
+	return vm.push(v)
+}
+
+// cmpVals implements the six comparison ops. Equality works on any pair of
+// kinds (cross-kind is false, except int/float which compare numerically);
+// ordering requires two numbers or two strings. Shared by plain and fused
+// ops so both report identical faults.
+func cmpVals(op Op, a, b Value) (Value, *Fault) {
 	if op == OpEq || op == OpNe {
 		var eq bool
 		if isNum(a) && isNum(b) && a.Kind != b.Kind {
@@ -469,7 +815,7 @@ func (vm *VM) compare(op Op) *Fault {
 		} else {
 			eq = a.Equal(b)
 		}
-		return vm.push(Bool(eq == (op == OpEq)))
+		return Bool(eq == (op == OpEq)), nil
 	}
 	var cmp int
 	switch {
@@ -498,7 +844,7 @@ func (vm *VM) compare(op Op) *Fault {
 			cmp = 1
 		}
 	default:
-		return newFault(FaultTypeMismatch, "%s wants two numbers or two strings, got %s, %s", op, a.Kind, b.Kind)
+		return Value{}, newFault(FaultTypeMismatch, "%s wants two numbers or two strings, got %s, %s", op, a.Kind, b.Kind)
 	}
 	var r bool
 	switch op {
@@ -511,7 +857,7 @@ func (vm *VM) compare(op Op) *Fault {
 	case OpGe:
 		r = cmp >= 0
 	}
-	return vm.push(Bool(r))
+	return Bool(r), nil
 }
 
 func (vm *VM) index() *Fault {

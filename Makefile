@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench fuzz clean
+.PHONY: all build vet test race check bench fuzz fuzz-smoke clean
 
 all: check
 
@@ -26,13 +26,23 @@ check:
 
 # bench runs the headline interpreter benchmarks with allocation reporting.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkVM_|BenchmarkE1_SpinVM|BenchmarkAblation_Optimize' -benchmem .
+	$(GO) test -run XXX -bench 'BenchmarkVM_|BenchmarkE1_SpinVM|BenchmarkAblation_Optimize|BenchmarkAblation_Memo' -benchmem .
 
 # fuzz gives the program decoder + differential interpreter fuzzer a short
 # budget; lengthen FUZZTIME for deeper runs.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz FuzzProgramUnmarshal -fuzztime $(FUZZTIME) ./internal/tvm/
+
+# fuzz-smoke gives every fuzzer in the repo a short budget — the CI-sized
+# sweep that catches regressions in the decoders and the compiler without
+# the cost of a real fuzzing campaign.
+SMOKETIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzProgramUnmarshal -fuzztime $(SMOKETIME) ./internal/tvm/
+	$(GO) test -run XXX -fuzz FuzzDecodeValue -fuzztime $(SMOKETIME) ./internal/tvm/
+	$(GO) test -run XXX -fuzz FuzzCompile -fuzztime $(SMOKETIME) ./internal/tasklang/
+	$(GO) test -run XXX -fuzz FuzzUnmarshal -fuzztime $(SMOKETIME) ./internal/wire/
 
 clean:
 	$(GO) clean ./...

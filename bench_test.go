@@ -389,7 +389,12 @@ func bigProgram(b *testing.B) []byte {
 // with it the program crosses each link once; without it every assignment
 // carries the full bytecode.
 func benchAblationProgramCache(b *testing.B, disable bool) {
-	br := newBrokerForBench(b, disable)
+	// Result memo off at both tiers: repeat iterations must actually assign
+	// and execute work (a memo hit ships nothing), or the bench stops
+	// measuring program shipping.
+	br := newBrokerForBench(b,
+		broker.Options{DisableProgramCache: disable, MemoEntries: -1, MemoBytes: -1, MemoTTL: -1},
+		provider.Options{MemoEntries: -1, MemoBytes: -1, MemoTTL: -1})
 	defer br.Close()
 	data := bigProgram(b)
 	b.ReportMetric(float64(len(data)), "program-bytes")
@@ -430,6 +435,45 @@ func benchAblationOptimize(b *testing.B, disable bool) {
 func BenchmarkAblation_OptimizeOn(b *testing.B)  { benchAblationOptimize(b, false) }
 func BenchmarkAblation_OptimizeOff(b *testing.B) { benchAblationOptimize(b, true) }
 
+// benchAblationMemo measures the result memo (internal/memo) on a live
+// stack under a Zipf-repeated workload: 512 spin tasklets drawn from a pool
+// of 64 distinct contents. With the memo on, repeated content is served
+// from cache (or coalesced while in flight) instead of executing; the
+// throughput gap is the ablation's headline.
+func benchAblationMemo(b *testing.B, memoOn bool) {
+	var opts broker.Options
+	var pOpts provider.Options
+	if !memoOn {
+		// Disable both tiers: the baseline is "no memoization anywhere".
+		opts.MemoEntries, opts.MemoBytes, opts.MemoTTL = -1, -1, -1
+		pOpts.MemoEntries, pOpts.MemoBytes, pOpts.MemoTTL = -1, -1, -1
+	}
+	br := newBrokerForBench(b, opts, pOpts)
+	defer br.Close()
+	spin, err := stdtasks.Bytecode("spin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nTasks, pool = 512, 64
+	idx := workload.ZipfIndices(nTasks, pool, 1.1, 42)
+	params := make([][]tvm.Value, nTasks)
+	for i, ix := range idx {
+		// Distinct iteration counts per content, so distinct results prove
+		// the cache keys content correctly.
+		params[i] = []tvm.Value{tvm.Int(int64(100_000 + ix))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.run(spin, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(nTasks*b.N)/b.Elapsed().Seconds(), "tasklets/s")
+}
+
+func BenchmarkAblation_MemoOn(b *testing.B)  { benchAblationMemo(b, true) }
+func BenchmarkAblation_MemoOff(b *testing.B) { benchAblationMemo(b, false) }
+
 // benchStack is a minimal live stack helper for ablation benches.
 type benchStack struct {
 	b      *broker.Broker
@@ -437,15 +481,18 @@ type benchStack struct {
 	client *consumer.Client
 }
 
-func newBrokerForBench(tb testing.TB, disableCache bool) *benchStack {
+func newBrokerForBench(tb testing.TB, opts broker.Options, pOpts provider.Options) *benchStack {
 	tb.Helper()
-	s := &benchStack{b: broker.New(broker.Options{DisableProgramCache: disableCache})}
+	s := &benchStack{b: broker.New(opts)}
 	addr, err := s.b.Listen("127.0.0.1:0")
 	if err != nil {
 		tb.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		p, err := provider.Connect(provider.Options{BrokerAddr: addr, Slots: 4, Speed: 100})
+		po := pOpts
+		po.BrokerAddr = addr
+		po.Slots, po.Speed = 4, 100
+		p, err := provider.Connect(po)
 		if err != nil {
 			tb.Fatal(err)
 		}

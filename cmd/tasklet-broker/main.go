@@ -27,6 +27,8 @@ func main() {
 		"scheduling policy: "+strings.Join(scheduler.Names(), ", "))
 	seed := flag.Uint64("seed", 1, "seed for stochastic policies")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "provider heartbeat timeout")
+	memoEntries := flag.Int("memo", 0, "result-memo entry budget (0 = default, negative = disable memoization)")
+	memoTTL := flag.Duration("memo-ttl", 0, "result-memo entry TTL (0 = default)")
 	stats := flag.Duration("stats", 0, "print a status line at this interval (0 = off)")
 	quiet := flag.Bool("q", false, "suppress operational logs")
 	flag.Parse()
@@ -46,6 +48,8 @@ func main() {
 		Policy:           pol,
 		HeartbeatTimeout: *heartbeat,
 		Logger:           logger,
+		MemoEntries:      *memoEntries,
+		MemoTTL:          *memoTTL,
 	})
 	bound, err := b.Listen(*addr)
 	if err != nil {
@@ -60,8 +64,12 @@ func main() {
 			defer tick.Stop()
 			for range tick.C {
 				s := b.Snapshot()
-				fmt.Printf("status: %d providers, %d jobs, %d pending, %d in flight\n",
-					len(s.Providers), s.Jobs, s.Pending, s.InFlight)
+				m := b.Metrics()
+				fmt.Printf("status: %d providers, %d jobs, %d pending, %d in flight; memo %d hits / %d misses / %d stores / %d evictions / %d coalesced\n",
+					len(s.Providers), s.Jobs, s.Pending, s.InFlight,
+					m.Counter("memo.hits").Value(), m.Counter("memo.misses").Value(),
+					m.Counter("memo.stores").Value(), m.Counter("memo.evictions").Value(),
+					m.Counter("memo.coalesced").Value())
 			}
 		}()
 	}

@@ -21,9 +21,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/qoc"
 	"repro/internal/scheduler"
+	"repro/internal/tvm"
 	"repro/internal/wire"
 )
 
@@ -47,6 +49,15 @@ type Options struct {
 	// instead of once per provider. Exists for the program-cache ablation
 	// benchmark; never enable it in a real deployment.
 	DisableProgramCache bool
+
+	// MemoEntries, MemoBytes, and MemoTTL configure the broker-tier result
+	// memo (content-addressed cache of QoC-finalized results, plus
+	// coalescing of identical in-flight tasklets). Zero selects the memo
+	// package defaults (memo.DefaultMaxEntries etc.); any negative value
+	// disables memoization and coalescing entirely.
+	MemoEntries int
+	MemoBytes   int
+	MemoTTL     time.Duration
 }
 
 // sendQueueDepth bounds per-connection outgoing messages. A peer that
@@ -72,6 +83,12 @@ type Broker struct {
 	// pending is the placement queue: one entry per attempt awaiting a
 	// provider, in FIFO order.
 	pending []core.TaskletID
+
+	// memo caches QoC-finalized results by content; flights coalesces
+	// identical in-flight tasklets (cluster-wide singleflight). Both nil
+	// when memoization is disabled; all their methods are nil-safe.
+	memo    *memo.Cache
+	flights *memo.FlightTable
 
 	nextProvider core.ProviderID
 	nextConsumer core.ConsumerID
@@ -114,10 +131,21 @@ type jobState struct {
 	cancelled bool
 }
 
+// flightRole records a tasklet's position in its coalescing flight, if any.
+type flightRole uint8
+
+const (
+	flightNone   flightRole = iota // not coalesced (memo off, NoCache, unique)
+	flightLeader                   // drives the real attempt fan-out
+	flightWaiter                   // receives a copy of the leader's final
+)
+
 type taskletState struct {
 	t        core.Tasklet
 	tracker  *qoc.Tracker
 	deadline *time.Timer
+	coKey    memo.FlightKey
+	role     flightRole
 }
 
 type attemptState struct {
@@ -146,7 +174,7 @@ func New(opts Options) *Broker {
 	if opts.Logger != nil {
 		logf = opts.Logger.Printf
 	}
-	return &Broker{
+	b := &Broker{
 		opts:      opts,
 		reg:       reg,
 		logf:      logf,
@@ -158,6 +186,17 @@ func New(opts Options) *Broker {
 		programs:  map[core.ProgramID][]byte{},
 		stop:      make(chan struct{}),
 	}
+	if opts.MemoEntries >= 0 && opts.MemoBytes >= 0 && opts.MemoTTL >= 0 {
+		b.memo = memo.New(memo.Config{
+			MaxEntries: opts.MemoEntries,
+			MaxBytes:   opts.MemoBytes,
+			TTL:        opts.MemoTTL,
+			Metrics:    reg,
+			Prefix:     "memo.",
+		})
+		b.flights = memo.NewFlightTable(reg, "memo.")
+	}
+	return b
 }
 
 // Metrics returns the broker's metrics registry.
@@ -587,6 +626,15 @@ func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 	b.jobs[job.id] = job
 	c.jobs[job.id] = true
 
+	// Cache hits collected during admission; delivered only after the
+	// JobAccepted below so the consumer has registered the job before its
+	// first ResultPush arrives.
+	type hit struct {
+		ts    *taskletState
+		final core.Result
+	}
+	var hits []hit
+
 	now := time.Now()
 	for i, params := range m.Params {
 		b.nextTasklet++
@@ -601,17 +649,56 @@ func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 		job.tasklets = append(job.tasklets, t.ID)
 		c.pending++
 
+		goal := ts.tracker.Goal()
+		if b.memo != nil && !goal.NoCache {
+			if key, ok := memo.KeyFor(uint64(progID), t.Seed, t.Params); ok {
+				if e := b.memo.Get(key, goal.VoteStrength(), t.Fuel); e != nil {
+					// Finalized identical work already cached: deliver
+					// without touching a provider (Attempts = 0).
+					ret, em := e.CachedResult()
+					hits = append(hits, hit{ts, core.Result{
+						Tasklet: t.ID, Job: job.id, Index: i,
+						Status: core.StatusOK, Return: ret, Emitted: em,
+						FuelUsed: e.FuelUsed, Exec: e.Exec,
+					}})
+					continue
+				}
+				ts.coKey = memo.FlightKey{
+					Content:  key,
+					Mode:     uint8(goal.Mode),
+					Replicas: goal.Replicas,
+					Fuel:     t.Fuel,
+				}
+				if b.flights.Join(ts.coKey, uint64(t.ID)) {
+					ts.role = flightLeader
+				} else {
+					// Coalesced behind an identical in-flight tasklet: no
+					// attempts of its own; the leader's final fans out to
+					// it. The deadline still applies independently.
+					ts.role = flightWaiter
+					if goal.Deadline > 0 {
+						tid := t.ID
+						ts.deadline = time.AfterFunc(goal.Deadline, func() { b.onDeadline(tid) })
+					}
+					continue
+				}
+			}
+		}
+
 		d := ts.tracker.Start()
 		for n := 0; n < d.Launch; n++ {
 			b.pending = append(b.pending, t.ID)
 		}
-		if q := ts.tracker.Goal(); q.Deadline > 0 {
+		if goal.Deadline > 0 {
 			tid := t.ID
-			ts.deadline = time.AfterFunc(q.Deadline, func() { b.onDeadline(tid) })
+			ts.deadline = time.AfterFunc(goal.Deadline, func() { b.onDeadline(tid) })
 		}
 	}
 	b.reg.Counter("tasklets.submitted").Add(int64(len(m.Params)))
 	enqueue(c.out, &wire.JobAccepted{Job: job.id, Tasklets: job.total}, c.nc)
+	for _, h := range hits {
+		b.deliverLocked(h.ts, h.final, 0)
+	}
 	b.logf("broker: job %d accepted: %d tasklets, qoc %s", job.id, job.total, m.QoC.Mode)
 	b.scheduleLocked()
 	return nil
@@ -651,6 +738,7 @@ func (b *Broker) cancelJob(c *consumerState, id core.JobID) {
 		c.pending--
 	}
 	b.purgePendingLocked()
+	b.scheduleLocked() // a dropped leader may have promoted a waiter
 	enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc)
 	b.logf("broker: job %d cancelled", id)
 }
@@ -675,10 +763,13 @@ func (b *Broker) removeConsumerLocked(c *consumerState) {
 		delete(b.jobs, jid)
 	}
 	b.purgePendingLocked()
+	b.scheduleLocked() // a dropped leader may have promoted a waiter
 }
 
 // dropTaskletLocked abandons a tasklet's attempts and removes it. Pending
-// queue entries are purged lazily by scheduleLocked.
+// queue entries are purged lazily by scheduleLocked. A dropped flight leader
+// hands the flight to its first waiter, which starts real scheduling; a
+// dropped waiter just leaves the flight.
 func (b *Broker) dropTaskletLocked(ts *taskletState) {
 	if ts.deadline != nil {
 		ts.deadline.Stop()
@@ -691,6 +782,18 @@ func (b *Broker) dropTaskletLocked(ts *taskletState) {
 			}
 		}
 	}
+	switch ts.role {
+	case flightWaiter:
+		b.flights.DropWaiter(ts.coKey, uint64(ts.t.ID))
+	case flightLeader:
+		if nl, ok := b.flights.DropLeader(ts.coKey); ok {
+			if nts := b.tasklets[core.TaskletID(nl)]; nts != nil {
+				nts.role = flightLeader
+				b.applyDecisionLocked(nts, nts.tracker.Start())
+			}
+		}
+	}
+	ts.role = flightNone
 	delete(b.tasklets, ts.t.ID)
 }
 
@@ -705,7 +808,7 @@ func (b *Broker) finishTaskletLocked(ts *taskletState, final core.Result) {
 			}
 		}
 	}
-	b.deliverLocked(ts, final, ts.tracker.Attempts())
+	b.finalizeLocked(ts, final, ts.tracker.Attempts())
 }
 
 // applyDecisionLocked reacts to a QoC engine decision for ts.
@@ -722,7 +825,63 @@ func (b *Broker) applyDecisionLocked(ts *taskletState, d qoc.Decision) {
 		}
 	}
 	if d.Done {
-		b.deliverLocked(ts, d.Final, ts.tracker.Attempts())
+		b.finalizeLocked(ts, d.Final, ts.tracker.Attempts())
+	}
+}
+
+// finalizeLocked delivers a tasklet's final result and settles its
+// coalescing flight: a leader's successful final enters the memo cache and
+// fans out to every waiter; a leader's failed final dissolves the flight so
+// each waiter schedules independently (failures describe this run — losses,
+// deadlines — and must not be shared or memoized). Waiters that finalize on
+// their own (deadline) just leave the flight.
+func (b *Broker) finalizeLocked(ts *taskletState, final core.Result, attempts int) {
+	role, fk := ts.role, ts.coKey
+	ts.role = flightNone
+	cacheable := ts.tracker.FinalCacheable()
+	strength := ts.tracker.Goal().VoteStrength()
+	b.deliverLocked(ts, final, attempts)
+
+	switch role {
+	case flightWaiter:
+		b.flights.DropWaiter(fk, uint64(ts.t.ID))
+	case flightLeader:
+		if final.Status == core.StatusOK {
+			if cacheable {
+				b.memo.Put(fk.Content, final.Return, final.Emitted,
+					final.FuelUsed, final.Exec, strength)
+			}
+			for _, w := range b.flights.Complete(fk) {
+				wts := b.tasklets[core.TaskletID(w)]
+				if wts == nil {
+					continue
+				}
+				wts.role = flightNone
+				ret := final.Return.Clone()
+				var em []tvm.Value
+				if len(final.Emitted) > 0 {
+					em = make([]tvm.Value, len(final.Emitted))
+					for i, v := range final.Emitted {
+						em[i] = v.Clone()
+					}
+				}
+				b.deliverLocked(wts, core.Result{
+					Tasklet: wts.t.ID, Job: wts.t.Job, Index: wts.t.Index,
+					Provider: final.Provider, Status: core.StatusOK,
+					Return: ret, Emitted: em,
+					FuelUsed: final.FuelUsed, Exec: final.Exec,
+				}, attempts)
+			}
+		} else {
+			for _, w := range b.flights.Complete(fk) {
+				wts := b.tasklets[core.TaskletID(w)]
+				if wts == nil {
+					continue
+				}
+				wts.role = flightNone
+				b.applyDecisionLocked(wts, wts.tracker.Start())
+			}
+		}
 	}
 }
 
@@ -863,6 +1022,7 @@ func (b *Broker) launchAttemptLocked(ts *taskletState, p *providerState) {
 		Params:  ts.t.Params,
 		Fuel:    ts.t.Fuel,
 		Seed:    ts.t.Seed,
+		NoCache: ts.t.QoC.NoCache,
 	}
 	if b.opts.DisableProgramCache {
 		msg.ProgramData = b.programs[ts.t.Program]

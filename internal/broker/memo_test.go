@@ -1,0 +1,304 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/consumer"
+	"repro/internal/core"
+	"repro/internal/provider"
+)
+
+// memoStack is testStack but returns the broker too, for metrics assertions.
+func memoStack(t *testing.T, opts Options, n, slots int) (*Broker, string) {
+	t.Helper()
+	b := New(opts)
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	for i := 0; i < n; i++ {
+		p, err := provider.Connect(provider.Options{
+			BrokerAddr: addr, Slots: slots, Speed: 100, Name: fmt.Sprintf("m%d", i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+	}
+	return b, addr
+}
+
+func TestBrokerMemoHitSkipsProvider(t *testing.T) {
+	b, addr := memoStack(t, Options{}, 1, 2)
+	c, err := consumer.Connect(addr, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	submit := func() consumer.TaskResult {
+		job, err := c.Submit(compileJob(t, squareSrc, []int64{12}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Collect(ctxT(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+	first := submit()
+	if !first.OK() || first.Return.I != 144 || first.Attempts != 1 {
+		t.Fatalf("first = %+v", first)
+	}
+	second := submit()
+	if !second.OK() || second.Return.I != 144 {
+		t.Fatalf("second = %+v", second)
+	}
+	// A memo hit is delivered without scheduling: zero attempts, no provider.
+	if second.Attempts != 0 || second.Provider != 0 {
+		t.Fatalf("cache hit ran attempts: %+v", second)
+	}
+	m := b.Metrics()
+	if got := m.Counter("memo.hits").Value(); got != 1 {
+		t.Fatalf("memo.hits = %d, want 1", got)
+	}
+	if got := m.Counter("attempts.launched").Value(); got != 1 {
+		t.Fatalf("attempts.launched = %d, want 1", got)
+	}
+}
+
+func TestBrokerCoalescesConcurrentIdenticalSubmissions(t *testing.T) {
+	// Acceptance: N identical concurrent submissions against a single
+	// 1-slot provider execute at most the QoC-required attempt count (1 for
+	// best effort) while every consumer is served.
+	const n = 6
+	b, addr := memoStack(t, Options{}, 1, 1)
+
+	// ~5M VM ops keeps the first submission in flight while the rest arrive;
+	// a submission arriving after completion becomes a cache hit instead of
+	// a waiter, so the attempt bound holds regardless of timing.
+	spec := compileJob(t, `func main(iters int) int {
+		var acc int = 0;
+		for (var i int = 0; i < iters; i = i + 1) { acc = acc + i % 7; }
+		return acc;
+	}`, []int64{1_000_000})
+
+	consumers := make([]*consumer.Client, n)
+	jobs := make([]*consumer.Job, n)
+	for i := range consumers {
+		c, err := consumer.Connect(addr, fmt.Sprintf("c%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		consumers[i] = c
+		job, err := c.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job
+	}
+	var want int64
+	for i, job := range jobs {
+		res, err := job.Collect(ctxT(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || !res[0].OK() {
+			t.Fatalf("consumer %d: %+v", i, res)
+		}
+		if i == 0 {
+			want = res[0].Return.I
+		} else if res[0].Return.I != want {
+			t.Fatalf("consumer %d got %d, leader got %d", i, res[0].Return.I, want)
+		}
+	}
+	m := b.Metrics()
+	if got := m.Counter("attempts.launched").Value(); got != 1 {
+		t.Fatalf("attempts.launched = %d, want 1 (coalesced)", got)
+	}
+	if hits, co := m.Counter("memo.hits").Value(), m.Counter("memo.coalesced").Value(); hits+co != n-1 {
+		t.Fatalf("hits(%d) + coalesced(%d) = %d, want %d", hits, co, hits+co, n-1)
+	}
+}
+
+func TestBrokerCoalescingRespectsVotingReplicas(t *testing.T) {
+	// Coalesced voting submissions still execute the full voting fan-out —
+	// never fewer attempts than the QoC demands, never one fan-out per
+	// submission.
+	const n = 4
+	b, addr := memoStack(t, Options{}, 3, 1)
+	spec := compileJob(t, `func main(iters int) int {
+		var acc int = 0;
+		for (var i int = 0; i < iters; i = i + 1) { acc = acc + i % 7; }
+		return acc;
+	}`, []int64{1_000_000})
+	spec.QoC = core.QoC{Mode: core.QoCVoting, Replicas: 3}
+
+	jobs := make([]*consumer.Job, n)
+	for i := range jobs {
+		c, err := consumer.Connect(addr, fmt.Sprintf("v%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		job, err := c.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job
+	}
+	for i, job := range jobs {
+		res, err := job.Collect(ctxT(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || !res[0].OK() {
+			t.Fatalf("consumer %d: %+v", i, res)
+		}
+	}
+	if got := b.Metrics().Counter("attempts.launched").Value(); got != 3 {
+		t.Fatalf("attempts.launched = %d, want 3 (one voting fan-out)", got)
+	}
+}
+
+func TestBrokerMemoHonorsNoCache(t *testing.T) {
+	b, addr := memoStack(t, Options{}, 1, 2)
+	c, err := consumer.Connect(addr, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	spec := compileJob(t, squareSrc, []int64{7})
+	spec.QoC = core.QoC{NoCache: true}
+	for i := 0; i < 2; i++ {
+		job, err := c.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Collect(ctxT(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res[0].OK() || res[0].Return.I != 49 || res[0].Attempts != 1 {
+			t.Fatalf("run %d: %+v", i, res[0])
+		}
+	}
+	m := b.Metrics()
+	if got := m.Counter("attempts.launched").Value(); got != 2 {
+		t.Fatalf("attempts.launched = %d, want 2 under NoCache", got)
+	}
+	if got := m.Counter("memo.hits").Value(); got != 0 {
+		t.Fatalf("memo.hits = %d under NoCache", got)
+	}
+}
+
+func TestBrokerMemoDisabledByOptions(t *testing.T) {
+	b, addr := memoStack(t, Options{MemoEntries: -1, MemoBytes: -1, MemoTTL: -1}, 1, 2)
+	c, err := consumer.Connect(addr, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 2; i++ {
+		job, err := c.Submit(compileJob(t, squareSrc, []int64{6}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Collect(ctxT(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res[0].OK() || res[0].Attempts != 1 {
+			t.Fatalf("run %d: %+v", i, res[0])
+		}
+	}
+	if got := b.Metrics().Counter("attempts.launched").Value(); got != 2 {
+		t.Fatalf("attempts.launched = %d, want 2 with memo disabled", got)
+	}
+}
+
+// TestBrokerMemoDifferential runs a program suite — values, faults, emitted
+// streams, voting QoC, repeated content — against a memo-on and a memo-off
+// stack and asserts every result is bit-identical. (The faulty-provider
+// differential lives in internal/sim, which can inject corrupted results.)
+func TestBrokerMemoDifferential(t *testing.T) {
+	type tcase struct {
+		name string
+		spec core.JobSpec
+	}
+	suite := func(t *testing.T) []tcase {
+		montecarlo := `
+func main(samples int) float {
+	var hits int = 0;
+	for (var i int = 0; i < samples; i = i + 1) {
+		var x float = rand();
+		var y float = rand();
+		if (x*x + y*y <= 1.0) { hits = hits + 1; }
+	}
+	return 4.0 * float(hits) / float(samples);
+}`
+		emitSrc := `func main(n int) void { for (var i int = 0; i < n; i = i + 1) { emit(i * 10); } }`
+		voting := compileJob(t, squareSrc, []int64{5}, []int64{5}, []int64{5})
+		voting.QoC = core.QoC{Mode: core.QoCVoting, Replicas: 3}
+		return []tcase{
+			{"square-repeats", compileJob(t, squareSrc, []int64{3}, []int64{4}, []int64{3}, []int64{4}, []int64{3})},
+			{"faults-repeat", compileJob(t, `func main(n int) int { return 1 / n; }`, []int64{0}, []int64{2}, []int64{0})},
+			{"seeded-rand", compileJob(t, montecarlo, []int64{2000}, []int64{2000})},
+			{"emitted", compileJob(t, emitSrc, []int64{4}, []int64{4})},
+			{"voting", voting},
+		}
+	}
+
+	collect := func(t *testing.T, addr string, cases []tcase) [][]consumer.TaskResult {
+		c, err := consumer.Connect(addr, "diff")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		out := make([][]consumer.TaskResult, len(cases))
+		for i, tc := range cases {
+			job, err := c.Submit(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := job.Collect(ctxT(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = res
+		}
+		return out
+	}
+
+	_, onAddr := memoStack(t, Options{}, 3, 1)
+	_, offAddr := memoStack(t, Options{MemoEntries: -1, MemoBytes: -1, MemoTTL: -1}, 3, 1)
+	cases := suite(t)
+	on := collect(t, onAddr, cases)
+	off := collect(t, offAddr, cases)
+
+	for ci, tc := range cases {
+		for ri := range on[ci] {
+			a, b := on[ci][ri], off[ci][ri]
+			if a.Status != b.Status || a.Fault != b.Fault {
+				t.Fatalf("%s[%d]: status/fault diverged: %+v vs %+v", tc.name, ri, a, b)
+			}
+			if !a.Return.Equal(b.Return) {
+				t.Fatalf("%s[%d]: return diverged: %s vs %s", tc.name, ri, a.Return, b.Return)
+			}
+			if len(a.Emitted) != len(b.Emitted) {
+				t.Fatalf("%s[%d]: emitted length diverged: %d vs %d", tc.name, ri, len(a.Emitted), len(b.Emitted))
+			}
+			for ei := range a.Emitted {
+				if !a.Emitted[ei].Equal(b.Emitted[ei]) {
+					t.Fatalf("%s[%d]: emitted[%d] diverged", tc.name, ri, ei)
+				}
+			}
+		}
+	}
+}

@@ -95,6 +95,23 @@ type QoC struct {
 	// operation guarantee: a tasklet application always makes progress,
 	// network or no network.
 	LocalFallback bool
+
+	// NoCache opts the tasklet out of result memoization end to end: the
+	// broker neither serves it from nor stores it into the result cache,
+	// does not coalesce it with identical in-flight work, and providers
+	// always execute it. Use for calibration runs and ablation.
+	NoCache bool
+}
+
+// VoteStrength returns the voting strength a finalized result for this goal
+// carries: the (normalized) replica count under voting, 0 otherwise. The
+// result cache uses it to ensure an entry only satisfies requests demanding
+// at most the strength it was established with.
+func (q QoC) VoteStrength() int {
+	if q.Mode != QoCVoting {
+		return 0
+	}
+	return q.Normalize().Replicas
 }
 
 // Normalize returns q with invalid fields clamped to the documented

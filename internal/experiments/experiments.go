@@ -99,6 +99,7 @@ func init() {
 		"e5": {"Figure 5 — reliability under provider churn", RunE5},
 		"e6": {"Table 2 — QoC goal cost matrix", RunE6},
 		"e7": {"Figure 6 — broker throughput and queue delay", RunE7},
+		"e8": {"Figure 7 — result memoization on Zipf-repeated workloads", RunE8},
 	}
 }
 

@@ -10,7 +10,7 @@ import (
 func quick() Options { return Options{Quick: true, Seed: 7} }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"}
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -206,6 +206,33 @@ func TestE7ThroughputShape(t *testing.T) {
 	}
 	if max < 1000 {
 		t.Fatalf("broker throughput %.0f tasklets/s is implausibly low", max)
+	}
+}
+
+func TestE8MemoizationShape(t *testing.T) {
+	res, err := RunE8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	hitRate, onP50, offP50 := res.Series[0], res.Series[1], res.Series[2]
+	// The heaviest skew must serve more from the memo than uniform.
+	first, last := hitRate.Y[0], hitRate.Y[len(hitRate.Y)-1]
+	if last <= first {
+		t.Fatalf("hit rate should grow with skew: %v", hitRate.Y)
+	}
+	if first < 30 {
+		t.Fatalf("uniform hit rate = %.1f%%, repeats should dominate even unskewed", first)
+	}
+	// Median latency with the memo on must clearly beat memo off at every
+	// skew (most submissions are served without executing).
+	for i := range onP50.Y {
+		if onP50.Y[i] >= offP50.Y[i] {
+			t.Fatalf("skew %v: memo-on p50 %.1fms not below memo-off %.1fms",
+				onP50.X[i], onP50.Y[i], offP50.Y[i])
+		}
 	}
 }
 

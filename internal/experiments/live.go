@@ -25,7 +25,12 @@ type liveStack struct {
 }
 
 func newLiveStack(nProviders, slots int) (*liveStack, error) {
-	s := &liveStack{broker: broker.New(broker.Options{})}
+	// E1/E2/E7 measure the raw dispatch path with repeated identical
+	// tasklets; the result memo would serve those from cache and measure
+	// the wrong thing, so it is disabled here. E8 covers the memo.
+	s := &liveStack{broker: broker.New(broker.Options{
+		MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
+	})}
 	addr, err := s.broker.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err

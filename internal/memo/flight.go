@@ -1,0 +1,133 @@
+package memo
+
+import "repro/internal/metrics"
+
+// FlightKey identifies a coalescible unit of in-flight work. Two tasklets
+// coalesce only when their content (program, seed, params — all inside
+// Content), their fuel budget, and their normalized QoC completion rule
+// (mode + replica count) all match: coalescing must not change how many
+// attempts the QoC engine runs or what "done" means for any waiter.
+type FlightKey struct {
+	Content  Key
+	Mode     uint8
+	Replicas int
+	Fuel     uint64
+}
+
+// Flight is one in-flight coalition: the leader's tasklet drives the real
+// attempt fan-out through the QoC engine, the waiters receive copies of the
+// leader's finalized result.
+type Flight struct {
+	Leader  uint64
+	Waiters []uint64
+}
+
+// FlightTable tracks in-flight coalitions (cluster-wide singleflight). Like
+// Cache it is nil-safe: on a nil table every Join elects the caller leader,
+// so code can treat "coalescing disabled" uniformly. Callers serialize
+// access under their own lock.
+type FlightTable struct {
+	flights   map[FlightKey]*Flight
+	coalesced *metrics.Counter
+}
+
+// NewFlightTable builds an empty table. reg may be nil; prefix defaults to
+// "memo." and names the coalesce counter "<prefix>coalesced".
+func NewFlightTable(reg *metrics.Registry, prefix string) *FlightTable {
+	t := &FlightTable{flights: make(map[FlightKey]*Flight)}
+	if reg != nil {
+		if prefix == "" {
+			prefix = "memo."
+		}
+		t.coalesced = reg.Counter(prefix + "coalesced")
+	}
+	return t
+}
+
+// Join adds id to the flight for k, creating the flight (with id as leader)
+// if none exists. It reports whether id became the leader; a false return
+// means id was coalesced as a waiter and must not schedule attempts.
+func (t *FlightTable) Join(k FlightKey, id uint64) (leader bool) {
+	if t == nil {
+		return true
+	}
+	f, ok := t.flights[k]
+	if !ok {
+		t.flights[k] = &Flight{Leader: id}
+		return true
+	}
+	f.Waiters = append(f.Waiters, id)
+	inc(t.coalesced)
+	return false
+}
+
+// Lookup returns the flight for k, or nil.
+func (t *FlightTable) Lookup(k FlightKey) *Flight {
+	if t == nil {
+		return nil
+	}
+	return t.flights[k]
+}
+
+// Complete removes the flight for k and returns its waiters (nil if the
+// flight did not exist or had none). The leader calls this when its result
+// finalizes — successfully or not — and then fans out or dissolves.
+func (t *FlightTable) Complete(k FlightKey) []uint64 {
+	if t == nil {
+		return nil
+	}
+	f, ok := t.flights[k]
+	if !ok {
+		return nil
+	}
+	delete(t.flights, k)
+	return f.Waiters
+}
+
+// DropWaiter removes id from k's waiter list (a waiter's consumer
+// disconnected or its deadline fired). No-op if id is not a waiter.
+func (t *FlightTable) DropWaiter(k FlightKey, id uint64) {
+	if t == nil {
+		return
+	}
+	f, ok := t.flights[k]
+	if !ok {
+		return
+	}
+	for i, w := range f.Waiters {
+		if w == id {
+			f.Waiters = append(f.Waiters[:i], f.Waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// DropLeader handles the leader's tasklet dying without a final result (its
+// consumer disconnected, its deadline fired). The first waiter, if any, is
+// promoted to leader and returned with ok=true — the caller must start real
+// scheduling for it. With no waiters the flight is removed and ok is false.
+func (t *FlightTable) DropLeader(k FlightKey) (newLeader uint64, ok bool) {
+	if t == nil {
+		return 0, false
+	}
+	f, exists := t.flights[k]
+	if !exists {
+		return 0, false
+	}
+	if len(f.Waiters) == 0 {
+		delete(t.flights, k)
+		return 0, false
+	}
+	newLeader = f.Waiters[0]
+	f.Waiters = f.Waiters[1:]
+	f.Leader = newLeader
+	return newLeader, true
+}
+
+// Len returns the number of live flights.
+func (t *FlightTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.flights)
+}

@@ -1,0 +1,155 @@
+package provider
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stdtasks"
+	"repro/internal/tvm"
+	"repro/internal/wire"
+)
+
+func TestProviderMemoServesRepeats(t *testing.T) {
+	fb := newFakeBroker(t)
+	reg := &metrics.Registry{}
+	startProvider(t, fb, Options{Slots: 1, Metrics: reg})
+
+	if err := fb.conn.Send(assignSpin(1, 1000, true)); err != nil {
+		t.Fatal(err)
+	}
+	first := recvType[*wire.AttemptResult](fb)
+	if first.Status != core.StatusOK {
+		t.Fatalf("first attempt: %+v", first)
+	}
+
+	// Identical content, new attempt ID: must be served from the memo with
+	// the original execution's fuel accounting.
+	if err := fb.conn.Send(assignSpin(2, 1000, false)); err != nil {
+		t.Fatal(err)
+	}
+	second := recvType[*wire.AttemptResult](fb)
+	if second.Status != core.StatusOK || second.Attempt != 2 {
+		t.Fatalf("second attempt: %+v", second)
+	}
+	if !second.Return.Equal(first.Return) {
+		t.Fatalf("memo served %s, executed %s", second.Return, first.Return)
+	}
+	if second.FuelUsed != first.FuelUsed {
+		t.Fatalf("memo FuelUsed = %d, original %d", second.FuelUsed, first.FuelUsed)
+	}
+	if got := reg.Counter("provider.memo.hits").Value(); got != 1 {
+		t.Fatalf("provider.memo.hits = %d, want 1", got)
+	}
+	if got := reg.Counter("provider.memo.stores").Value(); got != 1 {
+		t.Fatalf("provider.memo.stores = %d, want 1", got)
+	}
+}
+
+func TestProviderMemoDistinguishesContent(t *testing.T) {
+	fb := newFakeBroker(t)
+	reg := &metrics.Registry{}
+	startProvider(t, fb, Options{Slots: 1, Metrics: reg})
+
+	if err := fb.conn.Send(assignSpin(1, 1000, true)); err != nil {
+		t.Fatal(err)
+	}
+	recvType[*wire.AttemptResult](fb)
+
+	// Different params and different seed must both execute for real.
+	if err := fb.conn.Send(assignSpin(2, 999, false)); err != nil {
+		t.Fatal(err)
+	}
+	recvType[*wire.AttemptResult](fb)
+	seeded := assignSpin(3, 1000, false)
+	seeded.Seed = 2
+	if err := fb.conn.Send(seeded); err != nil {
+		t.Fatal(err)
+	}
+	recvType[*wire.AttemptResult](fb)
+
+	if got := reg.Counter("provider.memo.hits").Value(); got != 0 {
+		t.Fatalf("provider.memo.hits = %d, want 0", got)
+	}
+	if got := reg.Counter("provider.memo.stores").Value(); got != 3 {
+		t.Fatalf("provider.memo.stores = %d, want 3", got)
+	}
+}
+
+func TestProviderMemoHonorsNoCache(t *testing.T) {
+	fb := newFakeBroker(t)
+	reg := &metrics.Registry{}
+	startProvider(t, fb, Options{Slots: 1, Metrics: reg})
+
+	a := assignSpin(1, 1000, true)
+	a.NoCache = true
+	if err := fb.conn.Send(a); err != nil {
+		t.Fatal(err)
+	}
+	recvType[*wire.AttemptResult](fb)
+	b := assignSpin(2, 1000, false)
+	b.NoCache = true
+	if err := fb.conn.Send(b); err != nil {
+		t.Fatal(err)
+	}
+	recvType[*wire.AttemptResult](fb)
+
+	if got := reg.Counter("provider.memo.hits").Value(); got != 0 {
+		t.Fatalf("provider.memo.hits = %d, want 0 under NoCache", got)
+	}
+	if got := reg.Counter("provider.memo.stores").Value(); got != 0 {
+		t.Fatalf("provider.memo.stores = %d, want 0 under NoCache", got)
+	}
+}
+
+func TestProviderMemoDisabled(t *testing.T) {
+	fb := newFakeBroker(t)
+	reg := &metrics.Registry{}
+	startProvider(t, fb, Options{Slots: 1, Metrics: reg, MemoEntries: -1})
+
+	if err := fb.conn.Send(assignSpin(1, 1000, true)); err != nil {
+		t.Fatal(err)
+	}
+	recvType[*wire.AttemptResult](fb)
+	if err := fb.conn.Send(assignSpin(2, 1000, false)); err != nil {
+		t.Fatal(err)
+	}
+	res := recvType[*wire.AttemptResult](fb)
+	if res.Status != core.StatusOK {
+		t.Fatalf("repeat with memo disabled: %+v", res)
+	}
+	if got := reg.Counter("provider.memo.stores").Value(); got != 0 {
+		t.Fatalf("provider.memo.stores = %d with memo disabled", got)
+	}
+}
+
+func TestProviderMemoNeverServesFaults(t *testing.T) {
+	fb := newFakeBroker(t)
+	reg := &metrics.Registry{}
+	startProvider(t, fb, Options{Slots: 1, Metrics: reg})
+
+	// Starve the program of fuel so it faults; the fault must not be
+	// memoized, and a later well-funded identical submission (different
+	// fuel => different flight, but same content key) must execute.
+	a := assignSpin(1, 100_000, true)
+	a.Fuel = 10
+	if err := fb.conn.Send(a); err != nil {
+		t.Fatal(err)
+	}
+	res := recvType[*wire.AttemptResult](fb)
+	if res.Status != core.StatusFault || res.FaultCode != tvm.FaultOutOfFuel {
+		t.Fatalf("starved attempt: %+v", res)
+	}
+	if got := reg.Counter("provider.memo.stores").Value(); got != 0 {
+		t.Fatalf("fault was memoized: stores = %d", got)
+	}
+
+	b := assignSpin(2, 100_000, false)
+	if err := fb.conn.Send(b); err != nil {
+		t.Fatal(err)
+	}
+	res = recvType[*wire.AttemptResult](fb)
+	if res.Status != core.StatusOK || res.Return.I != stdtasks.RefSpin(100_000) {
+		t.Fatalf("well-funded attempt: %+v", res)
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/metrics"
 	"repro/internal/speedbench"
 	"repro/internal/tvm"
 	"repro/internal/wire"
@@ -52,7 +54,27 @@ type Options struct {
 	// CacheSize bounds the decoded-program LRU cache. Zero selects
 	// defaultProgramCacheSize.
 	CacheSize int
+	// MemoEntries, MemoBytes and MemoTTL bound the local result memo:
+	// attempts whose (program, seed, params) this node already executed
+	// successfully are answered from cache without running the TVM, with
+	// the original FuelUsed so accounting is unchanged. Zero selects the
+	// provider defaults (512 entries, 4 MiB, memo.DefaultTTL); any
+	// negative value disables the memo. Assignments flagged NoCache
+	// bypass it either way.
+	MemoEntries int
+	MemoBytes   int
+	MemoTTL     time.Duration
+	// Metrics receives provider counters (prefix "provider.memo.") when
+	// non-nil.
+	Metrics *metrics.Registry
 }
+
+// Local result memo defaults: deliberately smaller than the broker tier —
+// a donated device keeps a modest footprint.
+const (
+	defaultMemoEntries = 512
+	defaultMemoBytes   = 4 << 20
+)
 
 // defaultProgramCacheSize bounds the program cache when Options.CacheSize is
 // zero. 64 decoded programs comfortably cover the working set of every
@@ -76,6 +98,7 @@ type Provider struct {
 	mu      sync.Mutex
 	cancels map[core.AttemptID]*atomic.Bool
 	cache   *programLRU
+	memo    *memo.Cache // nil when disabled; guarded by mu
 
 	wg   sync.WaitGroup
 	done chan struct{}
@@ -144,6 +167,22 @@ func Connect(opts Options) (*Provider, error) {
 		cancels: map[core.AttemptID]*atomic.Bool{},
 		cache:   newProgramLRU(opts.CacheSize),
 		done:    make(chan struct{}),
+	}
+	if opts.MemoEntries >= 0 && opts.MemoBytes >= 0 && opts.MemoTTL >= 0 {
+		entries, bytes := opts.MemoEntries, opts.MemoBytes
+		if entries == 0 {
+			entries = defaultMemoEntries
+		}
+		if bytes == 0 {
+			bytes = defaultMemoBytes
+		}
+		p.memo = memo.New(memo.Config{
+			MaxEntries: entries,
+			MaxBytes:   bytes,
+			TTL:        opts.MemoTTL,
+			Metrics:    opts.Metrics,
+			Prefix:     "provider.memo.",
+		})
 	}
 
 	if err := conn.Send(&wire.Register{Slots: opts.Slots, Class: opts.Class, Speed: speed}); err != nil {
@@ -263,6 +302,9 @@ func (p *Provider) onAssign(m *wire.Assign) {
 		})
 		return
 	}
+	if p.memoServe(m) {
+		return
+	}
 	select {
 	case p.slotSem <- struct{}{}:
 	default:
@@ -316,6 +358,39 @@ func (p *Provider) resolveProgram(m *wire.Assign) (*tvm.Program, error) {
 	return &prog, nil
 }
 
+// memoServe answers an assignment from the local result memo when this node
+// has already executed identical content, skipping the TVM entirely. The
+// reply carries the original FuelUsed (accounting unchanged) and the actual
+// near-zero serve time in ExecNanos. Reports whether the attempt was served.
+func (p *Provider) memoServe(m *wire.Assign) bool {
+	if p.memo == nil || m.NoCache {
+		return false
+	}
+	key, ok := memo.KeyFor(uint64(m.Program), m.Seed, m.Params)
+	if !ok {
+		return false
+	}
+	fuel := m.Fuel
+	if fuel == 0 {
+		fuel = tvm.DefaultConfig().Fuel
+	}
+	start := time.Now()
+	p.mu.Lock()
+	e := p.memo.Get(key, 0, fuel)
+	p.mu.Unlock()
+	if e == nil {
+		return false
+	}
+	ret, em := e.CachedResult()
+	p.send(&wire.AttemptResult{
+		Attempt: m.Attempt, Tasklet: m.Tasklet, Status: core.StatusOK,
+		Return: ret, Emitted: em, FuelUsed: e.FuelUsed,
+		ExecNanos: int64(time.Since(start)),
+	})
+	p.noteFinished()
+	return true
+}
+
 // execute runs one attempt in a fresh VM and reports the outcome.
 func (p *Provider) execute(m *wire.Assign, prog *tvm.Program, cancel *atomic.Bool) {
 	cfg := tvm.DefaultConfig()
@@ -353,9 +428,24 @@ func (p *Provider) execute(m *wire.Assign, prog *tvm.Program, cancel *atomic.Boo
 		out.Return = res.Return
 		out.Emitted = res.Emitted
 		out.FuelUsed = res.FuelUsed
+		// Remember our own successful executions only — a pure function of
+		// content, so replaying one later is indistinguishable from
+		// re-running it (voting replicas still land on distinct nodes).
+		if p.memo != nil && !m.NoCache {
+			if key, ok := memo.KeyFor(uint64(m.Program), m.Seed, m.Params); ok {
+				p.mu.Lock()
+				p.memo.Put(key, res.Return, res.Emitted, res.FuelUsed, elapsed, 0)
+				p.mu.Unlock()
+			}
+		}
 	}
 	p.send(out)
+	p.noteFinished()
+}
 
+// noteFinished counts a completed attempt and fires the FailAfter churn
+// injection when armed.
+func (p *Provider) noteFinished() {
 	n := p.executed.Add(1)
 	if p.opts.FailAfter > 0 && int(n) >= p.opts.FailAfter && !p.closed.Swap(true) {
 		p.logf("provider %d: injected failure after %d tasklets", p.id, n)

@@ -1,0 +1,103 @@
+package qoc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tvm"
+)
+
+func TestVoteStrength(t *testing.T) {
+	if s := (core.QoC{Mode: core.QoCBestEffort}).VoteStrength(); s != 0 {
+		t.Errorf("best-effort strength = %d, want 0", s)
+	}
+	if s := (core.QoC{Mode: core.QoCRedundant, Replicas: 5}).VoteStrength(); s != 0 {
+		t.Errorf("redundant strength = %d, want 0", s)
+	}
+	// Voting normalizes to at least 3 replicas.
+	if s := (core.QoC{Mode: core.QoCVoting}).VoteStrength(); s != 3 {
+		t.Errorf("voting strength = %d, want 3", s)
+	}
+	if s := (core.QoC{Mode: core.QoCVoting, Replicas: 5}).VoteStrength(); s != 5 {
+		t.Errorf("voting(5) strength = %d, want 5", s)
+	}
+}
+
+func cacheableTasklet(q core.QoC) *core.Tasklet {
+	return &core.Tasklet{ID: 1, Job: 1, QoC: q}
+}
+
+func TestFinalCacheableOnlyAfterOKFinal(t *testing.T) {
+	tr := NewTracker(cacheableTasklet(core.QoC{}))
+	if tr.FinalCacheable() {
+		t.Fatal("cacheable before any result")
+	}
+	tr.Start()
+	tr.OnLaunched(1, 1)
+	tr.OnResult(core.Result{Attempt: 1, Status: core.StatusOK, Return: tvm.Int(1)})
+	if !tr.Done() || !tr.FinalCacheable() {
+		t.Fatal("OK final should be cacheable")
+	}
+}
+
+func TestFinalCacheableRejectsFaults(t *testing.T) {
+	tr := NewTracker(cacheableTasklet(core.QoC{}))
+	tr.Start()
+	tr.OnLaunched(1, 1)
+	tr.OnResult(core.Result{Attempt: 1, Status: core.StatusFault, FaultCode: tvm.FaultDivByZero})
+	if !tr.Done() {
+		t.Fatal("best-effort fault should finalize")
+	}
+	if tr.FinalCacheable() {
+		t.Fatal("faulted final must not be cacheable")
+	}
+}
+
+func TestFinalCacheableRejectsLosses(t *testing.T) {
+	tr := NewTracker(cacheableTasklet(core.QoC{MaxRetries: -1}))
+	tr.Start()
+	// Exhaust the default retry budget with losses.
+	attempt := core.AttemptID(1)
+	for !tr.Done() {
+		tr.OnLaunched(attempt, core.ProviderID(attempt))
+		tr.OnResult(core.Result{Attempt: attempt, Status: core.StatusLost})
+		attempt++
+		if attempt > 100 {
+			t.Fatal("tracker never finalized")
+		}
+	}
+	if tr.FinalCacheable() {
+		t.Fatal("lost final must not be cacheable")
+	}
+}
+
+func TestFinalCacheableHonorsNoCache(t *testing.T) {
+	tr := NewTracker(cacheableTasklet(core.QoC{NoCache: true}))
+	tr.Start()
+	tr.OnLaunched(1, 1)
+	tr.OnResult(core.Result{Attempt: 1, Status: core.StatusOK, Return: tvm.Int(1)})
+	if !tr.Done() {
+		t.Fatal("expected done")
+	}
+	if tr.FinalCacheable() {
+		t.Fatal("NoCache final must not be cacheable")
+	}
+}
+
+func TestFinalCacheableVotingMajority(t *testing.T) {
+	tr := NewTracker(cacheableTasklet(core.QoC{Mode: core.QoCVoting, Replicas: 3}))
+	tr.Start()
+	for i := core.AttemptID(1); i <= 3; i++ {
+		tr.OnLaunched(i, core.ProviderID(i))
+	}
+	// One faulty provider disagrees; majority of 2 still finalizes OK.
+	tr.OnResult(core.Result{Attempt: 1, Status: core.StatusOK, Return: tvm.Int(42)})
+	tr.OnResult(core.Result{Attempt: 2, Status: core.StatusOK, Return: tvm.Int(-1)})
+	tr.OnResult(core.Result{Attempt: 3, Status: core.StatusOK, Return: tvm.Int(42)})
+	if !tr.Done() || tr.Final().Return.I != 42 {
+		t.Fatalf("voting did not finalize on majority: done=%v final=%+v", tr.Done(), tr.Final())
+	}
+	if !tr.FinalCacheable() {
+		t.Fatal("voting OK final should be cacheable")
+	}
+}

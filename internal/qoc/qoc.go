@@ -90,6 +90,17 @@ func (tr *Tracker) Final() core.Result { return tr.final }
 // Outstanding returns the number of attempts in flight.
 func (tr *Tracker) Outstanding() int { return len(tr.attempts) }
 
+// FinalCacheable reports whether the tasklet's final result may enter the
+// result cache: the tracker must be done, the final must be a successful
+// execution (faults, losses, and cancellations are never memoized — they
+// describe this run, not the computation), and the tasklet must not have
+// opted out via QoC.NoCache. Raw attempt outcomes are never cacheable; only
+// this QoC-finalized result is, which under voting means it already carries
+// majority agreement.
+func (tr *Tracker) FinalCacheable() bool {
+	return tr.done && tr.final.Status == core.StatusOK && !tr.goal.NoCache
+}
+
 // Attempts reports the total number of attempts launched so far.
 func (tr *Tracker) Attempts() int { return tr.launched }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/qoc"
 	"repro/internal/scheduler"
@@ -45,6 +46,12 @@ type TaskSpec struct {
 	// Arrival is when the consumer submits it.
 	Arrival time.Duration
 	QoC     core.QoC
+	// Key is the tasklet's content identity: tasklets with the same nonzero
+	// Key model submissions of identical (program, seed, params) content and
+	// are eligible for result memoization and coalescing. Zero means unique
+	// content (never memoized). A correct execution of a keyed tasklet
+	// returns Int(Key), so repeats are bit-identical, as purity guarantees.
+	Key uint64
 }
 
 // Config is a complete simulation scenario.
@@ -63,6 +70,13 @@ type Config struct {
 	MaxTime time.Duration
 	// Trace records a per-event timeline into Stats.Trace (see trace.go).
 	Trace bool
+	// MemoEntries, MemoBytes and MemoTTL bound the simulated broker's result
+	// memo, mirroring broker.Options: zero selects the memo package defaults,
+	// any negative value disables memoization and coalescing. TTL expiry runs
+	// on the simulator's virtual clock.
+	MemoEntries int
+	MemoBytes   int
+	MemoTTL     time.Duration
 }
 
 // Stats is the outcome of a simulation run.
@@ -77,6 +91,11 @@ type Stats struct {
 	Attempts       int
 	LostAttempts   int
 	WastedAttempts int
+	// CacheHits counts tasklets served from the result memo without any
+	// attempt; Coalesced counts tasklets that joined an identical in-flight
+	// tasklet's fan-out instead of scheduling their own.
+	CacheHits int
+	Coalesced int
 	// Latency is the per-tasklet submission-to-final-result distribution
 	// (milliseconds of virtual time).
 	Latency metrics.Summary
@@ -88,6 +107,10 @@ type Stats struct {
 	DeviceExecuted []int
 	// Trace is the event timeline, recorded only when Config.Trace is set.
 	Trace []TraceEvent
+	// Finals records every tasklet's final result, indexed like Config.Tasks.
+	// The memo differential tests assert these are bit-identical with
+	// memoization on and off.
+	Finals []core.Result
 }
 
 // Utilization returns mean device busy fraction over the makespan.
@@ -114,6 +137,7 @@ type attemptRec struct {
 	epoch    int // device incarnation at launch; stale completions are void
 	started  time.Duration
 	fuel     uint64
+	content  uint64 // TaskSpec.Key; decides the canonical result value
 	finished bool
 }
 
@@ -129,12 +153,24 @@ type deviceState struct {
 	done    int
 }
 
+// flightRole is a tasklet's position in a coalesced flight.
+type flightRole uint8
+
+const (
+	flightNone   flightRole = iota
+	flightLeader            // drives the real QoC attempt fan-out
+	flightWaiter            // receives a copy of the leader's final
+)
+
 // taskState tracks one tasklet through the QoC engine.
 type taskState struct {
 	t       core.Tasklet
 	tracker *qoc.Tracker
 	arrived time.Duration
 	queued  int // pending placement entries
+	content uint64
+	coKey   memo.FlightKey
+	role    flightRole
 }
 
 // sim is the running world.
@@ -145,6 +181,8 @@ type sim struct {
 	tasks   map[core.TaskletID]*taskState
 	attempt map[core.AttemptID]*attemptRec
 	pending []pendingEntry
+	memo    *memo.Cache       // nil when disabled
+	flights *memo.FlightTable // nil when disabled
 
 	nextAttempt core.AttemptID
 	stats       Stats
@@ -184,6 +222,17 @@ func Run(cfg Config) (*Stats, error) {
 		tasks:   map[core.TaskletID]*taskState{},
 		attempt: map[core.AttemptID]*attemptRec{},
 	}
+	if cfg.MemoEntries >= 0 && cfg.MemoBytes >= 0 && cfg.MemoTTL >= 0 {
+		epoch := time.Unix(0, 0)
+		s.memo = memo.New(memo.Config{
+			MaxEntries: cfg.MemoEntries,
+			MaxBytes:   cfg.MemoBytes,
+			TTL:        cfg.MemoTTL,
+			// TTL expiry must happen in virtual time, not wall time.
+			Clock: func() time.Time { return epoch.Add(s.eng.now) },
+		})
+		s.flights = memo.NewFlightTable(nil, "")
+	}
 
 	for i, spec := range cfg.Devices {
 		if spec.Slots <= 0 {
@@ -208,6 +257,7 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	s.stats.BusyTime = make([]time.Duration, len(s.devices))
 	s.stats.DeviceExecuted = make([]int, len(s.devices))
+	s.stats.Finals = make([]core.Result, len(cfg.Tasks))
 
 	s.firstArr = time.Duration(-1)
 	s.remaining = len(cfg.Tasks)
@@ -218,7 +268,7 @@ func Run(cfg Config) (*Stats, error) {
 			fuel = 1_000_000
 		}
 		t := core.Tasklet{ID: id, Job: 1, Index: i, Fuel: fuel, QoC: tspec.QoC}
-		ts := &taskState{t: t, arrived: tspec.Arrival}
+		ts := &taskState{t: t, arrived: tspec.Arrival, content: tspec.Key}
 		ts.tracker = qoc.NewTracker(&ts.t)
 		s.tasks[id] = ts
 		if s.firstArr < 0 || tspec.Arrival < s.firstArr {
@@ -255,14 +305,40 @@ func Run(cfg Config) (*Stats, error) {
 
 func (s *sim) onArrival(ts *taskState) {
 	s.trace(TraceArrival, -1, ts.t.Index, 0, false)
+	goal := ts.tracker.Goal()
+	if goal.Deadline > 0 {
+		id := ts.t.ID
+		s.eng.after(goal.Deadline, func() { s.onDeadline(id) })
+	}
+	// Memo tier, mirroring the live broker's acceptJob: a finalized result
+	// for identical content is served without any attempt; otherwise an
+	// identical in-flight tasklet absorbs this one as a waiter.
+	if s.memo != nil && ts.content != 0 && !goal.NoCache {
+		key, _ := memo.KeyFor(ts.content, s.cfg.Seed, nil)
+		if e := s.memo.Get(key, goal.VoteStrength(), ts.t.Fuel); e != nil {
+			s.stats.CacheHits++
+			ret, _ := e.CachedResult()
+			s.finalize(ts, core.Result{
+				Tasklet: ts.t.ID, Status: core.StatusOK, Return: ret,
+				FuelUsed: e.FuelUsed, Exec: e.Exec,
+			})
+			return
+		}
+		ts.coKey = memo.FlightKey{
+			Content: key, Mode: uint8(goal.Mode),
+			Replicas: goal.Replicas, Fuel: ts.t.Fuel,
+		}
+		if !s.flights.Join(ts.coKey, uint64(ts.t.ID)) {
+			ts.role = flightWaiter
+			s.stats.Coalesced++
+			return // the leader's finalization fans out to us
+		}
+		ts.role = flightLeader
+	}
 	d := ts.tracker.Start()
 	for i := 0; i < d.Launch; i++ {
 		s.pending = append(s.pending, pendingEntry{tasklet: ts.t.ID, since: s.eng.now})
 		ts.queued++
-	}
-	if q := ts.tracker.Goal(); q.Deadline > 0 {
-		id := ts.t.ID
-		s.eng.after(q.Deadline, func() { s.onDeadline(id) })
 	}
 	s.schedule()
 }
@@ -334,7 +410,7 @@ func (s *sim) launch(ts *taskState, dev *deviceState) {
 	devIdx := int(dev.info.ID) - 1
 	rec := &attemptRec{
 		id: aid, tasklet: ts.t.ID, device: devIdx, epoch: dev.epoch,
-		started: s.eng.now, fuel: ts.t.Fuel,
+		started: s.eng.now, fuel: ts.t.Fuel, content: ts.content,
 	}
 	s.attempt[aid] = rec
 	dev.free--
@@ -378,7 +454,11 @@ func (s *sim) onComplete(rec *attemptRec, exec time.Duration) {
 		return
 	}
 
-	ret := tvm.Int(int64(rec.tasklet)) // canonical "correct" result
+	canon := int64(rec.tasklet)
+	if rec.content != 0 {
+		canon = int64(rec.content) // keyed content: result depends on content only
+	}
+	ret := tvm.Int(canon) // canonical "correct" result
 	if dev.spec.Faulty {
 		ret = tvm.Int(int64(-1000 - rec.device)) // corrupted, device-specific
 	}
@@ -474,13 +554,21 @@ func (s *sim) applyDecision(ts *taskState, d qoc.Decision) {
 	}
 }
 
-// finalize records a tasklet's final state.
+// finalize records a tasklet's final state and settles its flight, if any:
+// a finalized leader stores the result (only if QoC-cacheable) and fans it
+// out to every waiter, or — on a non-OK final — dissolves the flight so each
+// waiter schedules independently; a finalized waiter just leaves its flight.
 func (s *sim) finalize(ts *taskState, final core.Result) {
 	if ts.tracker.Done() && final.Tasklet == 0 {
 		return
 	}
+	role, fk := ts.role, ts.coKey
+	ts.role = flightNone
+	cacheable := ts.tracker.FinalCacheable()
+	strength := ts.tracker.Goal().VoteStrength()
 	delete(s.tasks, ts.t.ID)
 	s.remaining--
+	s.stats.Finals[ts.t.Index] = final
 	s.trace(TraceFinal, -1, ts.t.Index, 0, final.OK())
 	if final.OK() {
 		s.stats.Completed++
@@ -490,5 +578,40 @@ func (s *sim) finalize(ts *taskState, final core.Result) {
 	s.latency.Observe(float64(s.eng.now-ts.arrived) / 1e6)
 	if s.eng.now > s.lastDone {
 		s.lastDone = s.eng.now
+	}
+
+	switch role {
+	case flightWaiter:
+		s.flights.DropWaiter(fk, uint64(ts.t.ID))
+	case flightLeader:
+		if final.OK() {
+			if cacheable {
+				s.memo.Put(fk.Content, final.Return, nil, final.FuelUsed, final.Exec, strength)
+			}
+			for _, wid := range s.flights.Complete(fk) {
+				wts := s.tasks[core.TaskletID(wid)]
+				if wts == nil {
+					continue
+				}
+				wts.role = flightNone
+				s.finalize(wts, core.Result{
+					Tasklet: wts.t.ID, Provider: final.Provider,
+					Status: core.StatusOK, Return: final.Return.Clone(),
+					FuelUsed: final.FuelUsed, Exec: final.Exec,
+				})
+			}
+		} else {
+			// The coalesced execution failed; waiters fall back to real
+			// scheduling rather than inheriting the failure.
+			for _, wid := range s.flights.Complete(fk) {
+				wts := s.tasks[core.TaskletID(wid)]
+				if wts == nil {
+					continue
+				}
+				wts.role = flightNone
+				s.applyDecision(wts, wts.tracker.Start())
+			}
+			s.schedule()
+		}
 	}
 }

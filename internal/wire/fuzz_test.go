@@ -13,6 +13,18 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		f.Add(byte(m.Type()), frame[5:])
 	}
+	// Legacy-format seeds: SubmitJob/Assign frames from before the optional
+	// flags tail existed (tail byte stripped) must keep decoding, and the
+	// flag-bearing variants in allMessages seed the new field itself.
+	for _, m := range allMessages() {
+		if t := m.Type(); t == TypeSubmitJob || t == TypeAssign {
+			frame, err := Marshal(m)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(byte(t), frame[5:len(frame)-1])
+		}
+	}
 	f.Add(byte(99), []byte{})
 	f.Fuzz(func(t *testing.T, typ byte, payload []byte) {
 		m, err := Unmarshal(MsgType(typ), payload)

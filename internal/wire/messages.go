@@ -10,7 +10,21 @@ import (
 
 // ProtocolVersion is bumped on any incompatible change to the message
 // vocabulary; Hello carries it and the broker rejects mismatches.
+//
+// Compatible extensions do NOT bump the version. SubmitJob and Assign grew
+// an *optional flags tail*: one trailing byte of flag bits appended after
+// every fixed field. Decoders read it only when bytes remain, so old-format
+// frames (no tail) still decode with all flags false, and old decoders were
+// never pointed at new frames within version 1's lifetime (the broker is
+// always at least as new as its clients). Future compatible additions must
+// follow the same append-only discipline.
 const ProtocolVersion = 1
+
+// Flag bits carried in the optional tail of SubmitJob and Assign.
+const (
+	// flagNoCache marks a tasklet/attempt excluded from result memoization.
+	flagNoCache = 1 << 0
+)
 
 // MsgType identifies a message on the wire. Values are part of the
 // protocol; append only.
@@ -119,6 +133,11 @@ type Assign struct {
 	Params      []tvm.Value
 	Fuel        uint64
 	Seed        uint64
+
+	// NoCache tells the provider not to serve this attempt from (or store
+	// it into) its local result memo. Carried in the optional flags tail;
+	// absent on old-format frames, defaulting to false.
+	NoCache bool
 }
 
 // CancelAttempt asks a provider to abort a running attempt (job cancelled
@@ -293,6 +312,11 @@ func (m *Assign) encode(e *enc) {
 	e.values(m.Params)
 	e.u64(m.Fuel)
 	e.u64(m.Seed)
+	var fl uint8
+	if m.NoCache {
+		fl |= flagNoCache
+	}
+	e.u8(fl)
 }
 
 func (m *Assign) decode(d *dec) {
@@ -303,6 +327,9 @@ func (m *Assign) decode(d *dec) {
 	m.Params = d.values()
 	m.Fuel = d.u64()
 	m.Seed = d.u64()
+	if d.err == nil && d.remaining() > 0 { // optional tail (new in flags rev)
+		m.NoCache = d.u8()&flagNoCache != 0
+	}
 }
 
 func (m *CancelAttempt) encode(e *enc) { e.u64(uint64(m.Attempt)) }
@@ -346,6 +373,11 @@ func (m *SubmitJob) encode(e *enc) {
 	e.boolv(m.QoC.LocalFallback)
 	e.u64(m.Fuel)
 	e.u64(m.Seed)
+	var fl uint8
+	if m.QoC.NoCache {
+		fl |= flagNoCache
+	}
+	e.u8(fl)
 }
 
 func (m *SubmitJob) decode(d *dec) {
@@ -367,6 +399,9 @@ func (m *SubmitJob) decode(d *dec) {
 	m.QoC.LocalFallback = d.boolv()
 	m.Fuel = d.u64()
 	m.Seed = d.u64()
+	if d.err == nil && d.remaining() > 0 { // optional tail (new in flags rev)
+		m.QoC.NoCache = d.u8()&flagNoCache != 0
+	}
 }
 
 func (m *JobAccepted) encode(e *enc) {

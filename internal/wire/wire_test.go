@@ -26,6 +26,12 @@ func allMessages() []Message {
 			Params:      []tvm.Value{tvm.Int(1), tvm.Str("x"), tvm.Arr(tvm.Float(2.5))},
 			Fuel:        1000, Seed: 5,
 		},
+		&Assign{
+			Attempt: 10, Tasklet: 8, Program: 77,
+			ProgramData: []byte{4},
+			Params:      []tvm.Value{tvm.Int(2)},
+			Fuel:        1, NoCache: true,
+		},
 		&CancelAttempt{Attempt: 9},
 		&AttemptResult{
 			Attempt: 9, Tasklet: 8, Status: core.StatusFault,
@@ -42,6 +48,12 @@ func allMessages() []Message {
 				Deadline: 5 * time.Second, PreferFast: true,
 			},
 			Fuel: 10_000, Seed: 1,
+		},
+		&SubmitJob{
+			Program: []byte{7},
+			Params:  [][]tvm.Value{{}},
+			QoC:     core.QoC{NoCache: true},
+			Fuel:    1, Seed: 2,
 		},
 		&JobAccepted{Job: 3, Tasklets: 128},
 		&ResultPush{
@@ -92,6 +104,14 @@ func TestUnmarshalRejectsTruncation(t *testing.T) {
 		}
 		payload := frame[5:]
 		for cut := 1; cut <= len(payload); cut++ {
+			// SubmitJob and Assign carry a 1-byte optional flags tail:
+			// removing exactly that byte yields a valid *old-format* frame
+			// by design (append-only protocol discipline), covered by
+			// TestLegacyFramesStillDecode. Every deeper truncation must
+			// still fail.
+			if cut == 1 && (m.Type() == TypeSubmitJob || m.Type() == TypeAssign) {
+				continue
+			}
 			if _, err := Unmarshal(m.Type(), payload[:len(payload)-cut]); err == nil {
 				// Some prefixes of variable-length messages can decode by
 				// coincidence only if every field is length-guarded; any
@@ -99,6 +119,81 @@ func TestUnmarshalRejectsTruncation(t *testing.T) {
 				t.Fatalf("%s: truncation by %d accepted", m.Type(), cut)
 			}
 		}
+	}
+}
+
+// TestLegacyFramesStillDecode proves the append-only discipline: a frame
+// encoded by the previous protocol revision — which had no flags tail on
+// SubmitJob/Assign — still decodes, with every flag defaulting to false.
+func TestLegacyFramesStillDecode(t *testing.T) {
+	for _, m := range allMessages() {
+		var want Message
+		switch v := m.(type) {
+		case *SubmitJob:
+			if v.QoC.NoCache {
+				continue // flags can't survive a legacy frame by definition
+			}
+			want = v
+		case *Assign:
+			if v.NoCache {
+				continue
+			}
+			want = v
+		default:
+			continue
+		}
+		frame, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy := frame[5 : len(frame)-1] // strip the flags tail byte
+		got, err := Unmarshal(m.Type(), legacy)
+		if err != nil {
+			t.Fatalf("%s: legacy frame rejected: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s legacy decode:\n in: %#v\nout: %#v", m.Type(), want, got)
+		}
+	}
+}
+
+// TestFlagsTailRoundTrip pins the flag bit assignments on the wire.
+func TestFlagsTailRoundTrip(t *testing.T) {
+	sj := &SubmitJob{
+		Program: []byte{1},
+		Params:  [][]tvm.Value{{tvm.Int(1)}},
+		QoC:     core.QoC{NoCache: true},
+		Fuel:    5, Seed: 6,
+	}
+	frame, err := Marshal(sj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail := frame[len(frame)-1]; tail != flagNoCache {
+		t.Fatalf("SubmitJob flags tail = %#x, want %#x", tail, flagNoCache)
+	}
+	got, err := Unmarshal(TypeSubmitJob, frame[5:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.(*SubmitJob).QoC.NoCache {
+		t.Fatal("SubmitJob NoCache lost in round trip")
+	}
+
+	as := &Assign{Attempt: 1, Tasklet: 2, Program: 3, Fuel: 4, Seed: 5, NoCache: true}
+	frame, err = Marshal(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail := frame[len(frame)-1]; tail != flagNoCache {
+		t.Fatalf("Assign flags tail = %#x, want %#x", tail, flagNoCache)
+	}
+	got, err = Unmarshal(TypeAssign, frame[5:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.(*Assign).NoCache {
+		t.Fatal("Assign NoCache lost in round trip")
 	}
 }
 

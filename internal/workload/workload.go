@@ -177,6 +177,64 @@ func HeavyTailed(n int, minFuel, maxFuel uint64, q core.QoC, seed uint64) []sim.
 	return tasks
 }
 
+// ZipfIndices samples n indices from {0, ..., pool-1} under a Zipf
+// distribution with exponent s (s = 0 is uniform; larger s concentrates mass
+// on low indices). Sampling is by inverse CDF over the precomputed harmonic
+// weights, deterministic given the seed.
+func ZipfIndices(n, pool int, s float64, seed uint64) []int {
+	if pool < 1 {
+		pool = 1
+	}
+	r := newRNG(seed)
+	// cdf[i] = P(index <= i), normalized.
+	cdf := make([]float64, pool)
+	var total float64
+	for i := 0; i < pool; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	out := make([]int, n)
+	for j := range out {
+		u := r.uniform() * total
+		// Binary search for the first cdf entry >= u.
+		lo, hi := 0, pool-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[j] = lo
+	}
+	return out
+}
+
+// ZipfRepeated builds n tasklets whose content identity (TaskSpec.Key) is
+// drawn Zipf-distributed from a pool of distinct contents, with exponential
+// inter-arrival times at the given rate — the repeated-submission workload
+// the result-memo experiments sweep. Keys are 1-based (pool index + 1) so
+// every tasklet is memo-eligible.
+func ZipfRepeated(n, pool int, skew float64, fuel uint64, rate float64, q core.QoC, seed uint64) []sim.TaskSpec {
+	idx := ZipfIndices(n, pool, skew, seed)
+	r := newRNG(seed ^ 0xa5a5a5a5a5a5a5a5)
+	tasks := make([]sim.TaskSpec, n)
+	var at float64
+	for i := range tasks {
+		if rate > 0 {
+			at += r.exp(1 / rate)
+		}
+		tasks[i] = sim.TaskSpec{
+			Fuel:    fuel,
+			Arrival: time.Duration(at * float64(time.Second)),
+			QoC:     q,
+			Key:     uint64(idx[i] + 1),
+		}
+	}
+	return tasks
+}
+
 // TotalFuel sums a batch's work.
 func TotalFuel(tasks []sim.TaskSpec) uint64 {
 	var total uint64

@@ -190,3 +190,80 @@ func TestGeneratedScenarioRunsInSimulator(t *testing.T) {
 		t.Fatalf("makespan %v beat the ideal bound %v", stats.Makespan, ideal)
 	}
 }
+
+func TestZipfIndicesDeterministicAndBounded(t *testing.T) {
+	a := ZipfIndices(500, 20, 1.1, 7)
+	b := ZipfIndices(500, 20, 1.1, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= 20 {
+			t.Fatalf("index %d out of range", a[i])
+		}
+	}
+	c := ZipfIndices(500, 20, 1.1, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	top := func(s float64) float64 {
+		idx := ZipfIndices(20000, 50, s, 3)
+		hot := 0
+		for _, i := range idx {
+			if i == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / float64(len(idx))
+	}
+	uniform, mild, heavy := top(0), top(0.8), top(1.5)
+	// s=0 is uniform: ~1/50 of samples hit any one index.
+	if uniform < 0.01 || uniform > 0.04 {
+		t.Fatalf("uniform top-1 share = %.3f, want ~0.02", uniform)
+	}
+	if !(heavy > mild && mild > uniform) {
+		t.Fatalf("top-1 share not increasing in skew: %.3f, %.3f, %.3f", uniform, mild, heavy)
+	}
+	if heavy < 0.3 {
+		t.Fatalf("s=1.5 top-1 share = %.3f, want > 0.3", heavy)
+	}
+}
+
+func TestZipfRepeatedBuildsMemoEligibleTasks(t *testing.T) {
+	q := core.QoC{Mode: core.QoCVoting, Replicas: 3}
+	tasks := ZipfRepeated(300, 10, 1.0, 5_000_000, 100, q, 4)
+	if len(tasks) != 300 {
+		t.Fatalf("len = %d", len(tasks))
+	}
+	seen := map[uint64]bool{}
+	var last time.Duration
+	for i, ts := range tasks {
+		if ts.Key < 1 || ts.Key > 10 {
+			t.Fatalf("task %d key %d outside pool", i, ts.Key)
+		}
+		if ts.Fuel != 5_000_000 || ts.QoC != q {
+			t.Fatalf("task %d spec mangled: %+v", i, ts)
+		}
+		if ts.Arrival < last {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+		last = ts.Arrival
+		seen[ts.Key] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d distinct keys out of pool 10", len(seen))
+	}
+	// ~300 arrivals at 100/s should span roughly 3s.
+	if last < time.Second || last > 10*time.Second {
+		t.Fatalf("last arrival %v, want ~3s", last)
+	}
+}

@@ -157,6 +157,13 @@ type BrokerOptions struct {
 	HeartbeatTimeout time.Duration
 	// Logger receives operational logs; nil disables logging.
 	Logger *log.Logger
+	// MemoEntries, MemoBytes and MemoTTL bound the broker's result memo
+	// (content-addressed cache of finalized results plus coalescing of
+	// identical in-flight tasklets). Zero selects the defaults; any
+	// negative value disables memoization. See README "Result memoization".
+	MemoEntries int
+	MemoBytes   int
+	MemoTTL     time.Duration
 }
 
 // Broker mediates between consumers and providers.
@@ -178,6 +185,9 @@ func NewBroker(opts BrokerOptions) (*Broker, error) {
 		Policy:           pol,
 		HeartbeatTimeout: opts.HeartbeatTimeout,
 		Logger:           opts.Logger,
+		MemoEntries:      opts.MemoEntries,
+		MemoBytes:        opts.MemoBytes,
+		MemoTTL:          opts.MemoTTL,
 	})}, nil
 }
 

@@ -104,6 +104,7 @@ type providerState struct {
 	info     core.ProviderInfo
 	out      chan wire.Message
 	nc       net.Conn
+	caps     uint8 // protocol extensions advertised in Hello
 	free     int
 	backlog  int
 	sent     map[core.ProgramID]bool // programs already shipped
@@ -384,6 +385,7 @@ func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 		},
 		out:  make(chan wire.Message, sendQueueDepth),
 		nc:   nc,
+		caps: hello.Caps,
 		sent: map[core.ProgramID]bool{},
 	}
 	b.providers[id] = p
@@ -717,6 +719,7 @@ func (b *Broker) onDeadline(id core.TaskletID) {
 		Tasklet: ts.t.ID, Job: ts.t.Job, Index: ts.t.Index,
 		Status: core.StatusFault, FaultMsg: "deadline exceeded",
 	})
+	b.scheduleLocked() // a deadlined leader's dissolved flight re-queues its waiters
 }
 
 // cancelJob abandons a job's outstanding tasklets.
@@ -865,12 +868,15 @@ func (b *Broker) finalizeLocked(ts *taskletState, final core.Result, attempts in
 						em[i] = v.Clone()
 					}
 				}
+				// Like a cache hit, a coalesced waiter consumed no attempts
+				// of its own — the leader's fan-out is reported on the
+				// leader's result only.
 				b.deliverLocked(wts, core.Result{
 					Tasklet: wts.t.ID, Job: wts.t.Job, Index: wts.t.Index,
 					Provider: final.Provider, Status: core.StatusOK,
 					Return: ret, Emitted: em,
 					FuelUsed: final.FuelUsed, Exec: final.Exec,
-				}, attempts)
+				}, 0)
 			}
 		} else {
 			for _, w := range b.flights.Complete(fk) {
@@ -1022,7 +1028,10 @@ func (b *Broker) launchAttemptLocked(ts *taskletState, p *providerState) {
 		Params:  ts.t.Params,
 		Fuel:    ts.t.Fuel,
 		Seed:    ts.t.Seed,
-		NoCache: ts.t.QoC.NoCache,
+		// A provider that never advertised the flags tail can't decode it;
+		// drop the flag rather than the peer — a legacy provider has no
+		// result memo for NoCache to bypass anyway.
+		NoCache: ts.t.QoC.NoCache && p.caps&wire.CapFlagsTail != 0,
 	}
 	if b.opts.DisableProgramCache {
 		msg.ProgramData = b.programs[ts.t.Program]

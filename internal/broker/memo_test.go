@@ -2,11 +2,14 @@ package broker
 
 import (
 	"fmt"
+	"net"
 	"testing"
+	"time"
 
 	"repro/internal/consumer"
 	"repro/internal/core"
 	"repro/internal/provider"
+	"repro/internal/wire"
 )
 
 // memoStack is testStack but returns the broker too, for metrics assertions.
@@ -112,8 +115,14 @@ func TestBrokerCoalescesConcurrentIdenticalSubmissions(t *testing.T) {
 		}
 		if i == 0 {
 			want = res[0].Return.I
+			if res[0].Attempts != 1 {
+				t.Fatalf("leader reported %d attempts, want 1", res[0].Attempts)
+			}
 		} else if res[0].Return.I != want {
 			t.Fatalf("consumer %d got %d, leader got %d", i, res[0].Return.I, want)
+		} else if res[0].Attempts != 0 {
+			// Waiters and cache hits alike consumed no attempts of their own.
+			t.Fatalf("coalesced consumer %d reported %d attempts, want 0", i, res[0].Attempts)
 		}
 	}
 	m := b.Metrics()
@@ -162,6 +171,100 @@ func TestBrokerCoalescingRespectsVotingReplicas(t *testing.T) {
 	}
 	if got := b.Metrics().Counter("attempts.launched").Value(); got != 3 {
 		t.Fatalf("attempts.launched = %d, want 3 (one voting fan-out)", got)
+	}
+}
+
+// TestDeadlinedLeaderReschedulesCoalescedWaiter pins the deadline path's
+// reschedule: FlightKey omits the deadline, so a waiter with no deadline can
+// coalesce behind a leader whose deadline fires. Dissolving that flight
+// re-queues the waiter, and the deadline handler itself must run the
+// scheduler — the provider here never answers assignments, so no other
+// broker event would ever place the waiter.
+func TestDeadlinedLeaderReschedulesCoalescedWaiter(t *testing.T) {
+	b := New(Options{})
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+
+	// Silent two-slot provider on raw wire: accepts assignments, never
+	// reports results.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	pc := wire.NewConn(nc)
+	if err := pc.Send(&wire.Hello{
+		Version: wire.ProtocolVersion, Role: wire.RoleProvider, Name: "silent",
+		Caps: wire.CapFlagsTail,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := pc.Recv(); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(*wire.Welcome); !ok {
+		t.Fatalf("handshake reply = %T", msg)
+	}
+	if err := pc.Send(&wire.Register{Slots: 2, Speed: 100}); err != nil {
+		t.Fatal(err)
+	}
+	assigns := make(chan *wire.Assign, 4)
+	go func() {
+		for {
+			msg, err := pc.Recv()
+			if err != nil {
+				return
+			}
+			if a, ok := msg.(*wire.Assign); ok {
+				assigns <- a
+			}
+		}
+	}()
+
+	spec := compileJob(t, squareSrc, []int64{31})
+
+	leaderSpec := spec
+	leaderSpec.QoC = core.QoC{Deadline: 150 * time.Millisecond}
+	c1, err := consumer.Connect(addr, "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	leaderJob, err := c1.Submit(leaderSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-assigns:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader was never assigned")
+	}
+
+	// Identical content, no deadline: coalesces behind the in-flight leader.
+	c2, err := consumer.Connect(addr, "waiter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := leaderJob.Collect(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].OK() || res[0].Fault == "" {
+		t.Fatalf("leader deadline result = %+v", res[0])
+	}
+	// The dissolved flight's waiter must reach the provider's free slot
+	// without any further broker traffic.
+	select {
+	case <-assigns:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter stalled: never rescheduled after the leader's deadline")
 	}
 }
 

@@ -89,6 +89,7 @@ func Connect(addr, name string) (*Client, error) {
 	conn := wire.NewConn(nc)
 	if err := conn.Send(&wire.Hello{
 		Version: wire.ProtocolVersion, Role: wire.RoleConsumer, Name: name,
+		Caps: wire.CapFlagsTail,
 	}); err != nil {
 		nc.Close()
 		return nil, err

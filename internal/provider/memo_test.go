@@ -1,7 +1,10 @@
 package provider
 
 import (
+	"errors"
+	"net"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -120,6 +123,49 @@ func TestProviderMemoDisabled(t *testing.T) {
 	}
 	if got := reg.Counter("provider.memo.stores").Value(); got != 0 {
 		t.Fatalf("provider.memo.stores = %d with memo disabled", got)
+	}
+}
+
+// TestProviderMemoHitsDontTriggerFailAfter pins the fault-injection
+// semantics: FailAfter counts real TVM executions, so memo-served repeats
+// must not advance the churn threshold — injection timing is then identical
+// between memo-on and memo-off runs.
+func TestProviderMemoHitsDontTriggerFailAfter(t *testing.T) {
+	fb := newFakeBroker(t)
+	startProvider(t, fb, Options{Slots: 1, FailAfter: 2})
+
+	if err := fb.conn.Send(assignSpin(1, 1000, true)); err != nil {
+		t.Fatal(err)
+	}
+	if res := recvType[*wire.AttemptResult](fb); res.Status != core.StatusOK {
+		t.Fatalf("first execution: %+v", res)
+	}
+	// Several memo hits: with the old attempt-counting semantics the second
+	// served attempt would already kill the node.
+	for i := core.AttemptID(2); i <= 5; i++ {
+		if err := fb.conn.Send(assignSpin(i, 1000, false)); err != nil {
+			t.Fatal(err)
+		}
+		if res := recvType[*wire.AttemptResult](fb); res.Status != core.StatusOK {
+			t.Fatalf("memo hit %d: %+v", i, res)
+		}
+	}
+	// A second real execution (distinct content) crosses the threshold and
+	// drops the connection.
+	if err := fb.conn.Send(assignSpin(6, 999, false)); err != nil {
+		t.Fatal(err)
+	}
+	fb.conn.ReadTimeout = 5 * time.Second
+	for {
+		_, err := fb.conn.Recv()
+		if err == nil {
+			continue // the final result may still be flushed before the close
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatal("provider still alive after FailAfter real executions")
+		}
+		break
 	}
 }
 

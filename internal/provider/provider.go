@@ -50,6 +50,9 @@ type Options struct {
 	Logger *log.Logger
 	// FailAfter, when positive, makes the provider abruptly close its
 	// connection after executing that many tasklets (churn injection).
+	// Only real TVM executions count — attempts answered from the local
+	// result memo don't, so fault-injection timing is identical whether
+	// the memo is enabled or not.
 	FailAfter int
 	// CacheSize bounds the decoded-program LRU cache. Zero selects
 	// defaultProgramCacheSize.
@@ -92,7 +95,8 @@ type Provider struct {
 
 	slotSem  chan struct{}
 	out      chan wire.Message
-	executed atomic.Int64
+	executed atomic.Int64 // attempts finished, memo-served included
+	ran      atomic.Int64 // real TVM executions only; drives FailAfter
 	closed   atomic.Bool
 
 	mu      sync.Mutex
@@ -141,6 +145,7 @@ func Connect(opts Options) (*Provider, error) {
 	conn := wire.NewConn(nc)
 	if err := conn.Send(&wire.Hello{
 		Version: wire.ProtocolVersion, Role: wire.RoleProvider, Name: opts.Name,
+		Caps: wire.CapFlagsTail,
 	}); err != nil {
 		nc.Close()
 		return nil, err
@@ -387,7 +392,10 @@ func (p *Provider) memoServe(m *wire.Assign) bool {
 		Return: ret, Emitted: em, FuelUsed: e.FuelUsed,
 		ExecNanos: int64(time.Since(start)),
 	})
-	p.noteFinished()
+	// A memo hit finishes the attempt without running the TVM: it counts
+	// toward Executed but not toward the FailAfter churn threshold, which
+	// models failures of real executions.
+	p.executed.Add(1)
 	return true
 }
 
@@ -443,10 +451,11 @@ func (p *Provider) execute(m *wire.Assign, prog *tvm.Program, cancel *atomic.Boo
 	p.noteFinished()
 }
 
-// noteFinished counts a completed attempt and fires the FailAfter churn
+// noteFinished counts a completed execution and fires the FailAfter churn
 // injection when armed.
 func (p *Provider) noteFinished() {
-	n := p.executed.Add(1)
+	p.executed.Add(1)
+	n := p.ran.Add(1)
 	if p.opts.FailAfter > 0 && int(n) >= p.opts.FailAfter && !p.closed.Swap(true) {
 		p.logf("provider %d: injected failure after %d tasklets", p.id, n)
 		close(p.done)

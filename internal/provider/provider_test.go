@@ -283,11 +283,13 @@ func TestProviderFailAfterDisconnects(t *testing.T) {
 	// (a crash is allowed to eat its own last result — the broker treats
 	// it as lost either way), so only send it and wait for the
 	// disconnect.
+	// Distinct content both times: FailAfter counts real executions, and an
+	// identical repeat would be served from the memo instead of running.
 	if err := fb.conn.Send(assignSpin(1, 10, true)); err != nil {
 		t.Fatal(err)
 	}
 	recvType[*wire.AttemptResult](fb)
-	if err := fb.conn.Send(assignSpin(2, 10, false)); err != nil {
+	if err := fb.conn.Send(assignSpin(2, 11, false)); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan struct{})

@@ -13,16 +13,22 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		f.Add(byte(m.Type()), frame[5:])
 	}
-	// Legacy-format seeds: SubmitJob/Assign frames from before the optional
-	// flags tail existed (tail byte stripped) must keep decoding, and the
-	// flag-bearing variants in allMessages seed the new field itself.
+	// Optional-tail seeds for Hello/SubmitJob/Assign: the flag- and
+	// cap-bearing variants in allMessages seed the tail itself (emitted
+	// only when non-zero), tailless frames double as legacy-format seeds,
+	// and appending an explicit zero tail seeds the interim revision that
+	// emitted one unconditionally.
 	for _, m := range allMessages() {
-		if t := m.Type(); t == TypeSubmitJob || t == TypeAssign {
+		if t := m.Type(); t == TypeHello || t == TypeSubmitJob || t == TypeAssign {
 			frame, err := Marshal(m)
 			if err != nil {
 				f.Fatal(err)
 			}
-			f.Add(byte(t), frame[5:len(frame)-1])
+			if !hasOptionalTail(m) {
+				f.Add(byte(t), append(frame[5:], 0))
+			} else {
+				f.Add(byte(t), frame[5:len(frame)-1])
+			}
 		}
 	}
 	f.Add(byte(99), []byte{})

@@ -11,14 +11,30 @@ import (
 // ProtocolVersion is bumped on any incompatible change to the message
 // vocabulary; Hello carries it and the broker rejects mismatches.
 //
-// Compatible extensions do NOT bump the version. SubmitJob and Assign grew
-// an *optional flags tail*: one trailing byte of flag bits appended after
-// every fixed field. Decoders read it only when bytes remain, so old-format
-// frames (no tail) still decode with all flags false, and old decoders were
-// never pointed at new frames within version 1's lifetime (the broker is
-// always at least as new as its clients). Future compatible additions must
-// follow the same append-only discipline.
+// Compatible extensions do NOT bump the version. Hello, SubmitJob and
+// Assign grew an *optional tail*: one trailing byte appended after every
+// fixed field (capability bits on Hello, flag bits on SubmitJob/Assign).
+// Decoders read it only when bytes remain, and encoders emit it only when
+// it is non-zero, so default frames stay byte-identical to the previous
+// revision in both directions: old-format frames decode with all bits
+// false, and new frames without set bits decode on old peers whose strict
+// finish() rejects trailing bytes. A set bit can only reach a peer that
+// can decode it: client->broker messages may always carry a tail (the
+// broker is at least as new as its clients), while broker->client
+// messages carry one only to peers that advertised CapFlagsTail in their
+// Hello — the broker masks the flags otherwise. Future compatible
+// additions must follow the same append-only, capability-gated
+// discipline.
 const ProtocolVersion = 1
+
+// Capability bits carried in the optional tail of Hello. They declare
+// which compatible protocol extensions the sender can decode, letting the
+// broker tailor its frames per peer.
+const (
+	// CapFlagsTail: the sender decodes the optional flags tail on
+	// broker-originated messages (Assign).
+	CapFlagsTail uint8 = 1 << 0
+)
 
 // Flag bits carried in the optional tail of SubmitJob and Assign.
 const (
@@ -88,6 +104,11 @@ type Hello struct {
 	Version uint16
 	Role    Role
 	Name    string // free-form client identification for logs
+
+	// Caps advertises the compatible protocol extensions this client can
+	// decode (Cap* bits). Carried in the optional tail; absent on
+	// old-format frames, defaulting to none.
+	Caps uint8
 }
 
 // Welcome acknowledges a Hello and assigns the session its ID.
@@ -268,12 +289,18 @@ func (m *Hello) encode(e *enc) {
 	e.u16(m.Version)
 	e.u8(uint8(m.Role))
 	e.str(m.Name)
+	if m.Caps != 0 { // optional tail; omitted when empty for legacy peers
+		e.u8(m.Caps)
+	}
 }
 
 func (m *Hello) decode(d *dec) {
 	m.Version = d.u16()
 	m.Role = Role(d.u8())
 	m.Name = d.str()
+	if d.err == nil && d.remaining() > 0 { // optional tail (new in caps rev)
+		m.Caps = d.u8()
+	}
 }
 
 func (m *Welcome) encode(e *enc) { e.u64(m.ID) }
@@ -316,7 +343,9 @@ func (m *Assign) encode(e *enc) {
 	if m.NoCache {
 		fl |= flagNoCache
 	}
-	e.u8(fl)
+	if fl != 0 { // optional tail; omitted when empty for legacy peers
+		e.u8(fl)
+	}
 }
 
 func (m *Assign) decode(d *dec) {
@@ -377,7 +406,9 @@ func (m *SubmitJob) encode(e *enc) {
 	if m.QoC.NoCache {
 		fl |= flagNoCache
 	}
-	e.u8(fl)
+	if fl != 0 { // optional tail; omitted when empty for legacy peers
+		e.u8(fl)
+	}
 }
 
 func (m *SubmitJob) decode(d *dec) {

@@ -16,6 +16,7 @@ import (
 func allMessages() []Message {
 	return []Message{
 		&Hello{Version: ProtocolVersion, Role: RoleProvider, Name: "node-7"},
+		&Hello{Version: ProtocolVersion, Role: RoleConsumer, Name: "app", Caps: CapFlagsTail},
 		&Welcome{ID: 42},
 		&ErrorMsg{Code: ErrCodeBadJob, Msg: "no such program"},
 		&Register{Slots: 4, Class: core.ClassLaptop, Speed: 123.5},
@@ -96,6 +97,20 @@ func TestMarshalRoundTripAllTypes(t *testing.T) {
 	}
 }
 
+// hasOptionalTail reports whether a message instance encodes with the
+// 1-byte optional tail (caps on Hello, flags on SubmitJob/Assign).
+func hasOptionalTail(m Message) bool {
+	switch v := m.(type) {
+	case *Hello:
+		return v.Caps != 0
+	case *SubmitJob:
+		return v.QoC.NoCache
+	case *Assign:
+		return v.NoCache
+	}
+	return false
+}
+
 func TestUnmarshalRejectsTruncation(t *testing.T) {
 	for _, m := range allMessages() {
 		frame, err := Marshal(m)
@@ -104,12 +119,11 @@ func TestUnmarshalRejectsTruncation(t *testing.T) {
 		}
 		payload := frame[5:]
 		for cut := 1; cut <= len(payload); cut++ {
-			// SubmitJob and Assign carry a 1-byte optional flags tail:
-			// removing exactly that byte yields a valid *old-format* frame
-			// by design (append-only protocol discipline), covered by
-			// TestLegacyFramesStillDecode. Every deeper truncation must
-			// still fail.
-			if cut == 1 && (m.Type() == TypeSubmitJob || m.Type() == TypeAssign) {
+			// Removing exactly the optional-tail byte yields a valid
+			// *old-format* frame by design (append-only protocol
+			// discipline), covered by TestTaillessFramesMatchLegacyFormat.
+			// Every deeper truncation must still fail.
+			if cut == 1 && hasOptionalTail(m) {
 				continue
 			}
 			if _, err := Unmarshal(m.Type(), payload[:len(payload)-cut]); err == nil {
@@ -122,37 +136,68 @@ func TestUnmarshalRejectsTruncation(t *testing.T) {
 	}
 }
 
-// TestLegacyFramesStillDecode proves the append-only discipline: a frame
-// encoded by the previous protocol revision — which had no flags tail on
-// SubmitJob/Assign — still decodes, with every flag defaulting to false.
-func TestLegacyFramesStillDecode(t *testing.T) {
-	for _, m := range allMessages() {
-		var want Message
-		switch v := m.(type) {
-		case *SubmitJob:
-			if v.QoC.NoCache {
-				continue // flags can't survive a legacy frame by definition
-			}
-			want = v
-		case *Assign:
-			if v.NoCache {
-				continue
-			}
-			want = v
-		default:
-			continue
-		}
-		frame, err := Marshal(m)
+// TestTaillessFramesMatchLegacyFormat proves both directions of the
+// append-only discipline for Hello/SubmitJob/Assign. A frame with no set
+// bits carries no tail at all — byte-identical to the pre-tail revision, so
+// a legacy peer's strict trailing-bytes check accepts it — and is exactly
+// one byte shorter than its flagged twin. And a frame that *does* carry a
+// zero tail (the interim revision emitted one unconditionally) still
+// decodes to the same message, with every bit false.
+func TestTaillessFramesMatchLegacyFormat(t *testing.T) {
+	pairs := []struct {
+		name             string
+		tailless, tailed Message
+	}{
+		{
+			"hello",
+			&Hello{Version: ProtocolVersion, Role: RoleProvider, Name: "n"},
+			&Hello{Version: ProtocolVersion, Role: RoleProvider, Name: "n", Caps: CapFlagsTail},
+		},
+		{
+			"assign",
+			&Assign{Attempt: 1, Tasklet: 2, Program: 3, ProgramData: []byte{9},
+				Params: []tvm.Value{tvm.Int(1)}, Fuel: 4, Seed: 5},
+			&Assign{Attempt: 1, Tasklet: 2, Program: 3, ProgramData: []byte{9},
+				Params: []tvm.Value{tvm.Int(1)}, Fuel: 4, Seed: 5, NoCache: true},
+		},
+		{
+			"submit_job",
+			&SubmitJob{Program: []byte{1}, Params: [][]tvm.Value{{tvm.Int(1)}}, Fuel: 2, Seed: 3},
+			&SubmitJob{Program: []byte{1}, Params: [][]tvm.Value{{tvm.Int(1)}}, Fuel: 2, Seed: 3,
+				QoC: core.QoC{NoCache: true}},
+		},
+	}
+	for _, p := range pairs {
+		plain, err := Marshal(p.tailless)
 		if err != nil {
 			t.Fatal(err)
 		}
-		legacy := frame[5 : len(frame)-1] // strip the flags tail byte
-		got, err := Unmarshal(m.Type(), legacy)
+		flagged, err := Marshal(p.tailed)
 		if err != nil {
-			t.Fatalf("%s: legacy frame rejected: %v", m.Type(), err)
+			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(want, got) {
-			t.Fatalf("%s legacy decode:\n in: %#v\nout: %#v", m.Type(), want, got)
+		if len(flagged) != len(plain)+1 {
+			t.Fatalf("%s: tailed frame is %d bytes, tailless %d; want exactly one extra",
+				p.name, len(flagged), len(plain))
+		}
+		// A legacy frame equals the tailless encoding; decoding it must
+		// reproduce the message with all tail bits false.
+		got, err := Unmarshal(p.tailless.Type(), plain[5:])
+		if err != nil {
+			t.Fatalf("%s: legacy frame rejected: %v", p.name, err)
+		}
+		if !reflect.DeepEqual(p.tailless, got) {
+			t.Fatalf("%s legacy decode:\n in: %#v\nout: %#v", p.name, p.tailless, got)
+		}
+		// The interim always-emit revision appended a zero tail; those
+		// frames must keep decoding identically.
+		withZero := append(append([]byte(nil), plain[5:]...), 0)
+		got, err = Unmarshal(p.tailless.Type(), withZero)
+		if err != nil {
+			t.Fatalf("%s: zero-tail frame rejected: %v", p.name, err)
+		}
+		if !reflect.DeepEqual(p.tailless, got) {
+			t.Fatalf("%s zero-tail decode:\n in: %#v\nout: %#v", p.name, p.tailless, got)
 		}
 	}
 }
@@ -194,6 +239,22 @@ func TestFlagsTailRoundTrip(t *testing.T) {
 	}
 	if !got.(*Assign).NoCache {
 		t.Fatal("Assign NoCache lost in round trip")
+	}
+
+	h := &Hello{Version: ProtocolVersion, Role: RoleProvider, Name: "n", Caps: CapFlagsTail}
+	frame, err = Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail := frame[len(frame)-1]; tail != CapFlagsTail {
+		t.Fatalf("Hello caps tail = %#x, want %#x", tail, CapFlagsTail)
+	}
+	got, err = Unmarshal(TypeHello, frame[5:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*Hello).Caps != CapFlagsTail {
+		t.Fatal("Hello Caps lost in round trip")
 	}
 }
 

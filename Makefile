@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench fuzz fuzz-smoke clean
+.PHONY: all build vet test race check bench bench-smoke fuzz fuzz-smoke clean
 
 all: check
 
@@ -24,9 +24,22 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# bench runs the headline interpreter benchmarks with allocation reporting.
+# bench runs the headline benchmarks with allocation reporting: interpreter
+# hot paths, the broker data-plane throughput pair (coalescing on/off), and
+# the wire send path. Compare runs across commits with benchstat
+# (golang.org/x/perf/cmd/benchstat); the experiment-level numbers behind
+# BENCH_PR2.json / BENCH_PR3.json regenerate via
+# `go run ./cmd/tasklet-bench -exp e8|e9 -json <file>`.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkVM_|BenchmarkE1_SpinVM|BenchmarkAblation_Optimize|BenchmarkAblation_Memo' -benchmem .
+	$(GO) test -run XXX -bench 'BenchmarkVM_|BenchmarkE1_SpinVM|BenchmarkAblation_Optimize|BenchmarkAblation_Memo|BenchmarkBrokerThroughput|BenchmarkAblation_Coalesce' -benchmem .
+	$(GO) test -run XXX -bench 'BenchmarkConnSend|BenchmarkLegacySend' -benchmem ./internal/wire/
+
+# bench-smoke compiles and runs every throughput/ablation benchmark exactly
+# once (-benchtime=1x) — the CI gate that keeps the bench harness building
+# and executing without paying for statistically meaningful timings.
+bench-smoke:
+	$(GO) test -run XXX -bench 'BenchmarkBrokerThroughput|BenchmarkAblation_' -benchtime 1x .
+	$(GO) test -run XXX -bench . -benchtime 1x ./internal/wire/
 
 # fuzz gives the program decoder + differential interpreter fuzzer a short
 # budget; lengthen FUZZTIME for deeper runs.

@@ -474,6 +474,88 @@ func benchAblationMemo(b *testing.B, memoOn bool) {
 func BenchmarkAblation_MemoOn(b *testing.B)  { benchAblationMemo(b, true) }
 func BenchmarkAblation_MemoOff(b *testing.B) { benchAblationMemo(b, false) }
 
+// benchBrokerThroughput drives the submit→assign→result hot path at scale:
+// 4 consumers × 4 providers on loopback, each consumer pushing a 256-tasklet
+// noop job per iteration, so the broker handles bursts of assigns and result
+// pushes on every connection. The coalescing ablation pair below toggles
+// write coalescing (broker writer batching + wire flush policy) — the frame
+// bytes are identical either way, only syscall boundaries move.
+func benchBrokerThroughput(b *testing.B, noCoalesce bool) {
+	const nConsumers, nProviders, perJob = 4, 4, 256
+	// Memo off at both tiers: repeated identical noop tasklets must traverse
+	// the full data plane every iteration.
+	br := broker.New(broker.Options{
+		MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
+		NoCoalesce: noCoalesce,
+	})
+	defer br.Close()
+	addr, err := br.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nProviders; i++ {
+		p, err := provider.Connect(provider.Options{
+			BrokerAddr: addr, Slots: 8, Speed: 100,
+			MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
+			NoCoalesce: noCoalesce,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+	}
+	consumers := make([]*consumer.Client, nConsumers)
+	for i := range consumers {
+		c, err := consumer.Connect(addr, fmt.Sprintf("bench-%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		consumers[i] = c
+	}
+	noop, err := stdtasks.Bytecode("noop")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := make([][]tvm.Value, perJob)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		errs := make(chan error, nConsumers)
+		for _, c := range consumers {
+			go func(c *consumer.Client) {
+				job, err := c.Submit(core.JobSpec{Program: noop, Params: params, Seed: 1})
+				if err != nil {
+					errs <- err
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+				defer cancel()
+				res, err := job.Collect(ctx)
+				if err == nil {
+					for _, r := range res {
+						if !r.OK() {
+							err = fmt.Errorf("tasklet %d failed: %s", r.Index, r.Fault)
+							break
+						}
+					}
+				}
+				errs <- err
+			}(c)
+		}
+		for range consumers {
+			if err := <-errs; err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(nConsumers*perJob*b.N)/b.Elapsed().Seconds(), "tasklets/s")
+}
+
+func BenchmarkBrokerThroughput(b *testing.B)     { benchBrokerThroughput(b, false) }
+func BenchmarkAblation_CoalesceOn(b *testing.B)  { benchBrokerThroughput(b, false) }
+func BenchmarkAblation_CoalesceOff(b *testing.B) { benchBrokerThroughput(b, true) }
+
 // benchStack is a minimal live stack helper for ablation benches.
 type benchStack struct {
 	b      *broker.Broker

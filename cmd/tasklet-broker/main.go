@@ -29,6 +29,8 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "provider heartbeat timeout")
 	memoEntries := flag.Int("memo", 0, "result-memo entry budget (0 = default, negative = disable memoization)")
 	memoTTL := flag.Duration("memo-ttl", 0, "result-memo entry TTL (0 = default)")
+	noCoalesce := flag.Bool("no-coalesce", false,
+		"disable write coalescing (flush every frame individually; ablation/debugging)")
 	stats := flag.Duration("stats", 0, "print a status line at this interval (0 = off)")
 	quiet := flag.Bool("q", false, "suppress operational logs")
 	flag.Parse()
@@ -50,6 +52,7 @@ func main() {
 		Logger:           logger,
 		MemoEntries:      *memoEntries,
 		MemoTTL:          *memoTTL,
+		NoCoalesce:       *noCoalesce,
 	})
 	bound, err := b.Listen(*addr)
 	if err != nil {

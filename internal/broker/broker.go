@@ -6,8 +6,15 @@
 //
 // Concurrency model: one reader goroutine per connection, one writer
 // goroutine per connection (fed by a bounded queue so a slow peer cannot
-// stall the broker), and a single mutex guarding all scheduling state.
-// State-mutating work is short and never blocks on the network.
+// stall the broker), one scheduler goroutine, and a single mutex guarding
+// all scheduling state. State-mutating work is short and never blocks on
+// the network. Events (results, joins, deadlines) do not run placement
+// themselves: they set a dirty flag and wake the scheduler, so a burst of
+// events costs one placement pass instead of one per event, and result
+// routing never serializes behind a scheduling walk. Heartbeats bypass the
+// mutex entirely (atomic timestamp per provider). Writer goroutines drain
+// their queue in batches so one socket flush covers a burst of Assigns or
+// ResultPushes (see wire.Conn for the flush policy).
 package broker
 
 import (
@@ -18,6 +25,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -58,11 +66,22 @@ type Options struct {
 	MemoEntries int
 	MemoBytes   int
 	MemoTTL     time.Duration
+
+	// NoCoalesce disables write coalescing on this broker's connections:
+	// writer loops send one message per flush instead of draining their
+	// queue in batches, and the wire layer flushes after every frame.
+	// Exists for the coalescing ablation and differential tests; frame
+	// bytes are identical either way.
+	NoCoalesce bool
 }
 
 // sendQueueDepth bounds per-connection outgoing messages. A peer that
 // cannot drain this many messages is broken or hostile and is dropped.
 const sendQueueDepth = 4096
+
+// writerBatchMax bounds how many queued messages a writer loop folds into
+// one flush.
+const writerBatchMax = 128
 
 // Broker is the central coordinator. Create with New, start with Serve.
 type Broker struct {
@@ -84,6 +103,12 @@ type Broker struct {
 	// provider, in FIFO order.
 	pending []core.TaskletID
 
+	// schedDirty marks that scheduling state changed since the last
+	// placement pass; schedWake pokes the scheduler goroutine. Events
+	// between two passes collapse into one flag, so a burst costs one pass.
+	schedDirty bool
+	schedWake  chan struct{}
+
 	// memo caches QoC-finalized results by content; flights coalesces
 	// identical in-flight tasklets (cluster-wide singleflight). Both nil
 	// when memoization is disabled; all their methods are nil-safe.
@@ -98,28 +123,51 @@ type Broker struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// Hot-path metric handles, resolved once at construction so the
+	// per-result path never takes the registry lock.
+	mSendDropped *metrics.Counter
+	mAttemptsOK  *metrics.Counter
+	mAttemptsFlt *metrics.Counter
+	mAttemptsOth *metrics.Counter
+	mLaunched    *metrics.Counter
+	mCompleted   *metrics.Counter
+	mFailed      *metrics.Counter
+	mExecMS      *metrics.Histogram
+	mLatencyMS   *metrics.Histogram
 }
 
 type providerState struct {
 	info     core.ProviderInfo
 	out      chan wire.Message
 	nc       net.Conn
-	caps     uint8 // protocol extensions advertised in Hello
+	label    string // "provider N", precomputed for hot-path logs
+	caps     uint8  // protocol extensions advertised in Hello
 	free     int
 	backlog  int
 	sent     map[core.ProgramID]bool // programs already shipped
 	assigned int
 	finished int // attempts that returned any result
 	gone     bool
+
+	// lastBeat is the UnixNano timestamp of the latest heartbeat, updated
+	// without the broker mutex so heartbeats never queue behind scheduling.
+	lastBeat atomic.Int64
+
+	// dropWarned limits the send-queue-overflow log to once per connection.
+	dropWarned atomic.Bool
 }
 
 type consumerState struct {
 	id      core.ConsumerID
 	out     chan wire.Message
 	nc      net.Conn
+	label   string // "consumer N", precomputed for hot-path logs
 	jobs    map[core.JobID]bool
 	pending int // queued tasklets across this consumer's jobs
 	gone    bool
+
+	dropWarned atomic.Bool
 }
 
 type jobState struct {
@@ -185,8 +233,18 @@ func New(opts Options) *Broker {
 		tasklets:  map[core.TaskletID]*taskletState{},
 		attempts:  map[core.AttemptID]*attemptState{},
 		programs:  map[core.ProgramID][]byte{},
+		schedWake: make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 	}
+	b.mSendDropped = reg.Counter("broker.send_dropped")
+	b.mAttemptsOK = reg.Counter("attempts.ok")
+	b.mAttemptsFlt = reg.Counter("attempts.fault")
+	b.mAttemptsOth = reg.Counter("attempts.other")
+	b.mLaunched = reg.Counter("attempts.launched")
+	b.mCompleted = reg.Counter("tasklets.completed")
+	b.mFailed = reg.Counter("tasklets.failed")
+	b.mExecMS = reg.Histogram("attempt.exec_ms")
+	b.mLatencyMS = reg.Histogram("tasklet.latency_ms")
 	if opts.MemoEntries >= 0 && opts.MemoBytes >= 0 && opts.MemoTTL >= 0 {
 		b.memo = memo.New(memo.Config{
 			MaxEntries: opts.MemoEntries,
@@ -219,7 +277,7 @@ func (b *Broker) Listen(addr string) (string, error) {
 	b.ln = ln
 	b.mu.Unlock()
 
-	b.wg.Add(2)
+	b.wg.Add(3)
 	go func() {
 		defer b.wg.Done()
 		b.acceptLoop(ln)
@@ -227,6 +285,10 @@ func (b *Broker) Listen(addr string) (string, error) {
 	go func() {
 		defer b.wg.Done()
 		b.reaperLoop()
+	}()
+	go func() {
+		defer b.wg.Done()
+		b.schedLoop()
 	}()
 	return ln.Addr().String(), nil
 }
@@ -294,10 +356,10 @@ func (b *Broker) reaperLoop() {
 			b.mu.Unlock()
 			return
 		}
-		cutoff := time.Now().Add(-b.opts.HeartbeatTimeout)
+		cutoff := time.Now().Add(-b.opts.HeartbeatTimeout).UnixNano()
 		var dead []*providerState
 		for _, p := range b.providers {
-			if !p.gone && p.info.LastHeartbeat.Before(cutoff) {
+			if !p.gone && p.lastBeat.Load() < cutoff {
 				dead = append(dead, p)
 			}
 		}
@@ -316,6 +378,7 @@ func (b *Broker) reaperLoop() {
 func (b *Broker) handleConn(nc net.Conn) {
 	defer nc.Close()
 	conn := wire.NewConn(nc)
+	conn.NoCoalesce = b.opts.NoCoalesce
 	conn.ReadTimeout = 30 * time.Second
 
 	msg, err := conn.Recv()
@@ -343,10 +406,59 @@ func (b *Broker) handleConn(nc net.Conn) {
 	}
 }
 
-// writerLoop drains a connection's outgoing queue.
+// schedLoop is the single scheduler goroutine: it runs one placement pass
+// per wake-up. While a pass holds b.mu, arriving events queue on the mutex,
+// set the dirty flag, and are all covered by the next pass — so a burst of
+// N results costs one or two walks of the placement queue, not N.
+func (b *Broker) schedLoop() {
+	for {
+		select {
+		case <-b.schedWake:
+		case <-b.stop:
+			return
+		}
+		b.mu.Lock()
+		for b.schedDirty && !b.closed {
+			b.schedDirty = false
+			b.schedulePassLocked()
+		}
+		b.mu.Unlock()
+	}
+}
+
+// scheduleLocked records that scheduling state changed and wakes the
+// scheduler goroutine. Callers hold b.mu; the pass itself runs on the
+// scheduler goroutine so event handlers return immediately.
+func (b *Broker) scheduleLocked() {
+	b.schedDirty = true
+	select {
+	case b.schedWake <- struct{}{}:
+	default: // a wake-up is already pending; it will cover this event
+	}
+}
+
+// writerLoop drains a connection's outgoing queue. Unless coalescing is
+// disabled, it folds whatever burst is queued (up to writerBatchMax) into
+// one SendBatch so a single flush — one syscall — covers the burst.
 func (b *Broker) writerLoop(conn *wire.Conn, out <-chan wire.Message, nc net.Conn) {
+	batch := make([]wire.Message, 0, writerBatchMax)
 	for m := range out {
-		if err := conn.Send(m); err != nil {
+		batch = append(batch[:0], m)
+		if !b.opts.NoCoalesce {
+		drain:
+			for len(batch) < writerBatchMax {
+				select {
+				case mm, ok := <-out:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, mm)
+				default:
+					break drain
+				}
+			}
+		}
+		if err := conn.SendBatch(batch); err != nil {
 			nc.Close() // unblocks the reader, which tears the peer down
 			// Drain remaining messages so enqueuers never block.
 			for range out {
@@ -356,11 +468,18 @@ func (b *Broker) writerLoop(conn *wire.Conn, out <-chan wire.Message, nc net.Con
 	}
 }
 
-// enqueue appends to a bounded send queue; a full queue kills the peer.
-func enqueue(out chan wire.Message, m wire.Message, nc net.Conn) {
+// enqueue appends to a bounded send queue. A peer that cannot drain
+// sendQueueDepth messages is broken or hostile: the drop is counted in
+// broker.send_dropped, logged once per connection, and the connection is
+// closed so the reader tears the peer down.
+func (b *Broker) enqueue(out chan wire.Message, m wire.Message, nc net.Conn, warned *atomic.Bool, label string) {
 	select {
 	case out <- m:
 	default:
+		b.mSendDropped.Inc()
+		if !warned.Swap(true) {
+			b.logf("broker: %s send queue full; dropping %s and closing the connection", label, m.Type())
+		}
 		nc.Close()
 	}
 }
@@ -375,19 +494,22 @@ func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 	}
 	b.nextProvider++
 	id := b.nextProvider
+	now := time.Now()
 	p := &providerState{
 		info: core.ProviderInfo{
 			ID:            id,
 			Addr:          conn.RemoteAddr(),
 			Reliability:   1,
-			Joined:        time.Now(),
-			LastHeartbeat: time.Now(),
+			Joined:        now,
+			LastHeartbeat: now,
 		},
-		out:  make(chan wire.Message, sendQueueDepth),
-		nc:   nc,
-		caps: hello.Caps,
-		sent: map[core.ProgramID]bool{},
+		out:   make(chan wire.Message, sendQueueDepth),
+		nc:    nc,
+		label: fmt.Sprintf("provider %d", id),
+		caps:  hello.Caps,
+		sent:  map[core.ProgramID]bool{},
 	}
+	p.lastBeat.Store(now.UnixNano())
 	b.providers[id] = p
 	b.mu.Unlock()
 
@@ -397,7 +519,7 @@ func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 		b.writerLoop(conn, p.out, nc)
 	}()
 
-	enqueue(p.out, &wire.Welcome{ID: uint64(id)}, nc)
+	b.enqueue(p.out, &wire.Welcome{ID: uint64(id)}, nc, &p.dropWarned, p.label)
 	b.reg.Counter("providers.joined").Inc()
 	b.logf("broker: provider %d connected from %s (%s)", id, conn.RemoteAddr(), hello.Name)
 
@@ -409,20 +531,20 @@ func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 		}
 		switch m := msg.(type) {
 		case *wire.Register:
+			p.lastBeat.Store(time.Now().UnixNano())
 			b.mu.Lock()
 			p.info.Slots = m.Slots
 			p.info.Class = m.Class
 			p.info.Speed = m.Speed
-			p.info.LastHeartbeat = time.Now()
 			p.free = m.Slots
 			b.scheduleLocked()
 			b.mu.Unlock()
 			b.logf("broker: provider %d registered: %d slots, %.1f Mops/s, class %s",
 				id, m.Slots, m.Speed, m.Class)
 		case *wire.Heartbeat:
-			b.mu.Lock()
-			p.info.LastHeartbeat = time.Now()
-			b.mu.Unlock()
+			// Liveness only; no broker state changes, so heartbeats never
+			// queue behind the scheduling mutex.
+			p.lastBeat.Store(time.Now().UnixNano())
 		case *wire.AttemptResult:
 			b.onAttemptResult(p, m)
 		case *wire.Bye:
@@ -513,13 +635,13 @@ func (b *Broker) onAttemptResult(p *providerState, m *wire.AttemptResult) {
 	}
 	switch m.Status {
 	case core.StatusOK:
-		b.reg.Counter("attempts.ok").Inc()
+		b.mAttemptsOK.Inc()
 	case core.StatusFault:
-		b.reg.Counter("attempts.fault").Inc()
+		b.mAttemptsFlt.Inc()
 	default:
-		b.reg.Counter("attempts.other").Inc()
+		b.mAttemptsOth.Inc()
 	}
-	b.reg.Histogram("attempt.exec_ms").Observe(float64(m.ExecNanos) / 1e6)
+	b.mExecMS.Observe(float64(m.ExecNanos) / 1e6)
 
 	d := ts.tracker.OnResult(res)
 	b.applyDecisionLocked(ts, d)
@@ -547,10 +669,11 @@ func (b *Broker) serveConsumer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 	b.nextConsumer++
 	id := b.nextConsumer
 	c := &consumerState{
-		id:   id,
-		out:  make(chan wire.Message, sendQueueDepth),
-		nc:   nc,
-		jobs: map[core.JobID]bool{},
+		id:    id,
+		out:   make(chan wire.Message, sendQueueDepth),
+		nc:    nc,
+		label: fmt.Sprintf("consumer %d", id),
+		jobs:  map[core.JobID]bool{},
 	}
 	b.consumers[id] = c
 	b.mu.Unlock()
@@ -561,7 +684,7 @@ func (b *Broker) serveConsumer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 		b.writerLoop(conn, c.out, nc)
 	}()
 
-	enqueue(c.out, &wire.Welcome{ID: uint64(id)}, nc)
+	b.enqueue(c.out, &wire.Welcome{ID: uint64(id)}, nc, &c.dropWarned, c.label)
 	b.logf("broker: consumer %d connected from %s (%s)", id, conn.RemoteAddr(), hello.Name)
 
 	conn.ReadTimeout = 0 // consumers may idle while awaiting results
@@ -573,12 +696,12 @@ func (b *Broker) serveConsumer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 		switch m := msg.(type) {
 		case *wire.SubmitJob:
 			if err := b.acceptJob(c, m); err != nil {
-				enqueue(c.out, &wire.ErrorMsg{Code: wire.ErrCodeBadJob, Msg: err.Error()}, nc)
+				b.enqueue(c.out, &wire.ErrorMsg{Code: wire.ErrCodeBadJob, Msg: err.Error()}, nc, &c.dropWarned, c.label)
 			}
 		case *wire.CancelJob:
 			b.cancelJob(c, m.Job)
 		case *wire.QueryFleet:
-			enqueue(c.out, b.fleetInfo(), nc)
+			b.enqueue(c.out, b.fleetInfo(), nc, &c.dropWarned, c.label)
 		case *wire.Bye:
 			goto done
 		default:
@@ -697,7 +820,7 @@ func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 		}
 	}
 	b.reg.Counter("tasklets.submitted").Add(int64(len(m.Params)))
-	enqueue(c.out, &wire.JobAccepted{Job: job.id, Tasklets: job.total}, c.nc)
+	b.enqueue(c.out, &wire.JobAccepted{Job: job.id, Tasklets: job.total}, c.nc, &c.dropWarned, c.label)
 	for _, h := range hits {
 		b.deliverLocked(h.ts, h.final, 0)
 	}
@@ -742,7 +865,7 @@ func (b *Broker) cancelJob(c *consumerState, id core.JobID) {
 	}
 	b.purgePendingLocked()
 	b.scheduleLocked() // a dropped leader may have promoted a waiter
-	enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc)
+	b.enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc, &c.dropWarned, c.label)
 	b.logf("broker: job %d cancelled", id)
 }
 
@@ -781,7 +904,7 @@ func (b *Broker) dropTaskletLocked(ts *taskletState) {
 		if a.tasklet == ts.t.ID && !a.abandoned {
 			a.abandoned = true
 			if p := b.providers[a.provider]; p != nil {
-				enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc)
+				b.enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc, &p.dropWarned, p.label)
 			}
 		}
 	}
@@ -807,7 +930,7 @@ func (b *Broker) finishTaskletLocked(ts *taskletState, final core.Result) {
 		if a.tasklet == ts.t.ID && !a.abandoned {
 			a.abandoned = true
 			if p := b.providers[a.provider]; p != nil {
-				enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc)
+				b.enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc, &p.dropWarned, p.label)
 			}
 		}
 	}
@@ -823,7 +946,7 @@ func (b *Broker) applyDecisionLocked(ts *taskletState, d qoc.Decision) {
 		if a := b.attempts[aid]; a != nil && !a.abandoned {
 			a.abandoned = true
 			if p := b.providers[a.provider]; p != nil {
-				enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc)
+				b.enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc, &p.dropWarned, p.label)
 			}
 		}
 	}
@@ -905,19 +1028,19 @@ func (b *Broker) deliverLocked(ts *taskletState, final core.Result, attempts int
 	}
 	if final.OK() {
 		job.completed++
-		b.reg.Counter("tasklets.completed").Inc()
+		b.mCompleted.Inc()
 	} else {
 		job.failed++
-		b.reg.Counter("tasklets.failed").Inc()
+		b.mFailed.Inc()
 	}
-	b.reg.Histogram("tasklet.latency_ms").ObserveDuration(time.Since(ts.t.Submitted))
+	b.mLatencyMS.ObserveDuration(time.Since(ts.t.Submitted))
 
 	c := b.consumers[job.consumer]
 	if c == nil || c.gone {
 		return
 	}
 	c.pending--
-	enqueue(c.out, &wire.ResultPush{
+	b.enqueue(c.out, &wire.ResultPush{
 		Job:       final.Job,
 		Tasklet:   final.Tasklet,
 		Index:     final.Index,
@@ -929,9 +1052,9 @@ func (b *Broker) deliverLocked(ts *taskletState, final core.Result, attempts int
 		Provider:  final.Provider,
 		Attempts:  attempts,
 		ExecNanos: int64(final.Exec),
-	}, c.nc)
+	}, c.nc, &c.dropWarned, c.label)
 	if job.completed+job.failed == job.total {
-		enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc)
+		b.enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc, &c.dropWarned, c.label)
 		delete(b.jobs, job.id)
 		delete(c.jobs, job.id)
 		b.logf("broker: job %d done: %d completed, %d failed", job.id, job.completed, job.failed)
@@ -940,11 +1063,13 @@ func (b *Broker) deliverLocked(ts *taskletState, final core.Result, attempts int
 
 // ---------- scheduling ----------
 
-// scheduleLocked walks the placement queue, assigning attempts to providers
-// according to the policy. Entries whose tasklet vanished (job cancelled,
-// already complete) are purged. Entries with no eligible provider stay
-// queued.
-func (b *Broker) scheduleLocked() {
+// schedulePassLocked walks the placement queue, assigning attempts to
+// providers according to the policy. Entries whose tasklet vanished (job
+// cancelled, already complete) are purged. Entries with no eligible provider
+// stay queued. Event handlers never call this directly — they call
+// scheduleLocked, which batches an event-burst into one pass run by
+// schedLoop.
+func (b *Broker) schedulePassLocked() {
 	if len(b.pending) == 0 || len(b.providers) == 0 {
 		return
 	}
@@ -1039,8 +1164,8 @@ func (b *Broker) launchAttemptLocked(ts *taskletState, p *providerState) {
 		msg.ProgramData = b.programs[ts.t.Program]
 		p.sent[ts.t.Program] = true
 	}
-	enqueue(p.out, msg, p.nc)
-	b.reg.Counter("attempts.launched").Inc()
+	b.enqueue(p.out, msg, p.nc, &p.dropWarned, p.label)
+	b.mLaunched.Inc()
 }
 
 // fleetInfo builds the provider-directory reply for QueryFleet.
@@ -1079,7 +1204,9 @@ func (b *Broker) Snapshot() Snapshot {
 	defer b.mu.Unlock()
 	s := Snapshot{Pending: len(b.pending), InFlight: len(b.attempts), Jobs: len(b.jobs)}
 	for _, p := range b.providers {
-		s.Providers = append(s.Providers, p.info)
+		info := p.info
+		info.LastHeartbeat = time.Unix(0, p.lastBeat.Load())
+		s.Providers = append(s.Providers, info)
 	}
 	return s
 }

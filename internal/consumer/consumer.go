@@ -109,7 +109,10 @@ func Connect(addr, name string) (*Client, error) {
 		nc:           nc,
 		id:           core.ConsumerID(welcome.ID),
 		jobs:         map[core.JobID]*Job{},
-		subs:         make(chan *Job, 64),
+		// 1024 in-flight submissions keeps a closed-loop load generator (the
+		// throughput benchmarks drive hundreds of concurrent single-tasklet
+		// jobs) from tripping the unacknowledged-submission limit.
+		subs:         make(chan *Job, 1024),
 		fleetQueries: make(chan chan *wire.FleetInfo, 16),
 	}
 	c.wg.Add(1)

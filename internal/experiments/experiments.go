@@ -100,6 +100,7 @@ func init() {
 		"e6": {"Table 2 — QoC goal cost matrix", RunE6},
 		"e7": {"Figure 6 — broker throughput and queue delay", RunE7},
 		"e8": {"Figure 7 — result memoization on Zipf-repeated workloads", RunE8},
+		"e9": {"Figure 8 — data-plane throughput and p99 vs offered load (coalescing ablation)", RunE9},
 	}
 }
 

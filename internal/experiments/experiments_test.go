@@ -5,12 +5,14 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 func quick() Options { return Options{Quick: true, Seed: 7} }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"}
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -233,6 +235,48 @@ func TestE8MemoizationShape(t *testing.T) {
 			t.Fatalf("skew %v: memo-on p50 %.1fms not below memo-off %.1fms",
 				onP50.X[i], onP50.Y[i], offP50.Y[i])
 		}
+	}
+}
+
+func TestE9DataPlaneShape(t *testing.T) {
+	res, err := RunE9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per mode (coalesced, uncoalesced): a throughput series then a p99
+	// series.
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range []*metrics.Series{res.Series[0], res.Series[2]} {
+		if !strings.Contains(s.Name, "tasklets/s") {
+			t.Fatalf("series order changed: %s", s.Name)
+		}
+		// Noop tasklets over loopback: anything under 1k/s means the data
+		// plane broke, not that the machine is slow.
+		for i, y := range s.Y {
+			if y < 1000 {
+				t.Fatalf("%s at conc %v = %.0f tasklets/s, implausibly low", s.Name, s.X[i], y)
+			}
+		}
+	}
+	// The pooled send path must allocate strictly less than the legacy
+	// Marshal+write discipline (the PR's ≥30%-fewer-allocs criterion; in
+	// practice 0 vs 1).
+	var pooled, legacy float64
+	for _, row := range res.Rows {
+		var v float64
+		if _, err := fmt.Sscanf(row[1], "%f", &v); err != nil {
+			t.Fatalf("row %q unparseable: %v", row[1], err)
+		}
+		if strings.Contains(row[0], "pooled") {
+			pooled = v
+		} else {
+			legacy = v
+		}
+	}
+	if pooled >= legacy {
+		t.Fatalf("pooled send path allocs/msg = %v, legacy = %v; pooling regressed", pooled, legacy)
 	}
 }
 

@@ -25,11 +25,18 @@ type liveStack struct {
 }
 
 func newLiveStack(nProviders, slots int) (*liveStack, error) {
-	// E1/E2/E7 measure the raw dispatch path with repeated identical
+	return newLiveStackCoalesce(nProviders, slots, false)
+}
+
+// newLiveStackCoalesce additionally controls write coalescing on every
+// connection (broker and providers); E9 ablates it.
+func newLiveStackCoalesce(nProviders, slots int, noCoalesce bool) (*liveStack, error) {
+	// E1/E2/E7/E9 measure the raw dispatch path with repeated identical
 	// tasklets; the result memo would serve those from cache and measure
 	// the wrong thing, so it is disabled here. E8 covers the memo.
 	s := &liveStack{broker: broker.New(broker.Options{
 		MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
+		NoCoalesce: noCoalesce,
 	})}
 	addr, err := s.broker.Listen("127.0.0.1:0")
 	if err != nil {
@@ -38,7 +45,9 @@ func newLiveStack(nProviders, slots int) (*liveStack, error) {
 	for i := 0; i < nProviders; i++ {
 		p, err := provider.Connect(provider.Options{
 			BrokerAddr: addr, Slots: slots, Speed: 100,
-			Name: fmt.Sprintf("bench-%d", i),
+			Name:        fmt.Sprintf("bench-%d", i),
+			MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
+			NoCoalesce:  noCoalesce,
 		})
 		if err != nil {
 			s.close()

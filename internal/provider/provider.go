@@ -70,6 +70,10 @@ type Options struct {
 	// Metrics receives provider counters (prefix "provider.memo.") when
 	// non-nil.
 	Metrics *metrics.Registry
+	// NoCoalesce disables write coalescing on the broker connection: every
+	// outgoing message is flushed individually instead of batching a burst
+	// of results into one syscall. Ablation and differential tests only.
+	NoCoalesce bool
 }
 
 // Local result memo defaults: deliberately smaller than the broker tier —
@@ -143,6 +147,7 @@ func Connect(opts Options) (*Provider, error) {
 		return nil, fmt.Errorf("provider: dial broker: %w", err)
 	}
 	conn := wire.NewConn(nc)
+	conn.NoCoalesce = opts.NoCoalesce
 	if err := conn.Send(&wire.Hello{
 		Version: wire.ProtocolVersion, Role: wire.RoleProvider, Name: opts.Name,
 		Caps: wire.CapFlagsTail,
@@ -229,11 +234,29 @@ func (p *Provider) Close() error {
 // Wait blocks until the provider's connection ends (broker gone or Close).
 func (p *Provider) Wait() { p.wg.Wait() }
 
+// writerBatchMax bounds how many queued messages one flush may cover; it
+// mirrors the broker's writer batching so a slot-wide burst of results
+// costs one syscall instead of one per result.
+const writerBatchMax = 128
+
 func (p *Provider) writerLoop() {
+	batch := make([]wire.Message, 0, writerBatchMax)
 	for {
 		select {
 		case m := <-p.out:
-			if err := p.conn.Send(m); err != nil {
+			batch = append(batch[:0], m)
+			if !p.opts.NoCoalesce {
+			drain:
+				for len(batch) < writerBatchMax {
+					select {
+					case mm := <-p.out:
+						batch = append(batch, mm)
+					default:
+						break drain
+					}
+				}
+			}
+			if err := p.conn.SendBatch(batch); err != nil {
 				p.nc.Close()
 				return
 			}

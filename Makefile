@@ -33,6 +33,8 @@ check:
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkVM_|BenchmarkE1_SpinVM|BenchmarkAblation_Optimize|BenchmarkAblation_Memo|BenchmarkBrokerThroughput|BenchmarkAblation_Coalesce' -benchmem .
 	$(GO) test -run XXX -bench 'BenchmarkConnSend|BenchmarkLegacySend' -benchmem ./internal/wire/
+	$(GO) test -run XXX -bench BenchmarkSchedulerPick -benchmem ./internal/scheduler/
+	$(GO) test -run XXX -bench BenchmarkBrokerPlacement -benchmem ./internal/broker/
 
 # bench-smoke compiles and runs every throughput/ablation benchmark exactly
 # once (-benchtime=1x) — the CI gate that keeps the bench harness building
@@ -40,6 +42,8 @@ bench:
 bench-smoke:
 	$(GO) test -run XXX -bench 'BenchmarkBrokerThroughput|BenchmarkAblation_' -benchtime 1x .
 	$(GO) test -run XXX -bench . -benchtime 1x ./internal/wire/
+	$(GO) test -run XXX -bench BenchmarkSchedulerPick -benchtime 1x ./internal/scheduler/
+	$(GO) test -run XXX -bench 'BenchmarkBrokerPlacement/P=(100|1000)$$/' -benchtime 1x ./internal/broker/
 
 # fuzz gives the program decoder + differential interpreter fuzzer a short
 # budget; lengthen FUZZTIME for deeper runs.

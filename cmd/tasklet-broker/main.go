@@ -31,6 +31,8 @@ func main() {
 	memoTTL := flag.Duration("memo-ttl", 0, "result-memo entry TTL (0 = default)")
 	noCoalesce := flag.Bool("no-coalesce", false,
 		"disable write coalescing (flush every frame individually; ablation/debugging)")
+	noIndex := flag.Bool("no-index", false,
+		"disable the incremental scheduler index (full-scan placement; ablation/debugging)")
 	stats := flag.Duration("stats", 0, "print a status line at this interval (0 = off)")
 	quiet := flag.Bool("q", false, "suppress operational logs")
 	flag.Parse()
@@ -53,6 +55,7 @@ func main() {
 		MemoEntries:      *memoEntries,
 		MemoTTL:          *memoTTL,
 		NoCoalesce:       *noCoalesce,
+		NoIndex:          *noIndex,
 	})
 	bound, err := b.Listen(*addr)
 	if err != nil {

@@ -73,6 +73,14 @@ type Options struct {
 	// Exists for the coalescing ablation and differential tests; frame
 	// bytes are identical either way.
 	NoCoalesce bool
+
+	// NoIndex disables the incremental scheduler index and forces the
+	// legacy full-scan placement path (rebuild candidates + Policy.Pick per
+	// pending tasklet). Exists for the placement ablation (experiment E10)
+	// and the differential tests; provider choices are identical either
+	// way. Custom policies without an index fall back to the scan
+	// automatically.
+	NoIndex bool
 }
 
 // sendQueueDepth bounds per-connection outgoing messages. A peer that
@@ -102,6 +110,18 @@ type Broker struct {
 	// pending is the placement queue: one entry per attempt awaiting a
 	// provider, in FIFO order.
 	pending []core.TaskletID
+
+	// index is the incremental placement index mirroring provider
+	// free/backlog state; nil when Options.NoIndex is set or the policy has
+	// no indexed form, in which case the legacy scan runs. All Index
+	// methods are nil-safe, so event handlers update it unconditionally.
+	index *scheduler.Index
+
+	// exclScratch and candScratch are placement-pass scratch buffers,
+	// reused across picks so a pass over a deep queue performs no
+	// allocations. Only touched under b.mu by the scheduler goroutine.
+	exclScratch []core.ProviderID
+	candScratch []scheduler.Candidate
 
 	// schedDirty marks that scheduling state changed since the last
 	// placement pass; schedWake pokes the scheduler goroutine. Events
@@ -135,6 +155,9 @@ type Broker struct {
 	mFailed      *metrics.Counter
 	mExecMS      *metrics.Histogram
 	mLatencyMS   *metrics.Histogram
+	mSchedPassNS *metrics.Histogram
+	mPendingDep  *metrics.Gauge
+	mPlaced      *metrics.Counter
 }
 
 type providerState struct {
@@ -245,6 +268,16 @@ func New(opts Options) *Broker {
 	b.mFailed = reg.Counter("tasklets.failed")
 	b.mExecMS = reg.Histogram("attempt.exec_ms")
 	b.mLatencyMS = reg.Histogram("tasklet.latency_ms")
+	b.mSchedPassNS = reg.Histogram("broker.sched_pass_ns")
+	b.mPendingDep = reg.Gauge("broker.pending_depth")
+	b.mPlaced = reg.Counter("broker.placed_per_pass")
+	if !opts.NoIndex {
+		// Custom policies outside the scheduler package have no indexed
+		// form; the legacy scan handles them.
+		if ix, err := scheduler.NewIndexFor(opts.Policy); err == nil {
+			b.index = ix
+		}
+	}
 	if opts.MemoEntries >= 0 && opts.MemoBytes >= 0 && opts.MemoTTL >= 0 {
 		b.memo = memo.New(memo.Config{
 			MaxEntries: opts.MemoEntries,
@@ -537,6 +570,7 @@ func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 			p.info.Class = m.Class
 			p.info.Speed = m.Speed
 			p.free = m.Slots
+			b.index.Upsert(&p.info, p.free, p.backlog)
 			b.scheduleLocked()
 			b.mu.Unlock()
 			b.logf("broker: provider %d registered: %d slots, %.1f Mops/s, class %s",
@@ -571,6 +605,7 @@ func (b *Broker) removeProviderLocked(p *providerState) {
 	}
 	p.gone = true
 	delete(b.providers, p.info.ID)
+	b.index.Remove(p.info.ID)
 
 	var lost []*attemptState
 	for _, a := range b.attempts {
@@ -610,6 +645,7 @@ func (b *Broker) onAttemptResult(p *providerState, m *wire.AttemptResult) {
 	p.backlog--
 	p.finished++
 	b.updateReliabilityLocked(p)
+	b.index.Complete(p.info.ID) // after the reliability update so rank refreshes
 
 	if a.abandoned {
 		b.scheduleLocked()
@@ -1069,11 +1105,75 @@ func (b *Broker) deliverLocked(ts *taskletState, final core.Result, attempts int
 // stay queued. Event handlers never call this directly — they call
 // scheduleLocked, which batches an event-burst into one pass run by
 // schedLoop.
+//
+// Two implementations exist: the indexed batch pass (default) feeds the
+// queue through the incremental scheduler index — each pick is a heap peek
+// or an order-statistics query, zero allocations — while the legacy pass
+// (Options.NoIndex, or a policy without an indexed form) rebuilds the
+// candidate slice per pick. Both place the same provider sequence; the
+// differential tests pin that equivalence.
 func (b *Broker) schedulePassLocked() {
+	b.mPendingDep.Set(int64(len(b.pending)))
 	if len(b.pending) == 0 || len(b.providers) == 0 {
 		return
 	}
+	start := time.Now()
+	var placed int
+	if b.index != nil {
+		placed = b.schedulePassIndexedLocked()
+	} else {
+		placed = b.schedulePassLegacyLocked()
+	}
+	b.mSchedPassNS.Observe(float64(time.Since(start)))
+	if placed > 0 {
+		b.mPlaced.Add(int64(placed))
+	}
+	b.mPendingDep.Set(int64(len(b.pending)))
+}
 
+// schedulePassIndexedLocked is the batch placement pass over the
+// incremental index. The index mirrors provider free/backlog state (event
+// handlers keep it in sync), so each pick consults the maintained order
+// directly; launchAttemptLocked's Assign hook re-ranks the chosen provider
+// before the next pick.
+func (b *Broker) schedulePassIndexedLocked() int {
+	placed := 0
+	remaining := b.pending[:0]
+	for idx, tid := range b.pending {
+		// Without free capacity nothing below can place; keep the rest of
+		// the queue as-is instead of walking it (the queue can hold many
+		// thousands of entries and schedule runs on every result).
+		if b.index.FreeSlots() <= 0 {
+			remaining = append(remaining, b.pending[idx:]...)
+			break
+		}
+		ts := b.tasklets[tid]
+		if ts == nil || ts.tracker.Done() {
+			continue
+		}
+		b.exclScratch = ts.tracker.AppendActiveProviders(b.exclScratch[:0])
+		pid, ok := b.index.Pick(&ts.t, b.exclScratch)
+		if !ok {
+			remaining = append(remaining, tid)
+			continue
+		}
+		p := b.providers[pid]
+		if p == nil || p.free <= 0 {
+			remaining = append(remaining, tid)
+			continue
+		}
+		b.launchAttemptLocked(ts, p)
+		placed++
+	}
+	b.pending = remaining
+	return placed
+}
+
+// schedulePassLegacyLocked is the full-scan placement pass: the candidate
+// view is rebuilt for every pick because free/backlog change as attempts
+// are assigned. Kept for the E10 ablation and for policies without an
+// indexed form.
+func (b *Broker) schedulePassLegacyLocked() int {
 	totalFree := 0
 	for _, p := range b.providers {
 		if p.info.Slots > 0 {
@@ -1081,7 +1181,7 @@ func (b *Broker) schedulePassLocked() {
 		}
 	}
 
-	cands := make([]scheduler.Candidate, 0, len(b.providers))
+	placed := 0
 	remaining := b.pending[:0]
 	for idx, tid := range b.pending {
 		// Without free capacity nothing below can place; keep the rest of
@@ -1097,7 +1197,7 @@ func (b *Broker) schedulePassLocked() {
 		}
 		// Rebuild the candidate view each pick; free/backlog change as we
 		// assign.
-		cands = cands[:0]
+		cands := b.candScratch[:0]
 		for _, p := range b.providers {
 			if p.info.Slots == 0 {
 				continue // not yet registered
@@ -1106,7 +1206,9 @@ func (b *Broker) schedulePassLocked() {
 				Info: &p.info, FreeSlots: p.free, Backlog: p.backlog,
 			})
 		}
-		req := scheduler.Request{Tasklet: &ts.t, Exclude: ts.tracker.ActiveProviders()}
+		b.candScratch = cands
+		b.exclScratch = ts.tracker.AppendActiveProviders(b.exclScratch[:0])
+		req := scheduler.Request{Tasklet: &ts.t, ExcludeIDs: b.exclScratch}
 		pid, ok := b.opts.Policy.Pick(req, cands)
 		if !ok {
 			remaining = append(remaining, tid)
@@ -1119,8 +1221,10 @@ func (b *Broker) schedulePassLocked() {
 		}
 		b.launchAttemptLocked(ts, p)
 		totalFree--
+		placed++
 	}
 	b.pending = remaining
+	return placed
 }
 
 // purgePendingLocked removes queue entries whose tasklet no longer exists.
@@ -1144,6 +1248,7 @@ func (b *Broker) launchAttemptLocked(ts *taskletState, p *providerState) {
 	p.backlog++
 	p.assigned++
 	b.updateReliabilityLocked(p)
+	b.index.Assign(p.info.ID) // after the reliability update so rank refreshes
 	ts.tracker.OnLaunched(aid, p.info.ID)
 
 	msg := &wire.Assign{

@@ -1,0 +1,130 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/consumer"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/provider"
+	"repro/internal/scheduler"
+)
+
+// TestBrokerIndexDifferential runs the same job through a live stack with
+// the incremental placement index on and off and asserts the outcomes are
+// identical: every result status and value. Memoization is disabled so every
+// tasklet really goes through placement. Live timing interleaves passes and
+// result arrivals differently run to run (a redundant replica may or may not
+// launch before the first result finalizes its tracker), so attempt counts
+// are only sanity-bounded, not compared exactly; the pick-sequence identity
+// itself is pinned by the deterministic scheduler and sim differential tests.
+func TestBrokerIndexDifferential(t *testing.T) {
+	run := func(noIndex bool) (results []consumer.TaskResult, launched int64) {
+		t.Helper()
+		reg := &metrics.Registry{}
+		addr := testStack(t,
+			Options{
+				Policy:      scheduler.NewFastestFree(),
+				NoIndex:     noIndex,
+				Metrics:     reg,
+				MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
+			},
+			4,
+			func(i int) provider.Options {
+				return provider.Options{
+					Slots: 1 + i%2, Speed: float64(50 * (i + 1)),
+					Name: fmt.Sprintf("p%d", i),
+				}
+			})
+		c, err := consumer.Connect(addr, "diff")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+
+		rows := make([][]int64, 48)
+		for i := range rows {
+			rows[i] = []int64{int64(i)}
+		}
+		spec := compileJob(t, squareSrc, rows...)
+		spec.QoC = core.QoC{Mode: core.QoCRedundant, Replicas: 2}
+		job, err := c.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Collect(ctxT(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, reg.Counter("attempts.launched").Value()
+	}
+
+	indexed, indexedLaunched := run(false)
+	legacy, legacyLaunched := run(true)
+
+	// Every tasklet needs at least one real launch in both configurations.
+	if n := int64(len(indexed)); indexedLaunched < n || legacyLaunched < n {
+		t.Errorf("attempts launched: indexed %d, legacy %d, want >= %d each",
+			indexedLaunched, legacyLaunched, n)
+	}
+
+	if len(indexed) != len(legacy) {
+		t.Fatalf("result counts differ: indexed %d, legacy %d", len(indexed), len(legacy))
+	}
+	for i := range indexed {
+		a, b := indexed[i], legacy[i]
+		if a.Status != b.Status || a.Return.I != b.Return.I {
+			t.Errorf("result %d: indexed %+v, legacy %+v", i, a, b)
+		}
+		if !a.OK() || a.Return.I != int64(i*i) {
+			t.Errorf("result %d wrong: %+v", i, a)
+		}
+	}
+}
+
+// TestBrokerPlacementMetrics checks the observability satellites: a
+// placement burst must populate the sched-pass histogram, the placed
+// counter, and leave the pending-depth gauge at zero once drained.
+func TestBrokerPlacementMetrics(t *testing.T) {
+	opts := Options{MemoEntries: -1, MemoBytes: -1, MemoTTL: -1}
+	b := New(opts)
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	p, err := provider.Connect(provider.Options{BrokerAddr: addr, Slots: 2, Speed: 100, Name: "p0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	c, err := consumer.Connect(addr, "metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rows := make([][]int64, 16)
+	for i := range rows {
+		rows[i] = []int64{int64(i)}
+	}
+	job, err := c.Submit(compileJob(t, squareSrc, rows...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Collect(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := b.Metrics()
+	if n := reg.Histogram("broker.sched_pass_ns").Count(); n == 0 {
+		t.Error("broker.sched_pass_ns recorded no passes")
+	}
+	if placed := reg.Counter("broker.placed_per_pass").Value(); placed < int64(len(rows)) {
+		t.Errorf("broker.placed_per_pass = %d, want >= %d", placed, len(rows))
+	}
+	if depth := reg.Gauge("broker.pending_depth").Value(); depth != 0 {
+		t.Errorf("broker.pending_depth = %d after drain, want 0", depth)
+	}
+}

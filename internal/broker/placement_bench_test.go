@@ -1,0 +1,129 @@
+package broker
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qoc"
+	"repro/internal/scheduler"
+	"repro/internal/wire"
+)
+
+// benchConn is a no-op net.Conn for directly injected provider states.
+type benchConn struct{}
+
+func (benchConn) Read([]byte) (int, error)         { return 0, nil }
+func (benchConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (benchConn) Close() error                     { return nil }
+func (benchConn) LocalAddr() net.Addr              { return nil }
+func (benchConn) RemoteAddr() net.Addr             { return nil }
+func (benchConn) SetDeadline(time.Time) error      { return nil }
+func (benchConn) SetReadDeadline(time.Time) error  { return nil }
+func (benchConn) SetWriteDeadline(time.Time) error { return nil }
+
+// benchBroker builds a broker with p injected, registered providers. Each
+// provider gets a drainer goroutine so Assign messages never back up the
+// send queue; the drainers die when the channels are closed via cleanup.
+func benchBroker(b *testing.B, p int, noIndex bool) *Broker {
+	b.Helper()
+	br := New(Options{
+		Policy:      scheduler.NewWorkSteal(),
+		NoIndex:     noIndex,
+		MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
+	})
+	for i := 0; i < p; i++ {
+		br.nextProvider++
+		id := br.nextProvider
+		ps := &providerState{
+			info: core.ProviderInfo{
+				ID:          id,
+				Slots:       4,
+				Speed:       float64(1 + (i*37)%100),
+				Reliability: 1,
+			},
+			out:   make(chan wire.Message, sendQueueDepth),
+			nc:    benchConn{},
+			label: fmt.Sprintf("provider %d", id),
+			free:  4,
+			sent:  map[core.ProgramID]bool{},
+		}
+		br.providers[id] = ps
+		br.index.Upsert(&ps.info, ps.free, ps.backlog)
+		out := ps.out
+		go func() {
+			for range out {
+			}
+		}()
+		b.Cleanup(func() { close(out) })
+	}
+	return br
+}
+
+// enqueueBatch queues k fresh pending tasklets on the broker.
+func enqueueBatch(br *Broker, k int) {
+	for i := 0; i < k; i++ {
+		br.nextTasklet++
+		tid := br.nextTasklet
+		ts := &taskletState{t: core.Tasklet{ID: tid, Job: 1, Index: i, Fuel: 1_000_000}}
+		ts.tracker = qoc.NewTracker(&ts.t)
+		ts.tracker.Start()
+		br.tasklets[tid] = ts
+		br.pending = append(br.pending, tid)
+	}
+}
+
+// drainBatch reverts the placements of one benchmark iteration so the next
+// iteration sees an idle fleet: every attempt completes, every tasklet is
+// forgotten.
+func drainBatch(br *Broker, b *testing.B) {
+	for id, a := range br.attempts {
+		p := br.providers[a.provider]
+		p.free++
+		p.backlog--
+		p.finished++
+		br.updateReliabilityLocked(p)
+		br.index.Complete(p.info.ID)
+		delete(br.attempts, id)
+	}
+	if len(br.pending) != 0 {
+		b.Fatalf("%d tasklets unplaced", len(br.pending))
+	}
+	for tid := range br.tasklets {
+		delete(br.tasklets, tid)
+	}
+}
+
+// BenchmarkBrokerPlacement measures a full placement pass over a batch of
+// 256 pending tasklets against a fleet of P providers, exercising the real
+// schedulePassLocked (queue walk, exclusion building, launch bookkeeping,
+// Assign dispatch) with the index on and off. ns/op is per batch, not per
+// pick.
+func BenchmarkBrokerPlacement(b *testing.B) {
+	const batch = 256
+	for _, p := range []int{100, 1000, 10000} {
+		for _, mode := range []struct {
+			name    string
+			noIndex bool
+		}{{"indexed", false}, {"legacy", true}} {
+			b.Run(fmt.Sprintf("P=%d/%s", p, mode.name), func(b *testing.B) {
+				br := benchBroker(b, p, mode.noIndex)
+				br.mu.Lock()
+				defer br.mu.Unlock()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					enqueueBatch(br, batch)
+					b.StartTimer()
+					br.schedulePassLocked()
+					b.StopTimer()
+					drainBatch(br, b)
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}

@@ -92,25 +92,32 @@ func init() {
 		title  string
 		runner Runner
 	}{
-		"e1": {"Table 1 — middleware micro-overheads", RunE1},
-		"e2": {"Figure 2 — remote-vs-local offload crossover", RunE2},
-		"e3": {"Figure 3 — speedup vs number of providers", RunE3},
-		"e4": {"Figure 4 — heterogeneity and scheduling policy", RunE4},
-		"e5": {"Figure 5 — reliability under provider churn", RunE5},
-		"e6": {"Table 2 — QoC goal cost matrix", RunE6},
-		"e7": {"Figure 6 — broker throughput and queue delay", RunE7},
-		"e8": {"Figure 7 — result memoization on Zipf-repeated workloads", RunE8},
-		"e9": {"Figure 8 — data-plane throughput and p99 vs offered load (coalescing ablation)", RunE9},
+		"e1":  {"Table 1 — middleware micro-overheads", RunE1},
+		"e2":  {"Figure 2 — remote-vs-local offload crossover", RunE2},
+		"e3":  {"Figure 3 — speedup vs number of providers", RunE3},
+		"e4":  {"Figure 4 — heterogeneity and scheduling policy", RunE4},
+		"e5":  {"Figure 5 — reliability under provider churn", RunE5},
+		"e6":  {"Table 2 — QoC goal cost matrix", RunE6},
+		"e7":  {"Figure 6 — broker throughput and queue delay", RunE7},
+		"e8":  {"Figure 7 — result memoization on Zipf-repeated workloads", RunE8},
+		"e9":  {"Figure 8 — data-plane throughput and p99 vs offered load (coalescing ablation)", RunE9},
+		"e10": {"Figure 9 — placement latency and job throughput vs fleet size (scheduler-index ablation)", RunE10},
 	}
 }
 
-// IDs lists the experiment identifiers in order.
+// IDs lists the experiment identifiers in numeric order (e1..e10, not
+// lexicographic, so e10 follows e9).
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
 	for id := range registry {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
 	return ids
 }
 

@@ -116,6 +116,19 @@ func (tr *Tracker) ActiveProviders() map[core.ProviderID]bool {
 	return m
 }
 
+// AppendActiveProviders appends the providers currently executing attempts
+// to buf and returns the extended slice. It is the allocation-free variant
+// of ActiveProviders for placement hot paths: callers pass a scratch slice
+// (typically buf[:0]) that is reused across placement attempts.
+func (tr *Tracker) AppendActiveProviders(buf []core.ProviderID) []core.ProviderID {
+	for _, a := range tr.attempts {
+		if a.launched {
+			buf = append(buf, a.provider)
+		}
+	}
+	return buf
+}
+
 // Start returns the initial decision: launch the replica set.
 func (tr *Tracker) Start() Decision {
 	return Decision{Launch: tr.goal.Replicas}

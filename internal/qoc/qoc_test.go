@@ -252,6 +252,28 @@ func TestActiveProvidersTracksInFlight(t *testing.T) {
 	}
 }
 
+func TestAppendActiveProvidersMatchesMap(t *testing.T) {
+	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCRedundant, Replicas: 3}))
+	tr.Start()
+	ids := launch(tr, 1, 3, 10)
+	tr.OnResult(lostResult(ids[1]))
+
+	scratch := make([]core.ProviderID, 4) // dirty scratch must be overwritten, not appended to
+	got := tr.AppendActiveProviders(scratch[:0])
+	want := tr.ActiveProviders()
+	if len(got) != len(want) {
+		t.Fatalf("append variant returned %v, map variant %v", got, want)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("append variant returned %v, map variant %v", got, want)
+		}
+	}
+	if &got[0] != &scratch[0] {
+		t.Fatal("append variant did not reuse the scratch backing array")
+	}
+}
+
 func TestAttemptsCounting(t *testing.T) {
 	tr := NewTracker(newTasklet(core.QoC{Mode: core.QoCRedundant, Replicas: 3}))
 	tr.Start()

@@ -1,0 +1,76 @@
+package scheduler
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchFleet builds P provider infos with varied speeds and backlogs so the
+// policy orderings are non-degenerate.
+func benchFleet(p int) ([]*core.ProviderInfo, []Candidate) {
+	infos := make([]*core.ProviderInfo, p)
+	cands := make([]Candidate, p)
+	for i := range infos {
+		infos[i] = &core.ProviderInfo{
+			ID:          core.ProviderID(i + 1),
+			Speed:       float64(1 + (i*37)%100),
+			Slots:       4,
+			Reliability: 1 - float64(i%10)/20,
+		}
+		cands[i] = Candidate{Info: infos[i], FreeSlots: 4, Backlog: i % 4}
+	}
+	return infos, cands
+}
+
+// BenchmarkSchedulerPick measures one placement decision at fleet size P:
+// the incremental index (Pick + Assign + Complete, the full broker cycle)
+// against the legacy filter-and-sort scan. The acceptance bar for this PR
+// is >=5x at P=10000 with 0 allocs/op on the indexed path.
+func BenchmarkSchedulerPick(b *testing.B) {
+	for _, policy := range []string{"fastest", "least_loaded", "work_steal", "random"} {
+		for _, p := range []int{100, 1000, 10000} {
+			b.Run(fmt.Sprintf("%s/P=%d/indexed", policy, p), func(b *testing.B) {
+				pol, err := New(policy, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ix, err := NewIndexFor(pol)
+				if err != nil {
+					b.Fatal(err)
+				}
+				infos, _ := benchFleet(p)
+				for i, info := range infos {
+					ix.Upsert(info, 4, i%4)
+				}
+				task := &core.Tasklet{Fuel: 1_000_000}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					id, ok := ix.Pick(task, nil)
+					if !ok {
+						b.Fatal("no pick")
+					}
+					ix.Assign(id)
+					ix.Complete(id)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/P=%d/legacy", policy, p), func(b *testing.B) {
+				pol, err := New(policy, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, cands := benchFleet(p)
+				req := Request{Tasklet: &core.Tasklet{Fuel: 1_000_000}}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok := pol.Pick(req, cands); !ok {
+						b.Fatal("no pick")
+					}
+				}
+			})
+		}
+	}
+}

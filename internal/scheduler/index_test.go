@@ -1,0 +1,244 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// mirrorFleet is the reference state for the differential property test:
+// the legacy scan reads it as a candidate slice, the index receives the
+// equivalent event stream. Info pointers are shared with the index, exactly
+// as the broker shares providerState.info.
+type mirrorFleet struct {
+	provs  []*mirrorProv
+	nextID core.ProviderID
+}
+
+type mirrorProv struct {
+	info    *core.ProviderInfo
+	free    int
+	backlog int
+}
+
+var (
+	tieSpeeds       = []float64{10, 50, 50, 100, 100, 250}
+	tieReliabilties = []float64{1, 1, 0.75, 0.5}
+)
+
+func (m *mirrorFleet) join(rng *rand.Rand, ix *Index) {
+	m.nextID++
+	slots := 1 + rng.Intn(4)
+	p := &mirrorProv{
+		info: &core.ProviderInfo{
+			ID:          m.nextID,
+			Speed:       tieSpeeds[rng.Intn(len(tieSpeeds))],
+			Slots:       slots,
+			Reliability: tieReliabilties[rng.Intn(len(tieReliabilties))],
+		},
+		free: slots,
+	}
+	m.provs = append(m.provs, p)
+	ix.Upsert(p.info, p.free, p.backlog)
+}
+
+// candidates returns the legacy view in randomized order: the broker builds
+// candidates by map iteration, so the scan must not depend on slice order.
+func (m *mirrorFleet) candidates(rng *rand.Rand, buf []Candidate) []Candidate {
+	buf = buf[:0]
+	for _, p := range m.provs {
+		buf = append(buf, Candidate{Info: p.info, FreeSlots: p.free, Backlog: p.backlog})
+	}
+	rng.Shuffle(len(buf), func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+	return buf
+}
+
+func (m *mirrorFleet) byID(id core.ProviderID) *mirrorProv {
+	for _, p := range m.provs {
+		if p.info.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// TestIndexMatchesLegacyUnderChurn is the tentpole differential property
+// test: for every policy, a randomized stream of joins, leaves, speed and
+// reliability changes, completions, and picks (with random exclusions,
+// fuel, and deadlines) must make the index return exactly the provider the
+// legacy scan returns, step for step.
+func TestIndexMatchesLegacyUnderChurn(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 8; trial++ {
+				runChurnTrial(t, name, int64(trial))
+			}
+		})
+	}
+}
+
+func runChurnTrial(t *testing.T, policy string, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed*7919 + 13))
+	pol, err := New(policy, uint64(seed)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndexFor(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := &mirrorFleet{}
+	for i := 0; i < 3+rng.Intn(6); i++ {
+		m.join(rng, ix)
+	}
+
+	deadlines := []time.Duration{0, time.Millisecond, 100 * time.Millisecond, 10 * time.Second}
+	var cands []Candidate
+	var excl []core.ProviderID
+
+	for step := 0; step < 600; step++ {
+		switch op := rng.Intn(10); {
+		case op == 0: // join
+			m.join(rng, ix)
+		case op == 1 && len(m.provs) > 1: // leave
+			i := rng.Intn(len(m.provs))
+			ix.Remove(m.provs[i].info.ID)
+			m.provs = append(m.provs[:i], m.provs[i+1:]...)
+		case op == 2: // a completion somewhere, with reliability drift
+			p := m.provs[rng.Intn(len(m.provs))]
+			if p.backlog > 0 {
+				p.info.Reliability = tieReliabilties[rng.Intn(len(tieReliabilties))]
+				p.free++
+				p.backlog--
+				ix.Complete(p.info.ID)
+			}
+		case op == 3: // heartbeat-style refresh with a speed change
+			p := m.provs[rng.Intn(len(m.provs))]
+			p.info.Speed = tieSpeeds[rng.Intn(len(tieSpeeds))]
+			ix.Upsert(p.info, p.free, p.backlog)
+		default: // pick
+			excl = excl[:0]
+			for _, p := range m.provs {
+				if rng.Intn(4) == 0 {
+					excl = append(excl, p.info.ID)
+				}
+			}
+			fuel := uint64(rng.Intn(3)) * 500_000 // includes zero
+			task := core.Tasklet{Fuel: fuel}
+			if policy == "deadline" {
+				task.QoC.Deadline = deadlines[rng.Intn(len(deadlines))]
+			}
+			cands = m.candidates(rng, cands)
+			req := Request{Tasklet: &task, ExcludeIDs: excl}
+			wantID, wantOK := pol.Pick(req, cands)
+			gotID, gotOK := ix.Pick(&task, excl)
+			if wantID != gotID || wantOK != gotOK {
+				t.Fatalf("step %d: legacy picked (%d,%v), index picked (%d,%v)",
+					step, wantID, wantOK, gotID, gotOK)
+			}
+			if wantOK {
+				p := m.byID(wantID)
+				p.free--
+				p.backlog++
+				ix.Assign(wantID)
+			}
+		}
+		if ix.Len() != len(m.provs) {
+			t.Fatalf("step %d: index has %d providers, mirror %d", step, ix.Len(), len(m.provs))
+		}
+		free := 0
+		for _, p := range m.provs {
+			free += p.free
+		}
+		if ix.FreeSlots() != free {
+			t.Fatalf("step %d: index free=%d, mirror free=%d", step, ix.FreeSlots(), free)
+		}
+	}
+}
+
+// TestIndexOutOfOrderUpsert covers the ring's splice path: random and
+// round_robin indexes built from IDs arriving out of order must still agree
+// with the legacy scan (the simulator and tests may upsert non-monotonic
+// IDs; the broker's are always monotonic).
+func TestIndexOutOfOrderUpsert(t *testing.T) {
+	for _, name := range []string{"random", "round_robin"} {
+		t.Run(name, func(t *testing.T) {
+			pol, _ := New(name, 11)
+			ix, err := NewIndexFor(pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			infos := map[core.ProviderID]*core.ProviderInfo{}
+			for _, id := range []core.ProviderID{5, 3, 9, 1, 7, 2} {
+				infos[id] = &core.ProviderInfo{ID: id, Speed: 100, Slots: 2, Reliability: 1}
+				ix.Upsert(infos[id], 2, 0)
+			}
+			cands := make([]Candidate, 0, len(infos))
+			for _, info := range infos {
+				cands = append(cands, Candidate{Info: info, FreeSlots: 2, Backlog: 0})
+			}
+			task := core.Tasklet{Fuel: 1000}
+			for i := 0; i < 40; i++ {
+				wantID, wantOK := pol.Pick(Request{Tasklet: &task}, cands)
+				gotID, gotOK := ix.Pick(&task, nil)
+				if wantID != gotID || wantOK != gotOK {
+					t.Fatalf("pick %d: legacy (%d,%v), index (%d,%v)", i, wantID, wantOK, gotID, gotOK)
+				}
+			}
+		})
+	}
+}
+
+// TestIndexPickAllocFree pins the 0 allocs/op claim for the full indexed
+// pick cycle (Pick with exclusions, Assign, Complete) and, after warm-up,
+// for the reworked legacy scan.
+func TestIndexPickAllocFree(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol, _ := New(name, 3)
+			ix, err := NewIndexFor(pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			infos := make([]*core.ProviderInfo, 64)
+			cands := make([]Candidate, 64)
+			for i := range infos {
+				infos[i] = &core.ProviderInfo{
+					ID:          core.ProviderID(i + 1),
+					Speed:       tieSpeeds[i%len(tieSpeeds)],
+					Slots:       4,
+					Reliability: 1,
+				}
+				ix.Upsert(infos[i], 4, 0)
+				cands[i] = Candidate{Info: infos[i], FreeSlots: 4, Backlog: 0}
+			}
+			task := core.Tasklet{Fuel: 1_000_000, QoC: core.QoC{Deadline: time.Second}}
+			excl := []core.ProviderID{2, 5}
+
+			cycle := func() {
+				id, ok := ix.Pick(&task, excl)
+				if !ok {
+					t.Fatal("no pick")
+				}
+				ix.Assign(id)
+				ix.Complete(id)
+			}
+			cycle() // warm scratch buffers
+			if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+				t.Fatalf("indexed pick cycle allocated %.1f per op, want 0", allocs)
+			}
+
+			req := Request{Tasklet: &task, ExcludeIDs: excl}
+			pol.Pick(req, cands) // warm the policy's eligible scratch
+			if allocs := testing.AllocsPerRun(200, func() { pol.Pick(req, cands) }); allocs != 0 {
+				t.Fatalf("legacy pick allocated %.1f per op, want 0", allocs)
+			}
+		})
+	}
+}

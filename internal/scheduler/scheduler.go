@@ -4,11 +4,26 @@
 // the same implementations run in the live broker and in the discrete-event
 // simulator, which is what makes the heterogeneity experiments (E4)
 // apples-to-apples.
+//
+// Two placement paths exist:
+//
+//   - the legacy full-scan path: the caller snapshots the fleet into a
+//     []Candidate and calls Policy.Pick, which filters and ranks the whole
+//     slice (O(P log P) per pick);
+//   - the incremental Index (index.go): the caller feeds provider events
+//     (register, assign, complete, disconnect) into per-policy ordered
+//     structures and each pick is a heap peek or an order-statistics query
+//     (O(log P) per pick, no allocations).
+//
+// The two are provably pick-for-pick identical — see the differential tests
+// in index_test.go. The legacy path remains the ablation baseline
+// (broker/sim Options.NoIndex).
 package scheduler
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 )
@@ -29,38 +44,115 @@ type Request struct {
 	// replicas must land on distinct providers; retried attempts avoid the
 	// provider that just failed).
 	Exclude map[core.ProviderID]bool
+	// ExcludeIDs is the allocation-free form of Exclude: a small slice the
+	// caller can reuse across picks (see qoc.Tracker.AppendActiveProviders).
+	// A provider named by either field is excluded.
+	ExcludeIDs []core.ProviderID
+}
+
+// excluded reports whether id is barred from receiving this attempt.
+func (req *Request) excluded(id core.ProviderID) bool {
+	if req.Exclude != nil && req.Exclude[id] {
+		return true
+	}
+	for _, x := range req.ExcludeIDs {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Policy picks a provider for a tasklet attempt. Pick returns false when no
 // acceptable provider exists (caller queues the attempt). Implementations
-// may keep internal state (round-robin cursor, RNG) and are safe for use
-// from a single scheduling goroutine; they are not safe for concurrent use.
+// may keep internal state (round-robin cursor, RNG, scratch buffers) and are
+// safe for use from a single scheduling goroutine; they are not safe for
+// concurrent use.
 type Policy interface {
 	Name() string
 	Pick(req Request, cands []Candidate) (core.ProviderID, bool)
 }
 
-// eligible filters candidates with free capacity that are not excluded,
-// returning them in ascending provider-ID order for determinism.
-func eligible(req Request, cands []Candidate) []Candidate {
-	out := make([]Candidate, 0, len(cands))
+// scratch is the reusable eligible-candidate buffer every policy embeds so
+// the legacy scan path performs no per-pick allocations (the ablation
+// baseline measures ranking cost, not allocator churn).
+type scratch struct {
+	buf []Candidate
+}
+
+// eligible filters candidates with free capacity that are not excluded into
+// the policy's scratch buffer, returning them in ascending provider-ID order
+// for determinism. The returned slice is valid until the next call.
+func (s *scratch) eligible(req Request, cands []Candidate) []Candidate {
+	out := s.buf[:0]
 	for _, c := range cands {
 		if c.FreeSlots <= 0 {
 			continue
 		}
-		if req.Exclude != nil && req.Exclude[c.Info.ID] {
+		if req.excluded(c.Info.ID) {
 			continue
 		}
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Info.ID < out[j].Info.ID })
+	slices.SortFunc(out, func(a, b Candidate) int { return cmp.Compare(a.Info.ID, b.Info.ID) })
+	s.buf = out
 	return out
+}
+
+// ---------- shared ranking functions ----------
+//
+// Each rank is computed by exactly one function shared between the legacy
+// scan and the incremental index, so the two paths compare bit-identical
+// float values and therefore make bit-identical picks.
+
+// loadRank is the backlog-per-slot ratio minimized by LeastLoaded (and by
+// Deadline among deadline-qualified providers).
+func loadRank(backlog, slots int) float64 {
+	if slots <= 0 {
+		slots = 1
+	}
+	return float64(backlog) / float64(slots)
+}
+
+// completionRank orders providers by expected completion time for one more
+// unit of work: (backlog/slots + 1) queue units at the provider's speed.
+// The tasklet's fuel is a positive factor common to every candidate in a
+// single decision, so it cancels out of the comparison and the rank is
+// fuel-free — which is what lets the index maintain one heap across
+// requests with differing fuel.
+func completionRank(backlog, slots int, speed float64) float64 {
+	if speed <= 0 {
+		speed = 0.001
+	}
+	if slots <= 0 {
+		slots = 1
+	}
+	return (float64(backlog)/float64(slots) + 1) / speed
+}
+
+// reliabilityRank is the score maximized by Reliable: completion ratio
+// squared, weighted by speed.
+func reliabilityRank(reliability, speed float64) float64 {
+	if reliability <= 0 {
+		reliability = 0.01
+	}
+	return reliability * reliability * (speed + 1)
+}
+
+// fasterCandidate reports whether a beats b under FastestFree's ordering:
+// strictly higher speed, ties broken by lower ID.
+func fasterCandidate(aSpeed float64, aID core.ProviderID, bSpeed float64, bID core.ProviderID) bool {
+	if aSpeed != bSpeed {
+		return aSpeed > bSpeed
+	}
+	return aID < bID
 }
 
 // Random places each attempt uniformly at random among eligible providers.
 // This is the paper's baseline policy: it ignores heterogeneity entirely.
 type Random struct {
 	rng uint64
+	scratch
 }
 
 // NewRandom creates a Random policy with a deterministic seed.
@@ -74,18 +166,26 @@ func NewRandom(seed uint64) *Random {
 // Name implements Policy.
 func (*Random) Name() string { return "random" }
 
-func (r *Random) next() uint64 {
-	x := r.rng
+// xorshiftMul advances the xorshift* generator state and returns (next
+// state, output). Shared by Random and the index so their streams stay in
+// lockstep.
+func xorshiftMul(state uint64) (uint64, uint64) {
+	x := state
 	x ^= x >> 12
 	x ^= x << 25
 	x ^= x >> 27
-	r.rng = x
-	return x * 0x2545f4914f6cdd1d
+	return x, x * 0x2545f4914f6cdd1d
+}
+
+func (r *Random) next() uint64 {
+	var out uint64
+	r.rng, out = xorshiftMul(r.rng)
+	return out
 }
 
 // Pick implements Policy.
 func (r *Random) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
-	el := eligible(req, cands)
+	el := r.eligible(req, cands)
 	if len(el) == 0 {
 		return 0, false
 	}
@@ -96,6 +196,7 @@ func (r *Random) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
 // balances attempt counts but, like Random, is blind to provider speed.
 type RoundRobin struct {
 	cursor uint64
+	scratch
 }
 
 // NewRoundRobin creates a RoundRobin policy.
@@ -106,7 +207,7 @@ func (*RoundRobin) Name() string { return "round_robin" }
 
 // Pick implements Policy.
 func (rr *RoundRobin) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
-	el := eligible(req, cands)
+	el := rr.eligible(req, cands)
 	if len(el) == 0 {
 		return 0, false
 	}
@@ -118,7 +219,9 @@ func (rr *RoundRobin) Pick(req Request, cands []Candidate) (core.ProviderID, boo
 // FastestFree places each attempt on the fastest provider with a free slot
 // (ties broken by lower ID). This is the speed-aware policy that exploits
 // the providers' self-measured benchmark scores.
-type FastestFree struct{}
+type FastestFree struct {
+	scratch
+}
 
 // NewFastestFree creates a FastestFree policy.
 func NewFastestFree() *FastestFree { return &FastestFree{} }
@@ -127,8 +230,8 @@ func NewFastestFree() *FastestFree { return &FastestFree{} }
 func (*FastestFree) Name() string { return "fastest" }
 
 // Pick implements Policy.
-func (*FastestFree) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
-	el := eligible(req, cands)
+func (f *FastestFree) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	el := f.eligible(req, cands)
 	if len(el) == 0 {
 		return 0, false
 	}
@@ -143,7 +246,9 @@ func (*FastestFree) Pick(req Request, cands []Candidate) (core.ProviderID, bool)
 
 // LeastLoaded minimizes the backlog-per-slot ratio, spreading work evenly
 // across providers regardless of their speed.
-type LeastLoaded struct{}
+type LeastLoaded struct {
+	scratch
+}
 
 // NewLeastLoaded creates a LeastLoaded policy.
 func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
@@ -152,34 +257,28 @@ func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
 func (*LeastLoaded) Name() string { return "least_loaded" }
 
 // Pick implements Policy.
-func (*LeastLoaded) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
-	el := eligible(req, cands)
+func (l *LeastLoaded) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	el := l.eligible(req, cands)
 	if len(el) == 0 {
 		return 0, false
 	}
 	best := el[0]
-	bestRatio := loadRatio(best)
+	bestRatio := loadRank(best.Backlog, best.Info.Slots)
 	for _, c := range el[1:] {
-		if r := loadRatio(c); r < bestRatio {
+		if r := loadRank(c.Backlog, c.Info.Slots); r < bestRatio {
 			best, bestRatio = c, r
 		}
 	}
 	return best.Info.ID, true
 }
 
-func loadRatio(c Candidate) float64 {
-	slots := c.Info.Slots
-	if slots <= 0 {
-		slots = 1
-	}
-	return float64(c.Backlog) / float64(slots)
-}
-
 // WorkSteal approximates proportional-share placement: it ranks providers
-// by expected completion time for this tasklet's fuel, accounting for the
+// by expected completion time for one more attempt, accounting for the
 // backlog already queued on each provider. With accurate speed scores this
 // minimizes makespan on heterogeneous fleets.
-type WorkSteal struct{}
+type WorkSteal struct {
+	scratch
+}
 
 // NewWorkSteal creates a WorkSteal policy.
 func NewWorkSteal() *WorkSteal { return &WorkSteal{} }
@@ -188,44 +287,26 @@ func NewWorkSteal() *WorkSteal { return &WorkSteal{} }
 func (*WorkSteal) Name() string { return "work_steal" }
 
 // Pick implements Policy.
-func (*WorkSteal) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
-	el := eligible(req, cands)
+func (w *WorkSteal) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	el := w.eligible(req, cands)
 	if len(el) == 0 {
 		return 0, false
 	}
-	fuel := uint64(1)
-	if req.Tasklet != nil && req.Tasklet.Fuel > 0 {
-		fuel = req.Tasklet.Fuel
-	}
 	best := el[0]
-	bestCost := expectedCompletion(best, fuel)
+	bestCost := completionRank(best.Backlog, best.Info.Slots, best.Info.Speed)
 	for _, c := range el[1:] {
-		if cost := expectedCompletion(c, fuel); cost < bestCost {
+		if cost := completionRank(c.Backlog, c.Info.Slots, c.Info.Speed); cost < bestCost {
 			best, bestCost = c, cost
 		}
 	}
 	return best.Info.ID, true
 }
 
-// expectedCompletion estimates seconds until a new attempt would finish on
-// the candidate: (backlog/slots + 1) units of this tasklet's work at the
-// provider's speed.
-func expectedCompletion(c Candidate, fuel uint64) float64 {
-	speed := c.Info.Speed
-	if speed <= 0 {
-		speed = 0.001
-	}
-	slots := c.Info.Slots
-	if slots <= 0 {
-		slots = 1
-	}
-	unitsAhead := float64(c.Backlog)/float64(slots) + 1
-	return unitsAhead * float64(fuel) / (speed * 1e6)
-}
-
 // Reliable weights speed by the broker-tracked reliability score, avoiding
 // churn-prone providers for QoC-sensitive tasklets.
-type Reliable struct{}
+type Reliable struct {
+	scratch
+}
 
 // NewReliable creates a Reliable policy.
 func NewReliable() *Reliable { return &Reliable{} }
@@ -234,22 +315,15 @@ func NewReliable() *Reliable { return &Reliable{} }
 func (*Reliable) Name() string { return "reliable" }
 
 // Pick implements Policy.
-func (*Reliable) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
-	el := eligible(req, cands)
+func (rel *Reliable) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
+	el := rel.eligible(req, cands)
 	if len(el) == 0 {
 		return 0, false
 	}
-	score := func(c Candidate) float64 {
-		rel := c.Info.Reliability
-		if rel <= 0 {
-			rel = 0.01
-		}
-		return rel * rel * (c.Info.Speed + 1)
-	}
 	best := el[0]
-	bestScore := score(best)
+	bestScore := reliabilityRank(best.Info.Reliability, best.Info.Speed)
 	for _, c := range el[1:] {
-		if s := score(c); s > bestScore {
+		if s := reliabilityRank(c.Info.Reliability, c.Info.Speed); s > bestScore {
 			best, bestScore = c, s
 		}
 	}
@@ -261,6 +335,7 @@ func (*Reliable) Pick(req Request, cands []Candidate) (core.ProviderID, bool) {
 // none qualifies), and behaves like WorkSteal for unconstrained tasklets.
 type Deadline struct {
 	steal WorkSteal
+	scratch
 }
 
 // NewDeadline creates a Deadline policy.
@@ -275,7 +350,7 @@ func (d *Deadline) Pick(req Request, cands []Candidate) (core.ProviderID, bool) 
 	if t == nil || t.QoC.Deadline <= 0 {
 		return d.steal.Pick(req, cands)
 	}
-	el := eligible(req, cands)
+	el := d.eligible(req, cands)
 	if len(el) == 0 {
 		return 0, false
 	}
@@ -285,26 +360,26 @@ func (d *Deadline) Pick(req Request, cands []Candidate) (core.ProviderID, bool) 
 	}
 	// Qualify providers whose expected execution fits the remaining
 	// budget; among them take the least loaded to preserve capacity on
-	// the fastest for tighter deadlines.
-	var qualified []Candidate
+	// the fastest for tighter deadlines. Track the fastest eligible as we
+	// go: when nothing meets the deadline, best effort lands there.
+	var best, fastest Candidate
+	haveBest, haveFastest := false, false
+	var bestRatio float64
 	for _, c := range el {
+		if !haveFastest || fasterCandidate(c.Info.Speed, c.Info.ID, fastest.Info.Speed, fastest.Info.ID) {
+			fastest, haveFastest = c, true
+		}
 		if exec := c.Info.ExpectedExec(fuel); exec > 0 && exec <= t.QoC.Deadline {
-			qualified = append(qualified, c)
+			if r := loadRank(c.Backlog, c.Info.Slots); !haveBest || r < bestRatio {
+				best, bestRatio, haveBest = c, r, true
+			}
 		}
 	}
-	if len(qualified) == 0 {
-		// Nothing meets the deadline: best effort on the fastest.
-		var ff FastestFree
-		return ff.Pick(req, cands)
+	if haveBest {
+		return best.Info.ID, true
 	}
-	best := qualified[0]
-	bestRatio := loadRatio(best)
-	for _, c := range qualified[1:] {
-		if r := loadRatio(c); r < bestRatio {
-			best, bestRatio = c, r
-		}
-	}
-	return best.Info.ID, true
+	// Nothing meets the deadline: best effort on the fastest.
+	return fastest.Info.ID, true
 }
 
 // Names lists the registered policy names accepted by New.

@@ -36,7 +36,8 @@ func TestEligibleFiltersBusyAndExcluded(t *testing.T) {
 	)
 	r := req()
 	r.Exclude = map[core.ProviderID]bool{3: true}
-	el := eligible(r, cands)
+	var s scratch
+	el := s.eligible(r, cands)
 	if len(el) != 1 || el[0].Info.ID != 2 {
 		t.Fatalf("eligible = %v", el)
 	}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scheduler"
+)
+
+// TestSimIndexMatchesLegacy is the simulator-level differential test for
+// the incremental placement index: for every policy, with and without
+// device churn, a run with the index must be event-for-event identical to a
+// run with the legacy scan — same final results, same per-device execution
+// counts, same attempt totals, same makespan.
+func TestSimIndexMatchesLegacy(t *testing.T) {
+	mixedDevices := func(churn bool) []DeviceSpec {
+		devs := []DeviceSpec{
+			{Class: core.ClassServer, Slots: 4, Speed: 400},
+			{Class: core.ClassDesktop, Slots: 2, Speed: 100},
+			{Class: core.ClassDesktop, Slots: 2, Speed: 100}, // rank ties
+			{Class: core.ClassMobile, Slots: 1, Speed: 25},
+			{Class: core.ClassEmbedded, Slots: 1, Speed: 5},
+		}
+		if churn {
+			devs[1].MTBF, devs[1].MTTR = 20*time.Second, 5*time.Second
+			devs[3].MTBF, devs[3].MTTR = 15*time.Second, 10*time.Second
+		}
+		return devs
+	}
+	tasks := func() []TaskSpec {
+		var ts []TaskSpec
+		for i := 0; i < 60; i++ {
+			spec := TaskSpec{
+				Fuel:    uint64(1+i%7) * 40_000_000,
+				Arrival: time.Duration(i) * 150 * time.Millisecond,
+			}
+			switch i % 4 {
+			case 1:
+				spec.QoC = core.QoC{Mode: core.QoCRedundant, Replicas: 2}
+			case 2:
+				spec.QoC = core.QoC{Deadline: 30 * time.Second}
+			}
+			ts = append(ts, spec)
+		}
+		return ts
+	}
+
+	for _, name := range scheduler.Names() {
+		name := name
+		for _, churn := range []bool{false, true} {
+			churn := churn
+			label := name + "/steady"
+			if churn {
+				label = name + "/churn"
+			}
+			t.Run(label, func(t *testing.T) {
+				run := func(noIndex bool) *Stats {
+					pol, err := scheduler.New(name, 42)
+					if err != nil {
+						t.Fatal(err)
+					}
+					stats, err := Run(Config{
+						Devices: mixedDevices(churn),
+						Tasks:   tasks(),
+						Policy:  pol,
+						Latency: 5 * time.Millisecond,
+						Seed:    42,
+						NoIndex: noIndex,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return stats
+				}
+				indexed, legacy := run(false), run(true)
+
+				if indexed.Makespan != legacy.Makespan {
+					t.Errorf("makespan: indexed %v, legacy %v", indexed.Makespan, legacy.Makespan)
+				}
+				if indexed.Attempts != legacy.Attempts ||
+					indexed.Completed != legacy.Completed ||
+					indexed.Failed != legacy.Failed {
+					t.Errorf("attempts/completed/failed: indexed %d/%d/%d, legacy %d/%d/%d",
+						indexed.Attempts, indexed.Completed, indexed.Failed,
+						legacy.Attempts, legacy.Completed, legacy.Failed)
+				}
+				for i := range indexed.DeviceExecuted {
+					if indexed.DeviceExecuted[i] != legacy.DeviceExecuted[i] {
+						t.Errorf("device %d executed: indexed %d, legacy %d",
+							i, indexed.DeviceExecuted[i], legacy.DeviceExecuted[i])
+					}
+				}
+				for i := range indexed.Finals {
+					a, b := indexed.Finals[i], legacy.Finals[i]
+					if a.Status != b.Status || a.Provider != b.Provider ||
+						a.Return.Kind != b.Return.Kind || a.Return.I != b.Return.I {
+						t.Errorf("tasklet %d final: indexed %+v, legacy %+v", i, a, b)
+					}
+				}
+			})
+		}
+	}
+}

@@ -77,6 +77,11 @@ type Config struct {
 	MemoEntries int
 	MemoBytes   int
 	MemoTTL     time.Duration
+	// NoIndex disables the incremental scheduler index and forces the
+	// legacy full-scan placement path, mirroring broker.Options.NoIndex.
+	// Device choices are identical either way (pinned by the differential
+	// tests); exists for the E10 ablation.
+	NoIndex bool
 }
 
 // Stats is the outcome of a simulation run.
@@ -184,6 +189,15 @@ type sim struct {
 	memo    *memo.Cache       // nil when disabled
 	flights *memo.FlightTable // nil when disabled
 
+	// index is the incremental placement index; nil when Config.NoIndex is
+	// set or the policy has no indexed form (legacy scan runs instead).
+	// Down devices stay indexed with zero capacity rather than removed, so
+	// recovery is an O(log P) weight flip, not a re-insertion.
+	index *scheduler.Index
+	// excl and cands are placement scratch buffers reused across picks.
+	excl  []core.ProviderID
+	cands []scheduler.Candidate
+
 	nextAttempt core.AttemptID
 	stats       Stats
 	latency     metrics.Histogram
@@ -253,6 +267,14 @@ func Run(cfg Config) (*Stats, error) {
 		s.devices = append(s.devices, d)
 		if spec.MTBF > 0 {
 			s.scheduleFailure(i)
+		}
+	}
+	if !cfg.NoIndex {
+		if ix, err := scheduler.NewIndexFor(cfg.Policy); err == nil {
+			s.index = ix
+			for _, d := range s.devices {
+				s.index.Upsert(&d.info, d.free, 0)
+			}
 		}
 	}
 	s.stats.BusyTime = make([]time.Duration, len(s.devices))
@@ -353,11 +375,53 @@ func (s *sim) onDeadline(id core.TaskletID) {
 	})
 }
 
-// schedule walks the placement queue like the live broker.
+// schedule walks the placement queue like the live broker: the indexed
+// batch pass by default, the legacy full-scan pass under Config.NoIndex.
 func (s *sim) schedule() {
 	if len(s.pending) == 0 {
 		return
 	}
+	if s.index != nil {
+		s.scheduleIndexed()
+	} else {
+		s.scheduleLegacy()
+	}
+}
+
+// scheduleIndexed feeds the queue through the incremental index; launch's
+// Assign hook re-ranks the chosen device before the next pick.
+func (s *sim) scheduleIndexed() {
+	remaining := s.pending[:0]
+	for idx, pe := range s.pending {
+		if s.index.FreeSlots() <= 0 {
+			remaining = append(remaining, s.pending[idx:]...)
+			break
+		}
+		ts := s.tasks[pe.tasklet]
+		if ts == nil || ts.tracker.Done() {
+			continue
+		}
+		s.excl = ts.tracker.AppendActiveProviders(s.excl[:0])
+		pid, ok := s.index.Pick(&ts.t, s.excl)
+		if !ok {
+			remaining = append(remaining, pe)
+			continue
+		}
+		dev := s.devices[int(pid)-1]
+		if !dev.up || dev.free <= 0 {
+			remaining = append(remaining, pe)
+			continue
+		}
+		s.queueDelay.Observe(float64(s.eng.now-pe.since) / 1e6)
+		s.launch(ts, dev)
+	}
+	s.pending = remaining
+}
+
+// scheduleLegacy rebuilds the candidate view for every pick (free/backlog
+// change as attempts launch). Kept for the E10 ablation and for policies
+// without an indexed form.
+func (s *sim) scheduleLegacy() {
 	totalFree := 0
 	for _, d := range s.devices {
 		if d.up {
@@ -365,7 +429,6 @@ func (s *sim) schedule() {
 		}
 	}
 	remaining := s.pending[:0]
-	cands := make([]scheduler.Candidate, 0, len(s.devices))
 	for idx, pe := range s.pending {
 		if totalFree <= 0 {
 			remaining = append(remaining, s.pending[idx:]...)
@@ -375,7 +438,7 @@ func (s *sim) schedule() {
 		if ts == nil || ts.tracker.Done() {
 			continue
 		}
-		cands = cands[:0]
+		cands := s.cands[:0]
 		for _, d := range s.devices {
 			if !d.up {
 				continue
@@ -384,7 +447,9 @@ func (s *sim) schedule() {
 				Info: &d.info, FreeSlots: d.free, Backlog: d.backlog,
 			})
 		}
-		req := scheduler.Request{Tasklet: &ts.t, Exclude: ts.tracker.ActiveProviders()}
+		s.cands = cands
+		s.excl = ts.tracker.AppendActiveProviders(s.excl[:0])
+		req := scheduler.Request{Tasklet: &ts.t, ExcludeIDs: s.excl}
 		pid, ok := s.cfg.Policy.Pick(req, cands)
 		if !ok {
 			remaining = append(remaining, pe)
@@ -415,6 +480,7 @@ func (s *sim) launch(ts *taskState, dev *deviceState) {
 	s.attempt[aid] = rec
 	dev.free--
 	dev.backlog++
+	s.index.Assign(dev.info.ID)
 	ts.tracker.OnLaunched(aid, dev.info.ID)
 	s.stats.Attempts++
 	s.trace(TraceLaunch, devIdx, ts.t.Index, int(aid), false)
@@ -442,6 +508,7 @@ func (s *sim) onComplete(rec *attemptRec, exec time.Duration) {
 	delete(s.attempt, rec.id)
 	dev.free++
 	dev.backlog--
+	s.index.Complete(dev.info.ID)
 	dev.busy += exec
 	dev.done++
 	s.stats.DeviceExecuted[rec.device] = dev.done
@@ -488,6 +555,7 @@ func (s *sim) onFail(i int) {
 	dev.epoch++
 	dev.free = 0
 	dev.backlog = 0
+	s.index.Upsert(&dev.info, 0, 0) // parked: zero capacity, stays indexed
 	s.trace(TraceDeviceFail, i, 0, 0, false)
 
 	// The broker discovers the loss after the detection delay and feeds
@@ -536,6 +604,7 @@ func (s *sim) onRecover(i int) {
 	dev.up = true
 	dev.free = dev.spec.Slots
 	dev.backlog = 0
+	s.index.Upsert(&dev.info, dev.free, 0)
 	s.trace(TraceDeviceRecover, i, 0, 0, false)
 	s.scheduleFailure(i)
 	s.schedule()

@@ -29,6 +29,10 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "provider heartbeat timeout")
 	memoEntries := flag.Int("memo", 0, "result-memo entry budget (0 = default, negative = disable memoization)")
 	memoTTL := flag.Duration("memo-ttl", 0, "result-memo entry TTL (0 = default)")
+	maxAttempts := flag.Int("max-attempts", 0,
+		"cap total attempts per tasklet across lost-attempt re-issues (0 = unlimited); exhaustion fails the tasklet as lost")
+	retryBackoff := flag.Duration("retry-backoff", 0,
+		"base delay before re-issuing a lost attempt, doubling per re-issue (0 = immediate)")
 	noCoalesce := flag.Bool("no-coalesce", false,
 		"disable write coalescing (flush every frame individually; ablation/debugging)")
 	noIndex := flag.Bool("no-index", false,
@@ -54,6 +58,8 @@ func main() {
 		Logger:           logger,
 		MemoEntries:      *memoEntries,
 		MemoTTL:          *memoTTL,
+		MaxAttempts:      *maxAttempts,
+		RetryBackoff:     *retryBackoff,
 		NoCoalesce:       *noCoalesce,
 		NoIndex:          *noIndex,
 	})

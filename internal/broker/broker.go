@@ -1,8 +1,10 @@
 // Package broker implements the Tasklet broker: the mediator between
 // resource consumers and providers. It keeps the provider registry with
-// heartbeat-based failure detection, accepts jobs from consumers, drives
-// the pluggable scheduling policy and the QoC engine, routes bytecode and
-// results, and re-issues attempts lost to provider churn.
+// heartbeat-based failure detection, routes bytecode and results, and drives
+// the pluggable placement policy. The tasklet lifecycle itself — QoC attempt
+// fan-out, memoization, coalescing, re-issue of lost attempts, finalization —
+// lives in internal/lifecycle; the broker is the wire/wall-clock driver of
+// that shared engine (the simulator drives the same engine in virtual time).
 //
 // Concurrency model: one reader goroutine per connection, one writer
 // goroutine per connection (fed by a bounded queue so a slow peer cannot
@@ -29,11 +31,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/memo"
 	"repro/internal/metrics"
-	"repro/internal/qoc"
 	"repro/internal/scheduler"
-	"repro/internal/tvm"
 	"repro/internal/wire"
 )
 
@@ -66,6 +67,15 @@ type Options struct {
 	MemoEntries int
 	MemoBytes   int
 	MemoTTL     time.Duration
+
+	// MaxAttempts caps the total attempts one tasklet may consume across
+	// lost-attempt re-issues; zero (or negative) means unlimited — bounded
+	// only by the QoC retry budget. A tasklet whose attempt cap is exhausted
+	// with nothing left in flight finalizes as StatusLost.
+	MaxAttempts int
+	// RetryBackoff delays the n-th re-issue of a lost tasklet by
+	// RetryBackoff << min(n-1, 6); zero re-issues immediately.
+	RetryBackoff time.Duration
 
 	// NoCoalesce disables write coalescing on this broker's connections:
 	// writer loops send one message per flush instead of draining their
@@ -103,9 +113,19 @@ type Broker struct {
 	providers map[core.ProviderID]*providerState
 	consumers map[core.ConsumerID]*consumerState
 	jobs      map[core.JobID]*jobState
-	tasklets  map[core.TaskletID]*taskletState
-	attempts  map[core.AttemptID]*attemptState
 	programs  map[core.ProgramID][]byte
+
+	// life is the shared tasklet lifecycle engine: it owns tasklet and
+	// attempt records, memo lookups, flight coalescing, QoC decisions and
+	// finalization. The broker feeds it events under b.mu and executes the
+	// returned effects against timers and connections.
+	life *lifecycle.Engine
+	// memoOn gates content-key computation on submission (pure CPU saving;
+	// the engine would ignore the key anyway when memoization is off).
+	memoOn bool
+	// deadlines holds the armed per-tasklet deadline timers (the wall-clock
+	// realization of the engine's SetDeadline effects).
+	deadlines map[core.TaskletID]*time.Timer
 
 	// pending is the placement queue: one entry per attempt awaiting a
 	// provider, in FIFO order.
@@ -129,35 +149,31 @@ type Broker struct {
 	schedDirty bool
 	schedWake  chan struct{}
 
-	// memo caches QoC-finalized results by content; flights coalesces
-	// identical in-flight tasklets (cluster-wide singleflight). Both nil
-	// when memoization is disabled; all their methods are nil-safe.
-	memo    *memo.Cache
-	flights *memo.FlightTable
-
 	nextProvider core.ProviderID
 	nextConsumer core.ConsumerID
 	nextJob      core.JobID
 	nextTasklet  core.TaskletID
-	nextAttempt  core.AttemptID
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 
 	// Hot-path metric handles, resolved once at construction so the
 	// per-result path never takes the registry lock.
-	mSendDropped *metrics.Counter
-	mAttemptsOK  *metrics.Counter
-	mAttemptsFlt *metrics.Counter
-	mAttemptsOth *metrics.Counter
-	mLaunched    *metrics.Counter
-	mCompleted   *metrics.Counter
-	mFailed      *metrics.Counter
-	mExecMS      *metrics.Histogram
-	mLatencyMS   *metrics.Histogram
-	mSchedPassNS *metrics.Histogram
-	mPendingDep  *metrics.Gauge
-	mPlaced      *metrics.Counter
+	mSendDropped  *metrics.Counter
+	mAttemptsOK   *metrics.Counter
+	mAttemptsFlt  *metrics.Counter
+	mAttemptsOth  *metrics.Counter
+	mAttemptsLost *metrics.Counter
+	mLaunched     *metrics.Counter
+	mCompleted    *metrics.Counter
+	mFailed       *metrics.Counter
+	mDeadlineExp  *metrics.Counter
+	mProvidersLost *metrics.Counter
+	mExecMS       *metrics.Histogram
+	mLatencyMS    *metrics.Histogram
+	mSchedPassNS  *metrics.Histogram
+	mPendingDep   *metrics.Gauge
+	mPlaced       *metrics.Counter
 }
 
 type providerState struct {
@@ -203,30 +219,6 @@ type jobState struct {
 	cancelled bool
 }
 
-// flightRole records a tasklet's position in its coalescing flight, if any.
-type flightRole uint8
-
-const (
-	flightNone   flightRole = iota // not coalesced (memo off, NoCache, unique)
-	flightLeader                   // drives the real attempt fan-out
-	flightWaiter                   // receives a copy of the leader's final
-)
-
-type taskletState struct {
-	t        core.Tasklet
-	tracker  *qoc.Tracker
-	deadline *time.Timer
-	coKey    memo.FlightKey
-	role     flightRole
-}
-
-type attemptState struct {
-	id        core.AttemptID
-	tasklet   core.TaskletID
-	provider  core.ProviderID
-	abandoned bool // result will be ignored; slot freed on arrival or death
-}
-
 // New creates a broker with the given options.
 func New(opts Options) *Broker {
 	if opts.Policy == nil {
@@ -253,9 +245,8 @@ func New(opts Options) *Broker {
 		providers: map[core.ProviderID]*providerState{},
 		consumers: map[core.ConsumerID]*consumerState{},
 		jobs:      map[core.JobID]*jobState{},
-		tasklets:  map[core.TaskletID]*taskletState{},
-		attempts:  map[core.AttemptID]*attemptState{},
 		programs:  map[core.ProgramID][]byte{},
+		deadlines: map[core.TaskletID]*time.Timer{},
 		schedWake: make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 	}
@@ -263,9 +254,12 @@ func New(opts Options) *Broker {
 	b.mAttemptsOK = reg.Counter("attempts.ok")
 	b.mAttemptsFlt = reg.Counter("attempts.fault")
 	b.mAttemptsOth = reg.Counter("attempts.other")
+	b.mAttemptsLost = reg.Counter("attempts.lost")
 	b.mLaunched = reg.Counter("attempts.launched")
 	b.mCompleted = reg.Counter("tasklets.completed")
 	b.mFailed = reg.Counter("tasklets.failed")
+	b.mDeadlineExp = reg.Counter("tasklets.deadline_expired")
+	b.mProvidersLost = reg.Counter("providers.lost")
 	b.mExecMS = reg.Histogram("attempt.exec_ms")
 	b.mLatencyMS = reg.Histogram("tasklet.latency_ms")
 	b.mSchedPassNS = reg.Histogram("broker.sched_pass_ns")
@@ -278,16 +272,21 @@ func New(opts Options) *Broker {
 			b.index = ix
 		}
 	}
+	var lopts lifecycle.Options
+	lopts.MaxAttempts = opts.MaxAttempts
+	lopts.RetryBackoff = opts.RetryBackoff
 	if opts.MemoEntries >= 0 && opts.MemoBytes >= 0 && opts.MemoTTL >= 0 {
-		b.memo = memo.New(memo.Config{
+		lopts.Memo = memo.New(memo.Config{
 			MaxEntries: opts.MemoEntries,
 			MaxBytes:   opts.MemoBytes,
 			TTL:        opts.MemoTTL,
 			Metrics:    reg,
 			Prefix:     "memo.",
 		})
-		b.flights = memo.NewFlightTable(reg, "memo.")
+		lopts.Flights = memo.NewFlightTable(reg, "memo.")
+		b.memoOn = true
 	}
+	b.life = lifecycle.New(lopts)
 	return b
 }
 
@@ -517,6 +516,50 @@ func (b *Broker) enqueue(out chan wire.Message, m wire.Message, nc net.Conn, war
 	}
 }
 
+// ---------- lifecycle effect application ----------
+
+// applyEffectsLocked executes the lifecycle engine's effects against the
+// wire world: pending-queue appends, cancel messages, deadline timers, and
+// result delivery. Effect slices are only valid until the next engine call,
+// so callers must apply them before feeding another event.
+func (b *Broker) applyEffectsLocked(fx []lifecycle.Effect) {
+	for i := range fx {
+		b.applyEffectLocked(&fx[i])
+	}
+}
+
+func (b *Broker) applyEffectLocked(ef *lifecycle.Effect) {
+	switch ef.Kind {
+	case lifecycle.EffectLaunch:
+		if ef.Delay > 0 {
+			// Backoff re-issue: queue only after the delay, and only if the
+			// tasklet is still live by then.
+			tid := ef.Tasklet
+			time.AfterFunc(ef.Delay, func() {
+				b.mu.Lock()
+				if !b.closed && b.life.Live(tid) {
+					b.pending = append(b.pending, tid)
+					b.scheduleLocked()
+				}
+				b.mu.Unlock()
+			})
+		} else {
+			b.pending = append(b.pending, ef.Tasklet)
+		}
+	case lifecycle.EffectCancelAttempt:
+		if p := b.providers[ef.Provider]; p != nil {
+			b.enqueue(p.out, &wire.CancelAttempt{Attempt: ef.Attempt}, p.nc, &p.dropWarned, p.label)
+		}
+	case lifecycle.EffectSetDeadline:
+		tid := ef.Tasklet
+		b.deadlines[tid] = time.AfterFunc(ef.Delay, func() { b.onDeadline(tid) })
+	case lifecycle.EffectDeliver:
+		b.deliverLocked(ef)
+	case lifecycle.EffectMemoStore, lifecycle.EffectCoalesced:
+		// Informational; the memo package maintains its own counters.
+	}
+}
+
 // ---------- provider side ----------
 
 func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) {
@@ -593,12 +636,12 @@ done:
 	b.removeProviderLocked(p)
 	b.mu.Unlock()
 	close(p.out)
-	b.reg.Counter("providers.lost").Inc()
+	b.mProvidersLost.Inc()
 	b.logf("broker: provider %d disconnected", id)
 }
 
 // removeProviderLocked declares a provider dead: its in-flight attempts are
-// fed back to the QoC engine as lost. Idempotent.
+// fed back to the lifecycle engine as lost. Idempotent.
 func (b *Broker) removeProviderLocked(p *providerState) {
 	if p.gone {
 		return
@@ -607,27 +650,11 @@ func (b *Broker) removeProviderLocked(p *providerState) {
 	delete(b.providers, p.info.ID)
 	b.index.Remove(p.info.ID)
 
-	var lost []*attemptState
-	for _, a := range b.attempts {
-		if a.provider == p.info.ID {
-			lost = append(lost, a)
-		}
+	lost, fx := b.life.ProviderLost(p.info.ID)
+	if lost > 0 {
+		b.mAttemptsLost.Add(int64(lost))
 	}
-	for _, a := range lost {
-		delete(b.attempts, a.id)
-		if a.abandoned {
-			continue
-		}
-		ts := b.tasklets[a.tasklet]
-		if ts == nil {
-			continue
-		}
-		b.reg.Counter("attempts.lost").Inc()
-		d := ts.tracker.OnResult(core.Result{
-			Attempt: a.id, Status: core.StatusLost, Provider: p.info.ID,
-		})
-		b.applyDecisionLocked(ts, d)
-	}
+	b.applyEffectsLocked(fx)
 	b.scheduleLocked()
 }
 
@@ -636,28 +663,7 @@ func (b *Broker) onAttemptResult(p *providerState, m *wire.AttemptResult) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 
-	a, ok := b.attempts[m.Attempt]
-	if !ok || a.provider != p.info.ID {
-		return // stale or duplicate
-	}
-	delete(b.attempts, m.Attempt)
-	p.free++
-	p.backlog--
-	p.finished++
-	b.updateReliabilityLocked(p)
-	b.index.Complete(p.info.ID) // after the reliability update so rank refreshes
-
-	if a.abandoned {
-		b.scheduleLocked()
-		return
-	}
-	ts := b.tasklets[a.tasklet]
-	if ts == nil {
-		b.scheduleLocked()
-		return
-	}
-
-	res := core.Result{
+	disp, fx := b.life.Result(core.Result{
 		Tasklet:   m.Tasklet,
 		Attempt:   m.Attempt,
 		Provider:  p.info.ID,
@@ -668,19 +674,29 @@ func (b *Broker) onAttemptResult(p *providerState, m *wire.AttemptResult) {
 		FaultMsg:  m.FaultMsg,
 		FuelUsed:  m.FuelUsed,
 		Exec:      time.Duration(m.ExecNanos),
+	})
+	if disp == lifecycle.ResultStale {
+		return // unknown attempt or wrong provider; no slot was consumed
 	}
-	switch m.Status {
-	case core.StatusOK:
-		b.mAttemptsOK.Inc()
-	case core.StatusFault:
-		b.mAttemptsFlt.Inc()
-	default:
-		b.mAttemptsOth.Inc()
-	}
-	b.mExecMS.Observe(float64(m.ExecNanos) / 1e6)
 
-	d := ts.tracker.OnResult(res)
-	b.applyDecisionLocked(ts, d)
+	p.free++
+	p.backlog--
+	p.finished++
+	b.updateReliabilityLocked(p)
+	b.index.Complete(p.info.ID) // after the reliability update so rank refreshes
+
+	if disp == lifecycle.ResultConsumed {
+		switch m.Status {
+		case core.StatusOK:
+			b.mAttemptsOK.Inc()
+		case core.StatusFault:
+			b.mAttemptsFlt.Inc()
+		default:
+			b.mAttemptsOth.Inc()
+		}
+		b.mExecMS.Observe(float64(m.ExecNanos) / 1e6)
+		b.applyEffectsLocked(fx)
+	}
 	b.scheduleLocked()
 }
 
@@ -753,7 +769,8 @@ done:
 	b.logf("broker: consumer %d disconnected", id)
 }
 
-// acceptJob validates and admits a job, creating its tasklets and trackers.
+// acceptJob validates and admits a job, submitting its tasklets to the
+// lifecycle engine.
 func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 	spec := core.JobSpec{
 		Program: m.Program, Params: m.Params, QoC: m.QoC, Fuel: m.Fuel, Seed: m.Seed,
@@ -789,12 +806,9 @@ func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 
 	// Cache hits collected during admission; delivered only after the
 	// JobAccepted below so the consumer has registered the job before its
-	// first ResultPush arrives.
-	type hit struct {
-		ts    *taskletState
-		final core.Result
-	}
-	var hits []hit
+	// first ResultPush arrives. Copied by value: the engine's effect slice
+	// is scratch reused by the next Submit.
+	var hits []lifecycle.Effect
 
 	now := time.Now()
 	for i, params := range m.Params {
@@ -804,61 +818,27 @@ func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 			Program: progID, Params: params,
 			QoC: m.QoC, Fuel: fuel, Seed: m.Seed, Submitted: now,
 		}
-		ts := &taskletState{t: t}
-		ts.tracker = qoc.NewTracker(&ts.t)
-		b.tasklets[t.ID] = ts
 		job.tasklets = append(job.tasklets, t.ID)
 		c.pending++
 
-		goal := ts.tracker.Goal()
-		if b.memo != nil && !goal.NoCache {
-			if key, ok := memo.KeyFor(uint64(progID), t.Seed, t.Params); ok {
-				if e := b.memo.Get(key, goal.VoteStrength(), t.Fuel); e != nil {
-					// Finalized identical work already cached: deliver
-					// without touching a provider (Attempts = 0).
-					ret, em := e.CachedResult()
-					hits = append(hits, hit{ts, core.Result{
-						Tasklet: t.ID, Job: job.id, Index: i,
-						Status: core.StatusOK, Return: ret, Emitted: em,
-						FuelUsed: e.FuelUsed, Exec: e.Exec,
-					}})
-					continue
-				}
-				ts.coKey = memo.FlightKey{
-					Content:  key,
-					Mode:     uint8(goal.Mode),
-					Replicas: goal.Replicas,
-					Fuel:     t.Fuel,
-				}
-				if b.flights.Join(ts.coKey, uint64(t.ID)) {
-					ts.role = flightLeader
-				} else {
-					// Coalesced behind an identical in-flight tasklet: no
-					// attempts of its own; the leader's final fans out to
-					// it. The deadline still applies independently.
-					ts.role = flightWaiter
-					if goal.Deadline > 0 {
-						tid := t.ID
-						ts.deadline = time.AfterFunc(goal.Deadline, func() { b.onDeadline(tid) })
-					}
-					continue
-				}
+		var key memo.Key
+		var haveKey bool
+		if b.memoOn {
+			key, haveKey = memo.KeyFor(uint64(progID), t.Seed, t.Params)
+		}
+		fx := b.life.Submit(t, key, haveKey)
+		for j := range fx {
+			if fx[j].Kind == lifecycle.EffectDeliver {
+				hits = append(hits, fx[j])
+			} else {
+				b.applyEffectLocked(&fx[j])
 			}
-		}
-
-		d := ts.tracker.Start()
-		for n := 0; n < d.Launch; n++ {
-			b.pending = append(b.pending, t.ID)
-		}
-		if goal.Deadline > 0 {
-			tid := t.ID
-			ts.deadline = time.AfterFunc(goal.Deadline, func() { b.onDeadline(tid) })
 		}
 	}
 	b.reg.Counter("tasklets.submitted").Add(int64(len(m.Params)))
 	b.enqueue(c.out, &wire.JobAccepted{Job: job.id, Tasklets: job.total}, c.nc, &c.dropWarned, c.label)
-	for _, h := range hits {
-		b.deliverLocked(h.ts, h.final, 0)
+	for i := range hits {
+		b.deliverLocked(&hits[i])
 	}
 	b.logf("broker: job %d accepted: %d tasklets, qoc %s", job.id, job.total, m.QoC.Mode)
 	b.scheduleLocked()
@@ -869,15 +849,12 @@ func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 func (b *Broker) onDeadline(id core.TaskletID) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	ts := b.tasklets[id]
-	if ts == nil || ts.tracker.Done() {
+	expired, fx := b.life.Deadline(id)
+	if !expired {
 		return
 	}
-	b.reg.Counter("tasklets.deadline_expired").Inc()
-	b.finishTaskletLocked(ts, core.Result{
-		Tasklet: ts.t.ID, Job: ts.t.Job, Index: ts.t.Index,
-		Status: core.StatusFault, FaultMsg: "deadline exceeded",
-	})
+	b.mDeadlineExp.Inc()
+	b.applyEffectsLocked(fx)
 	b.scheduleLocked() // a deadlined leader's dissolved flight re-queues its waiters
 }
 
@@ -891,13 +868,14 @@ func (b *Broker) cancelJob(c *consumerState, id core.JobID) {
 	}
 	job.cancelled = true
 	for _, tid := range job.tasklets {
-		ts := b.tasklets[tid]
-		if ts == nil || ts.tracker.Done() {
+		dropped, fx := b.life.Cancel(tid)
+		if !dropped {
 			continue
 		}
-		b.dropTaskletLocked(ts)
+		b.stopDeadlineLocked(tid)
 		job.failed++
 		c.pending--
+		b.applyEffectsLocked(fx)
 	}
 	b.purgePendingLocked()
 	b.scheduleLocked() // a dropped leader may have promoted a waiter
@@ -918,8 +896,9 @@ func (b *Broker) removeConsumerLocked(c *consumerState) {
 			continue
 		}
 		for _, tid := range job.tasklets {
-			if ts := b.tasklets[tid]; ts != nil && !ts.tracker.Done() {
-				b.dropTaskletLocked(ts)
+			if dropped, fx := b.life.Cancel(tid); dropped {
+				b.stopDeadlineLocked(tid)
+				b.applyEffectsLocked(fx)
 			}
 		}
 		delete(b.jobs, jid)
@@ -928,137 +907,21 @@ func (b *Broker) removeConsumerLocked(c *consumerState) {
 	b.scheduleLocked() // a dropped leader may have promoted a waiter
 }
 
-// dropTaskletLocked abandons a tasklet's attempts and removes it. Pending
-// queue entries are purged lazily by scheduleLocked. A dropped flight leader
-// hands the flight to its first waiter, which starts real scheduling; a
-// dropped waiter just leaves the flight.
-func (b *Broker) dropTaskletLocked(ts *taskletState) {
-	if ts.deadline != nil {
-		ts.deadline.Stop()
-	}
-	for aid, a := range b.attempts {
-		if a.tasklet == ts.t.ID && !a.abandoned {
-			a.abandoned = true
-			if p := b.providers[a.provider]; p != nil {
-				b.enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc, &p.dropWarned, p.label)
-			}
-		}
-	}
-	switch ts.role {
-	case flightWaiter:
-		b.flights.DropWaiter(ts.coKey, uint64(ts.t.ID))
-	case flightLeader:
-		if nl, ok := b.flights.DropLeader(ts.coKey); ok {
-			if nts := b.tasklets[core.TaskletID(nl)]; nts != nil {
-				nts.role = flightLeader
-				b.applyDecisionLocked(nts, nts.tracker.Start())
-			}
-		}
-	}
-	ts.role = flightNone
-	delete(b.tasklets, ts.t.ID)
-}
-
-// finishTaskletLocked forces a final result (deadline, cancellation paths)
-// and delivers it.
-func (b *Broker) finishTaskletLocked(ts *taskletState, final core.Result) {
-	for aid, a := range b.attempts {
-		if a.tasklet == ts.t.ID && !a.abandoned {
-			a.abandoned = true
-			if p := b.providers[a.provider]; p != nil {
-				b.enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc, &p.dropWarned, p.label)
-			}
-		}
-	}
-	b.finalizeLocked(ts, final, ts.tracker.Attempts())
-}
-
-// applyDecisionLocked reacts to a QoC engine decision for ts.
-func (b *Broker) applyDecisionLocked(ts *taskletState, d qoc.Decision) {
-	for n := 0; n < d.Launch; n++ {
-		b.pending = append(b.pending, ts.t.ID)
-	}
-	for _, aid := range d.Cancel {
-		if a := b.attempts[aid]; a != nil && !a.abandoned {
-			a.abandoned = true
-			if p := b.providers[a.provider]; p != nil {
-				b.enqueue(p.out, &wire.CancelAttempt{Attempt: aid}, p.nc, &p.dropWarned, p.label)
-			}
-		}
-	}
-	if d.Done {
-		b.finalizeLocked(ts, d.Final, ts.tracker.Attempts())
-	}
-}
-
-// finalizeLocked delivers a tasklet's final result and settles its
-// coalescing flight: a leader's successful final enters the memo cache and
-// fans out to every waiter; a leader's failed final dissolves the flight so
-// each waiter schedules independently (failures describe this run — losses,
-// deadlines — and must not be shared or memoized). Waiters that finalize on
-// their own (deadline) just leave the flight.
-func (b *Broker) finalizeLocked(ts *taskletState, final core.Result, attempts int) {
-	role, fk := ts.role, ts.coKey
-	ts.role = flightNone
-	cacheable := ts.tracker.FinalCacheable()
-	strength := ts.tracker.Goal().VoteStrength()
-	b.deliverLocked(ts, final, attempts)
-
-	switch role {
-	case flightWaiter:
-		b.flights.DropWaiter(fk, uint64(ts.t.ID))
-	case flightLeader:
-		if final.Status == core.StatusOK {
-			if cacheable {
-				b.memo.Put(fk.Content, final.Return, final.Emitted,
-					final.FuelUsed, final.Exec, strength)
-			}
-			for _, w := range b.flights.Complete(fk) {
-				wts := b.tasklets[core.TaskletID(w)]
-				if wts == nil {
-					continue
-				}
-				wts.role = flightNone
-				ret := final.Return.Clone()
-				var em []tvm.Value
-				if len(final.Emitted) > 0 {
-					em = make([]tvm.Value, len(final.Emitted))
-					for i, v := range final.Emitted {
-						em[i] = v.Clone()
-					}
-				}
-				// Like a cache hit, a coalesced waiter consumed no attempts
-				// of its own — the leader's fan-out is reported on the
-				// leader's result only.
-				b.deliverLocked(wts, core.Result{
-					Tasklet: wts.t.ID, Job: wts.t.Job, Index: wts.t.Index,
-					Provider: final.Provider, Status: core.StatusOK,
-					Return: ret, Emitted: em,
-					FuelUsed: final.FuelUsed, Exec: final.Exec,
-				}, 0)
-			}
-		} else {
-			for _, w := range b.flights.Complete(fk) {
-				wts := b.tasklets[core.TaskletID(w)]
-				if wts == nil {
-					continue
-				}
-				wts.role = flightNone
-				b.applyDecisionLocked(wts, wts.tracker.Start())
-			}
-		}
+// stopDeadlineLocked disarms and forgets a tasklet's deadline timer, if any.
+func (b *Broker) stopDeadlineLocked(tid core.TaskletID) {
+	if t := b.deadlines[tid]; t != nil {
+		t.Stop()
+		delete(b.deadlines, tid)
 	}
 }
 
 // deliverLocked pushes a final result to the consumer and updates job
 // accounting.
-func (b *Broker) deliverLocked(ts *taskletState, final core.Result, attempts int) {
-	if ts.deadline != nil {
-		ts.deadline.Stop()
-	}
-	delete(b.tasklets, ts.t.ID)
+func (b *Broker) deliverLocked(ef *lifecycle.Effect) {
+	b.stopDeadlineLocked(ef.Tasklet)
+	final := ef.Final
 
-	job := b.jobs[ts.t.Job]
+	job := b.jobs[final.Job]
 	if job == nil {
 		return
 	}
@@ -1069,7 +932,7 @@ func (b *Broker) deliverLocked(ts *taskletState, final core.Result, attempts int
 		job.failed++
 		b.mFailed.Inc()
 	}
-	b.mLatencyMS.ObserveDuration(time.Since(ts.t.Submitted))
+	b.mLatencyMS.ObserveDuration(time.Since(ef.Submitted))
 
 	c := b.consumers[job.consumer]
 	if c == nil || c.gone {
@@ -1086,7 +949,7 @@ func (b *Broker) deliverLocked(ts *taskletState, final core.Result, attempts int
 		FaultCode: final.FaultCode,
 		FaultMsg:  final.FaultMsg,
 		Provider:  final.Provider,
-		Attempts:  attempts,
+		Attempts:  ef.Attempts,
 		ExecNanos: int64(final.Exec),
 	}, c.nc, &c.dropWarned, c.label)
 	if job.completed+job.failed == job.total {
@@ -1147,12 +1010,12 @@ func (b *Broker) schedulePassIndexedLocked() int {
 			remaining = append(remaining, b.pending[idx:]...)
 			break
 		}
-		ts := b.tasklets[tid]
-		if ts == nil || ts.tracker.Done() {
+		t := b.life.Tasklet(tid)
+		if t == nil {
 			continue
 		}
-		b.exclScratch = ts.tracker.AppendActiveProviders(b.exclScratch[:0])
-		pid, ok := b.index.Pick(&ts.t, b.exclScratch)
+		b.exclScratch = b.life.AppendActiveProviders(tid, b.exclScratch[:0])
+		pid, ok := b.index.Pick(t, b.exclScratch)
 		if !ok {
 			remaining = append(remaining, tid)
 			continue
@@ -1162,7 +1025,7 @@ func (b *Broker) schedulePassIndexedLocked() int {
 			remaining = append(remaining, tid)
 			continue
 		}
-		b.launchAttemptLocked(ts, p)
+		b.launchAttemptLocked(t, p)
 		placed++
 	}
 	b.pending = remaining
@@ -1191,8 +1054,8 @@ func (b *Broker) schedulePassLegacyLocked() int {
 			remaining = append(remaining, b.pending[idx:]...)
 			break
 		}
-		ts := b.tasklets[tid]
-		if ts == nil || ts.tracker.Done() {
+		t := b.life.Tasklet(tid)
+		if t == nil {
 			continue
 		}
 		// Rebuild the candidate view each pick; free/backlog change as we
@@ -1207,8 +1070,8 @@ func (b *Broker) schedulePassLegacyLocked() int {
 			})
 		}
 		b.candScratch = cands
-		b.exclScratch = ts.tracker.AppendActiveProviders(b.exclScratch[:0])
-		req := scheduler.Request{Tasklet: &ts.t, ExcludeIDs: b.exclScratch}
+		b.exclScratch = b.life.AppendActiveProviders(tid, b.exclScratch[:0])
+		req := scheduler.Request{Tasklet: t, ExcludeIDs: b.exclScratch}
 		pid, ok := b.opts.Policy.Pick(req, cands)
 		if !ok {
 			remaining = append(remaining, tid)
@@ -1219,7 +1082,7 @@ func (b *Broker) schedulePassLegacyLocked() int {
 			remaining = append(remaining, tid)
 			continue
 		}
-		b.launchAttemptLocked(ts, p)
+		b.launchAttemptLocked(t, p)
 		totalFree--
 		placed++
 	}
@@ -1231,7 +1094,7 @@ func (b *Broker) schedulePassLegacyLocked() int {
 func (b *Broker) purgePendingLocked() {
 	live := b.pending[:0]
 	for _, tid := range b.pending {
-		if ts := b.tasklets[tid]; ts != nil && !ts.tracker.Done() {
+		if b.life.Live(tid) {
 			live = append(live, tid)
 		}
 	}
@@ -1239,35 +1102,34 @@ func (b *Broker) purgePendingLocked() {
 }
 
 // launchAttemptLocked creates and dispatches one attempt.
-func (b *Broker) launchAttemptLocked(ts *taskletState, p *providerState) {
-	b.nextAttempt++
-	aid := b.nextAttempt
-	a := &attemptState{id: aid, tasklet: ts.t.ID, provider: p.info.ID}
-	b.attempts[aid] = a
+func (b *Broker) launchAttemptLocked(t *core.Tasklet, p *providerState) {
+	aid, ok := b.life.Launched(t.ID, p.info.ID)
+	if !ok {
+		return // defensive; callers checked liveness under the same lock
+	}
 	p.free--
 	p.backlog++
 	p.assigned++
 	b.updateReliabilityLocked(p)
 	b.index.Assign(p.info.ID) // after the reliability update so rank refreshes
-	ts.tracker.OnLaunched(aid, p.info.ID)
 
 	msg := &wire.Assign{
 		Attempt: aid,
-		Tasklet: ts.t.ID,
-		Program: ts.t.Program,
-		Params:  ts.t.Params,
-		Fuel:    ts.t.Fuel,
-		Seed:    ts.t.Seed,
+		Tasklet: t.ID,
+		Program: t.Program,
+		Params:  t.Params,
+		Fuel:    t.Fuel,
+		Seed:    t.Seed,
 		// A provider that never advertised the flags tail can't decode it;
 		// drop the flag rather than the peer — a legacy provider has no
 		// result memo for NoCache to bypass anyway.
-		NoCache: ts.t.QoC.NoCache && p.caps&wire.CapFlagsTail != 0,
+		NoCache: t.QoC.NoCache && p.caps&wire.CapFlagsTail != 0,
 	}
 	if b.opts.DisableProgramCache {
-		msg.ProgramData = b.programs[ts.t.Program]
-	} else if !p.sent[ts.t.Program] {
-		msg.ProgramData = b.programs[ts.t.Program]
-		p.sent[ts.t.Program] = true
+		msg.ProgramData = b.programs[t.Program]
+	} else if !p.sent[t.Program] {
+		msg.ProgramData = b.programs[t.Program]
+		p.sent[t.Program] = true
 	}
 	b.enqueue(p.out, msg, p.nc, &p.dropWarned, p.label)
 	b.mLaunched.Inc()
@@ -1307,7 +1169,7 @@ type Snapshot struct {
 func (b *Broker) Snapshot() Snapshot {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	s := Snapshot{Pending: len(b.pending), InFlight: len(b.attempts), Jobs: len(b.jobs)}
+	s := Snapshot{Pending: len(b.pending), InFlight: b.life.InFlight(), Jobs: len(b.jobs)}
 	for _, p := range b.providers {
 		info := p.info
 		info.LastHeartbeat = time.Unix(0, p.lastBeat.Load())

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/qoc"
 	"repro/internal/scheduler"
 	"repro/internal/wire"
 )
@@ -62,37 +61,42 @@ func benchBroker(b *testing.B, p int, noIndex bool) *Broker {
 	return br
 }
 
-// enqueueBatch queues k fresh pending tasklets on the broker.
+// enqueueBatch queues k fresh pending tasklets on the broker: each is
+// submitted to the lifecycle engine and its launch effect applied to the
+// placement queue by hand (no memo keys, so Submit emits exactly one Launch).
 func enqueueBatch(br *Broker, k int) {
 	for i := 0; i < k; i++ {
 		br.nextTasklet++
 		tid := br.nextTasklet
-		ts := &taskletState{t: core.Tasklet{ID: tid, Job: 1, Index: i, Fuel: 1_000_000}}
-		ts.tracker = qoc.NewTracker(&ts.t)
-		ts.tracker.Start()
-		br.tasklets[tid] = ts
+		br.life.Submit(core.Tasklet{ID: tid, Job: 1, Index: i, Fuel: 1_000_000}, "", false)
 		br.pending = append(br.pending, tid)
 	}
 }
 
 // drainBatch reverts the placements of one benchmark iteration so the next
-// iteration sees an idle fleet: every attempt completes, every tasklet is
-// forgotten.
+// iteration sees an idle fleet: every attempt completes (finalizing its
+// best-effort tasklet in the engine), and the fleet accounting is restored.
 func drainBatch(br *Broker, b *testing.B) {
-	for id, a := range br.attempts {
-		p := br.providers[a.provider]
+	attempts := make([]core.Result, 0, 256)
+	br.life.VisitAttempts(func(id core.AttemptID, tid core.TaskletID, pid core.ProviderID, _ bool) {
+		attempts = append(attempts, core.Result{
+			Attempt: id, Tasklet: tid, Provider: pid, Status: core.StatusOK,
+		})
+	})
+	for _, res := range attempts {
+		p := br.providers[res.Provider]
 		p.free++
 		p.backlog--
 		p.finished++
 		br.updateReliabilityLocked(p)
 		br.index.Complete(p.info.ID)
-		delete(br.attempts, id)
+		br.life.Result(res)
 	}
 	if len(br.pending) != 0 {
 		b.Fatalf("%d tasklets unplaced", len(br.pending))
 	}
-	for tid := range br.tasklets {
-		delete(br.tasklets, tid)
+	if n := br.life.Pending(); n != 0 {
+		b.Fatalf("%d tasklets still live in the engine", n)
 	}
 }
 

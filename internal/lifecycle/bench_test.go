@@ -1,0 +1,43 @@
+package lifecycle
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tvm"
+)
+
+// BenchmarkLifecycleEngine measures the steady-state cost of one full
+// tasklet lifecycle through the engine — Submit, Launched, Result(OK),
+// Deliver — with pooled state records and reused effect scratch this is
+// the broker's per-tasklet control-plane overhead and must not allocate.
+func BenchmarkLifecycleEngine(b *testing.B) {
+	e := New(Options{})
+	// Warm the pools (state freelist, effect scratch, map buckets).
+	for i := 0; i < 100; i++ {
+		runOne(b, e, core.TaskletID(i+1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOne(b, e, core.TaskletID(i+101))
+	}
+}
+
+func runOne(b *testing.B, e *Engine, tid core.TaskletID) {
+	fx := e.Submit(core.Tasklet{ID: tid, Job: 1, Fuel: 1000}, "", false)
+	if len(fx) != 1 || fx[0].Kind != EffectLaunch {
+		b.Fatalf("submit effects = %v", fx)
+	}
+	aid, ok := e.Launched(tid, 1)
+	if !ok {
+		b.Fatal("launch refused")
+	}
+	disp, fx := e.Result(core.Result{
+		Attempt: aid, Tasklet: tid, Provider: 1,
+		Status: core.StatusOK, Return: tvm.Int(7), FuelUsed: 500,
+	})
+	if disp != ResultConsumed || len(fx) != 1 || fx[0].Kind != EffectDeliver {
+		b.Fatalf("result: disp=%v fx=%v", disp, fx)
+	}
+}

@@ -1,0 +1,84 @@
+package lifecycle
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// EffectKind enumerates the side effects the engine asks its driver to
+// perform. The engine itself never touches a socket, a timer, or a virtual
+// clock: it returns effects and the driver executes them in order — the
+// broker against wall clocks and wire connections, the simulator against its
+// event heap.
+type EffectKind uint8
+
+const (
+	// EffectLaunch asks the driver to queue one placement attempt for
+	// Tasklet. Delay is zero for immediate launches; a positive Delay (lost
+	// -attempt re-issue backoff) means the driver must wait that long —
+	// checking Live first — before queueing.
+	EffectLaunch EffectKind = iota + 1
+	// EffectCancelAttempt asks the driver to send a best-effort cancellation
+	// for Attempt to Provider. The engine has already marked the attempt
+	// abandoned; its eventual result is accounted as wasted.
+	EffectCancelAttempt
+	// EffectDeliver hands the driver a tasklet's final result. Exactly one
+	// Deliver is emitted per submitted tasklet unless it is cancelled via
+	// Cancel. Attempts is the attempt count to report (0 for cache hits and
+	// coalesced waiters); Submitted echoes the tasklet's submission time for
+	// latency accounting.
+	EffectDeliver
+	// EffectSetDeadline asks the driver to arm a timer that calls
+	// Engine.Deadline(Tasklet) after Delay.
+	EffectSetDeadline
+	// EffectMemoStore reports that the engine stored Tasklet's final in the
+	// result cache (informational; the store already happened).
+	EffectMemoStore
+	// EffectCoalesced reports that Tasklet joined an identical in-flight
+	// tasklet as a waiter (informational, for driver statistics).
+	EffectCoalesced
+)
+
+// String returns the effect-kind name.
+func (k EffectKind) String() string {
+	switch k {
+	case EffectLaunch:
+		return "launch"
+	case EffectCancelAttempt:
+		return "cancel_attempt"
+	case EffectDeliver:
+		return "deliver"
+	case EffectSetDeadline:
+		return "set_deadline"
+	case EffectMemoStore:
+		return "memo_store"
+	case EffectCoalesced:
+		return "coalesced"
+	default:
+		return "effect(?)"
+	}
+}
+
+// Effect is one instruction from the engine to its driver. Which fields are
+// meaningful depends on Kind (see the kind constants). Effect slices returned
+// by engine methods are valid until the next engine call; drivers that defer
+// execution must copy the values they need.
+type Effect struct {
+	Kind    EffectKind
+	Tasklet core.TaskletID
+
+	// Attempt/Provider identify the target of EffectCancelAttempt.
+	Attempt  core.AttemptID
+	Provider core.ProviderID
+
+	// Delay parameterizes EffectLaunch (re-issue backoff) and
+	// EffectSetDeadline (time until expiry).
+	Delay time.Duration
+
+	// Final, Attempts, FromCache and Submitted belong to EffectDeliver.
+	Final     core.Result
+	Attempts  int
+	FromCache bool
+	Submitted time.Time
+}

@@ -32,7 +32,8 @@ type Decision struct {
 	Final core.Result
 }
 
-// attemptState tracks one outstanding attempt.
+// attemptState tracks one outstanding attempt. It is stored by value so the
+// attempt map never allocates per entry.
 type attemptState struct {
 	provider core.ProviderID
 	launched bool
@@ -45,12 +46,13 @@ type Tracker struct {
 	tasklet *core.Tasklet
 	goal    core.QoC
 
-	attempts map[core.AttemptID]*attemptState
+	attempts map[core.AttemptID]attemptState
 	// okResults accumulates successful attempt results for voting.
 	okResults []core.Result
 	// lastFailure remembers the most recent non-OK result for error
 	// reporting when the tasklet ultimately fails.
-	lastFailure *core.Result
+	lastFailure core.Result
+	hasFailure  bool
 
 	launched    int // total attempts handed to the caller to launch
 	retryBudget int
@@ -62,17 +64,34 @@ type Tracker struct {
 // NewTracker creates the tracker for one tasklet. The tasklet's QoC is
 // normalized (replica minimums, retry defaults) before use.
 func NewTracker(t *core.Tasklet) *Tracker {
+	tr := &Tracker{}
+	tr.Reset(t)
+	return tr
+}
+
+// Reset re-initializes the tracker for a new tasklet, reusing its internal
+// storage. The lifecycle engine pools tracker-bearing records so the
+// steady-state submit→result cycle allocates nothing.
+func (tr *Tracker) Reset(t *core.Tasklet) {
 	goal := t.QoC.Normalize()
 	retries := goal.MaxRetries
 	if retries == 0 {
 		retries = DefaultRetries
 	}
-	return &Tracker{
-		tasklet:     t,
-		goal:        goal,
-		attempts:    make(map[core.AttemptID]*attemptState, goal.Replicas),
-		retryBudget: retries,
+	tr.tasklet = t
+	tr.goal = goal
+	if tr.attempts == nil {
+		tr.attempts = make(map[core.AttemptID]attemptState, goal.Replicas)
+	} else {
+		clear(tr.attempts)
 	}
+	tr.okResults = tr.okResults[:0]
+	tr.lastFailure = core.Result{}
+	tr.hasFailure = false
+	tr.launched = 0
+	tr.retryBudget = retries
+	tr.done = false
+	tr.final = core.Result{}
 }
 
 // Tasklet returns the tracked tasklet.
@@ -103,6 +122,11 @@ func (tr *Tracker) FinalCacheable() bool {
 
 // Attempts reports the total number of attempts launched so far.
 func (tr *Tracker) Attempts() int { return tr.launched }
+
+// LastFailure returns the most recent non-OK attempt result, if any.
+func (tr *Tracker) LastFailure() (core.Result, bool) {
+	return tr.lastFailure, tr.hasFailure
+}
 
 // ActiveProviders returns the providers currently executing attempts, used
 // by the caller to keep replicas on distinct providers.
@@ -136,7 +160,7 @@ func (tr *Tracker) Start() Decision {
 
 // OnLaunched records that the caller placed an attempt on a provider.
 func (tr *Tracker) OnLaunched(id core.AttemptID, p core.ProviderID) {
-	tr.attempts[id] = &attemptState{provider: p, launched: true}
+	tr.attempts[id] = attemptState{provider: p, launched: true}
 	tr.launched++
 }
 
@@ -206,7 +230,7 @@ func (tr *Tracker) onSuccess(res core.Result) Decision {
 }
 
 func (tr *Tracker) onFault(res core.Result) Decision {
-	tr.lastFailure = &res
+	tr.lastFailure, tr.hasFailure = res, true
 	switch tr.goal.Mode {
 	case core.QoCBestEffort:
 		// A deterministic fault is the tasklet's true outcome.
@@ -230,7 +254,7 @@ func (tr *Tracker) onFault(res core.Result) Decision {
 }
 
 func (tr *Tracker) onLoss(res core.Result) Decision {
-	tr.lastFailure = &res
+	tr.lastFailure, tr.hasFailure = res, true
 	if tr.retryBudget > 0 {
 		tr.retryBudget--
 		return Decision{Launch: 1}
@@ -291,7 +315,7 @@ func (tr *Tracker) complete(res core.Result) Decision {
 	for id := range tr.attempts {
 		cancel = append(cancel, id)
 	}
-	tr.attempts = map[core.AttemptID]*attemptState{}
+	clear(tr.attempts)
 	return Decision{Done: true, Final: tr.final, Cancel: cancel}
 }
 

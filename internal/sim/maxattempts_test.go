@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// churnConfig is a provider-churn scenario with enough failures to exercise
+// lost-attempt re-issue (mirrors the churn_retries golden scenario).
+func churnConfig() Config {
+	return Config{
+		Devices: []DeviceSpec{
+			{Class: core.ClassDesktop, Slots: 1, MTBF: 5 * time.Second, MTTR: 2 * time.Second},
+			{Class: core.ClassDesktop, Slots: 1},
+		},
+		Tasks:       uniformTasks(60, 50_000_000),
+		DetectDelay: 500 * time.Millisecond,
+		Seed:        11,
+	}
+}
+
+// TestSimMaxAttemptsUnlimitedMatchesHugeCap is the differential pin for the
+// attempt-cap plumbing: a cap high enough never to bind must be
+// event-identical to no cap at all — same makespan, same attempt counts,
+// same finals. Any divergence means the cap accounting perturbs scheduling
+// even when inactive.
+func TestSimMaxAttemptsUnlimitedMatchesHugeCap(t *testing.T) {
+	base := churnConfig()
+	capped := churnConfig()
+	capped.MaxAttempts = 1 << 30
+
+	sb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Run(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Makespan != sc.Makespan || sb.Attempts != sc.Attempts ||
+		sb.LostAttempts != sc.LostAttempts || sb.Completed != sc.Completed ||
+		sb.Failed != sc.Failed {
+		t.Fatalf("aggregates diverged:\n  uncapped: makespan=%v attempts=%d lost=%d ok=%d fail=%d\n  capped:   makespan=%v attempts=%d lost=%d ok=%d fail=%d",
+			sb.Makespan, sb.Attempts, sb.LostAttempts, sb.Completed, sb.Failed,
+			sc.Makespan, sc.Attempts, sc.LostAttempts, sc.Completed, sc.Failed)
+	}
+	if !reflect.DeepEqual(sb.DeviceExecuted, sc.DeviceExecuted) {
+		t.Fatalf("device executions diverged: %v vs %v", sb.DeviceExecuted, sc.DeviceExecuted)
+	}
+	for i := range sb.Finals {
+		a, b := sb.Finals[i], sc.Finals[i]
+		if a.Status != b.Status || a.Provider != b.Provider || !a.Return.Equal(b.Return) {
+			t.Fatalf("final %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestSimMaxAttemptsExhaustionFailsLost pins the cap semantics: with
+// MaxAttempts=1 a tasklet whose only attempt dies with its device cannot
+// re-issue and must finalize as StatusLost; without the cap the same
+// scenario re-issues after recovery and completes.
+func TestSimMaxAttemptsExhaustionFailsLost(t *testing.T) {
+	cfg := Config{
+		Devices: []DeviceSpec{
+			// Single device whose first failure (seed 2) lands inside the 5s
+			// execution; the re-issue after recovery runs to completion.
+			{Class: core.ClassDesktop, Slots: 1, MTBF: 8 * time.Second, MTTR: time.Second},
+		},
+		Tasks:       []TaskSpec{{Fuel: 500_000_000}},
+		DetectDelay: 100 * time.Millisecond,
+		Seed:        2,
+	}
+
+	uncapped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncapped.Completed != 1 || uncapped.LostAttempts == 0 {
+		t.Fatalf("uncapped run: completed=%d lost=%d; want completion after >=1 loss (pick another seed?)",
+			uncapped.Completed, uncapped.LostAttempts)
+	}
+
+	cfg.MaxAttempts = 1
+	capped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Failed != 1 || capped.Completed != 0 {
+		t.Fatalf("capped run: completed=%d failed=%d, want the tasklet to fail", capped.Completed, capped.Failed)
+	}
+	if got := capped.Finals[0].Status; got != core.StatusLost {
+		t.Fatalf("capped final status = %v, want StatusLost", got)
+	}
+	if capped.Attempts != 1 {
+		t.Fatalf("capped run launched %d attempts, want exactly 1", capped.Attempts)
+	}
+}
+
+// TestSimRetryBackoffDelaysReissue pins the backoff plumbing: the same
+// churn scenario with a large re-issue backoff can only finish later (or at
+// the same time) and must deliver every tasklet with identical finals —
+// backoff delays work, it must not change results.
+func TestSimRetryBackoffDelaysReissue(t *testing.T) {
+	base := churnConfig()
+	delayed := churnConfig()
+	delayed.RetryBackoff = 3 * time.Second
+
+	sb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := Run(delayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.LostAttempts == 0 {
+		t.Fatal("scenario produced no losses; backoff unexercised")
+	}
+	if sd.Completed != len(delayed.Tasks) {
+		t.Fatalf("backoff run completed %d/%d", sd.Completed, len(delayed.Tasks))
+	}
+	if sd.Makespan < sb.Makespan {
+		t.Fatalf("backoff shortened the makespan: %v < %v", sd.Makespan, sb.Makespan)
+	}
+	for i := range sb.Finals {
+		if sb.Finals[i].Status != sd.Finals[i].Status {
+			t.Fatalf("final %d status diverged: %v vs %v", i, sb.Finals[i].Status, sd.Finals[i].Status)
+		}
+	}
+}

@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/memo"
 	"repro/internal/metrics"
-	"repro/internal/qoc"
 	"repro/internal/scheduler"
 	"repro/internal/tvm"
 )
@@ -82,6 +82,15 @@ type Config struct {
 	// Device choices are identical either way (pinned by the differential
 	// tests); exists for the E10 ablation.
 	NoIndex bool
+	// MaxAttempts caps the total attempts one tasklet may consume across
+	// lost-attempt re-issues, mirroring broker.Options.MaxAttempts: zero (or
+	// negative) means unlimited — the legacy behavior, bounded only by the
+	// QoC retry budget. Cap exhaustion finalizes the tasklet as StatusLost.
+	MaxAttempts int
+	// RetryBackoff delays the n-th re-issue of a tasklet by
+	// RetryBackoff << min(n-1, 6) of virtual time; zero re-issues
+	// immediately (the legacy behavior).
+	RetryBackoff time.Duration
 }
 
 // Stats is the outcome of a simulation run.
@@ -134,7 +143,9 @@ func (s *Stats) Utilization(devices []DeviceSpec) float64 {
 	return frac / float64(len(s.BusyTime))
 }
 
-// attemptRec is one in-flight simulated execution.
+// attemptRec is one in-flight simulated execution — the transport/timing
+// half of an attempt. The lifecycle half (which tasklet, abandoned or not)
+// lives in the shared lifecycle engine.
 type attemptRec struct {
 	id       core.AttemptID
 	tasklet  core.TaskletID
@@ -158,36 +169,18 @@ type deviceState struct {
 	done    int
 }
 
-// flightRole is a tasklet's position in a coalesced flight.
-type flightRole uint8
-
-const (
-	flightNone   flightRole = iota
-	flightLeader            // drives the real QoC attempt fan-out
-	flightWaiter            // receives a copy of the leader's final
-)
-
-// taskState tracks one tasklet through the QoC engine.
-type taskState struct {
-	t       core.Tasklet
-	tracker *qoc.Tracker
-	arrived time.Duration
-	queued  int // pending placement entries
-	content uint64
-	coKey   memo.FlightKey
-	role    flightRole
-}
-
-// sim is the running world.
+// sim is the running world: a virtual-time driver of the shared lifecycle
+// engine. The engine owns submission, memoization, coalescing, QoC decisions
+// and finalization; the sim owns devices, virtual clocks, message latency,
+// churn, and placement.
 type sim struct {
 	cfg     Config
 	eng     *engine
+	life    *lifecycle.Engine
 	devices []*deviceState
-	tasks   map[core.TaskletID]*taskState
 	attempt map[core.AttemptID]*attemptRec
 	pending []pendingEntry
-	memo    *memo.Cache       // nil when disabled
-	flights *memo.FlightTable // nil when disabled
+	memoOn  bool
 
 	// index is the incremental placement index; nil when Config.NoIndex is
 	// set or the policy has no indexed form (legacy scan runs instead).
@@ -198,13 +191,12 @@ type sim struct {
 	excl  []core.ProviderID
 	cands []scheduler.Candidate
 
-	nextAttempt core.AttemptID
-	stats       Stats
-	latency     metrics.Histogram
-	queueDelay  metrics.Histogram
-	lastDone    time.Duration
-	firstArr    time.Duration
-	remaining   int
+	stats      Stats
+	latency    metrics.Histogram
+	queueDelay metrics.Histogram
+	lastDone   time.Duration
+	firstArr   time.Duration
+	remaining  int
 }
 
 type pendingEntry struct {
@@ -233,20 +225,24 @@ func Run(cfg Config) (*Stats, error) {
 	s := &sim{
 		cfg:     cfg,
 		eng:     newEngine(cfg.Seed),
-		tasks:   map[core.TaskletID]*taskState{},
 		attempt: map[core.AttemptID]*attemptRec{},
 	}
+	var opts lifecycle.Options
+	opts.MaxAttempts = cfg.MaxAttempts
+	opts.RetryBackoff = cfg.RetryBackoff
 	if cfg.MemoEntries >= 0 && cfg.MemoBytes >= 0 && cfg.MemoTTL >= 0 {
 		epoch := time.Unix(0, 0)
-		s.memo = memo.New(memo.Config{
+		opts.Memo = memo.New(memo.Config{
 			MaxEntries: cfg.MemoEntries,
 			MaxBytes:   cfg.MemoBytes,
 			TTL:        cfg.MemoTTL,
 			// TTL expiry must happen in virtual time, not wall time.
 			Clock: func() time.Time { return epoch.Add(s.eng.now) },
 		})
-		s.flights = memo.NewFlightTable(nil, "")
+		opts.Flights = memo.NewFlightTable(nil, "")
+		s.memoOn = true
 	}
+	s.life = lifecycle.New(opts)
 
 	for i, spec := range cfg.Devices {
 		if spec.Slots <= 0 {
@@ -284,20 +280,19 @@ func Run(cfg Config) (*Stats, error) {
 	s.firstArr = time.Duration(-1)
 	s.remaining = len(cfg.Tasks)
 	for i, tspec := range cfg.Tasks {
-		id := core.TaskletID(i + 1)
 		fuel := tspec.Fuel
 		if fuel == 0 {
 			fuel = 1_000_000
 		}
-		t := core.Tasklet{ID: id, Job: 1, Index: i, Fuel: fuel, QoC: tspec.QoC}
-		ts := &taskState{t: t, arrived: tspec.Arrival, content: tspec.Key}
-		ts.tracker = qoc.NewTracker(&ts.t)
-		s.tasks[id] = ts
+		t := core.Tasklet{
+			ID: core.TaskletID(i + 1), Job: 1, Index: i,
+			Fuel: fuel, QoC: tspec.QoC,
+		}
 		if s.firstArr < 0 || tspec.Arrival < s.firstArr {
 			s.firstArr = tspec.Arrival
 		}
-		arrival := tspec.Arrival
-		s.eng.at(arrival, func() { s.onArrival(ts) })
+		content := tspec.Key
+		s.eng.at(tspec.Arrival, func() { s.onArrival(t, content) })
 	}
 
 	// Drive events until every tasklet is final. Churn events reschedule
@@ -325,54 +320,82 @@ func Run(cfg Config) (*Stats, error) {
 
 // ---------- world mechanics ----------
 
-func (s *sim) onArrival(ts *taskState) {
-	s.trace(TraceArrival, -1, ts.t.Index, 0, false)
-	goal := ts.tracker.Goal()
-	if goal.Deadline > 0 {
-		id := ts.t.ID
-		s.eng.after(goal.Deadline, func() { s.onDeadline(id) })
-	}
-	// Memo tier, mirroring the live broker's acceptJob: a finalized result
-	// for identical content is served without any attempt; otherwise an
-	// identical in-flight tasklet absorbs this one as a waiter.
-	if s.memo != nil && ts.content != 0 && !goal.NoCache {
-		key, _ := memo.KeyFor(ts.content, s.cfg.Seed, nil)
-		if e := s.memo.Get(key, goal.VoteStrength(), ts.t.Fuel); e != nil {
-			s.stats.CacheHits++
-			ret, _ := e.CachedResult()
-			s.finalize(ts, core.Result{
-				Tasklet: ts.t.ID, Status: core.StatusOK, Return: ret,
-				FuelUsed: e.FuelUsed, Exec: e.Exec,
-			})
-			return
-		}
-		ts.coKey = memo.FlightKey{
-			Content: key, Mode: uint8(goal.Mode),
-			Replicas: goal.Replicas, Fuel: ts.t.Fuel,
-		}
-		if !s.flights.Join(ts.coKey, uint64(ts.t.ID)) {
-			ts.role = flightWaiter
+// apply executes the engine's effects against the simulated world. It
+// reports whether any immediate launch was queued, so callers know to run a
+// placement pass.
+func (s *sim) apply(fx []lifecycle.Effect) (launched bool) {
+	for _, ef := range fx {
+		switch ef.Kind {
+		case lifecycle.EffectLaunch:
+			if ef.Delay > 0 {
+				tid := ef.Tasklet
+				s.eng.after(ef.Delay, func() {
+					if !s.life.Live(tid) {
+						return
+					}
+					s.pending = append(s.pending, pendingEntry{tasklet: tid, since: s.eng.now})
+					s.schedule()
+				})
+			} else {
+				s.pending = append(s.pending, pendingEntry{tasklet: ef.Tasklet, since: s.eng.now})
+				launched = true
+			}
+		case lifecycle.EffectSetDeadline:
+			tid := ef.Tasklet
+			s.eng.after(ef.Delay, func() { s.onDeadline(tid) })
+		case lifecycle.EffectCoalesced:
 			s.stats.Coalesced++
-			return // the leader's finalization fans out to us
+		case lifecycle.EffectDeliver:
+			s.recordFinal(ef)
+		case lifecycle.EffectCancelAttempt:
+			// Simulated providers have no cancellation channel: the
+			// redundant execution runs to completion and is counted as
+			// wasted (conservative for the overhead measurements).
 		}
-		ts.role = flightLeader
 	}
-	d := ts.tracker.Start()
-	for i := 0; i < d.Launch; i++ {
-		s.pending = append(s.pending, pendingEntry{tasklet: ts.t.ID, since: s.eng.now})
-		ts.queued++
+	return launched
+}
+
+// recordFinal books one tasklet's final result into the run statistics.
+func (s *sim) recordFinal(ef lifecycle.Effect) {
+	final := ef.Final
+	if ef.FromCache {
+		s.stats.CacheHits++
 	}
-	s.schedule()
+	s.remaining--
+	s.stats.Finals[final.Index] = final
+	s.trace(TraceFinal, -1, final.Index, 0, final.OK())
+	if final.OK() {
+		s.stats.Completed++
+	} else {
+		s.stats.Failed++
+	}
+	s.latency.Observe(float64(s.eng.now-s.cfg.Tasks[final.Index].Arrival) / 1e6)
+	if s.eng.now > s.lastDone {
+		s.lastDone = s.eng.now
+	}
+}
+
+func (s *sim) onArrival(t core.Tasklet, content uint64) {
+	s.trace(TraceArrival, -1, t.Index, 0, false)
+	var key memo.Key
+	var haveKey bool
+	if s.memoOn && content != 0 {
+		key, haveKey = memo.KeyFor(content, s.cfg.Seed, nil)
+	}
+	if s.apply(s.life.Submit(t, key, haveKey)) {
+		s.schedule()
+	}
 }
 
 func (s *sim) onDeadline(id core.TaskletID) {
-	ts := s.tasks[id]
-	if ts == nil || ts.tracker.Done() {
+	expired, fx := s.life.Deadline(id)
+	if !expired {
 		return
 	}
-	s.finalize(ts, core.Result{
-		Tasklet: id, Status: core.StatusFault, FaultMsg: "deadline exceeded",
-	})
+	if s.apply(fx) {
+		s.schedule()
+	}
 }
 
 // schedule walks the placement queue like the live broker: the indexed
@@ -397,12 +420,12 @@ func (s *sim) scheduleIndexed() {
 			remaining = append(remaining, s.pending[idx:]...)
 			break
 		}
-		ts := s.tasks[pe.tasklet]
-		if ts == nil || ts.tracker.Done() {
+		t := s.life.Tasklet(pe.tasklet)
+		if t == nil {
 			continue
 		}
-		s.excl = ts.tracker.AppendActiveProviders(s.excl[:0])
-		pid, ok := s.index.Pick(&ts.t, s.excl)
+		s.excl = s.life.AppendActiveProviders(pe.tasklet, s.excl[:0])
+		pid, ok := s.index.Pick(t, s.excl)
 		if !ok {
 			remaining = append(remaining, pe)
 			continue
@@ -413,7 +436,7 @@ func (s *sim) scheduleIndexed() {
 			continue
 		}
 		s.queueDelay.Observe(float64(s.eng.now-pe.since) / 1e6)
-		s.launch(ts, dev)
+		s.launch(t, dev)
 	}
 	s.pending = remaining
 }
@@ -434,8 +457,8 @@ func (s *sim) scheduleLegacy() {
 			remaining = append(remaining, s.pending[idx:]...)
 			break
 		}
-		ts := s.tasks[pe.tasklet]
-		if ts == nil || ts.tracker.Done() {
+		t := s.life.Tasklet(pe.tasklet)
+		if t == nil {
 			continue
 		}
 		cands := s.cands[:0]
@@ -448,8 +471,8 @@ func (s *sim) scheduleLegacy() {
 			})
 		}
 		s.cands = cands
-		s.excl = ts.tracker.AppendActiveProviders(s.excl[:0])
-		req := scheduler.Request{Tasklet: &ts.t, ExcludeIDs: s.excl}
+		s.excl = s.life.AppendActiveProviders(pe.tasklet, s.excl[:0])
+		req := scheduler.Request{Tasklet: t, ExcludeIDs: s.excl}
 		pid, ok := s.cfg.Policy.Pick(req, cands)
 		if !ok {
 			remaining = append(remaining, pe)
@@ -461,7 +484,7 @@ func (s *sim) scheduleLegacy() {
 			continue
 		}
 		s.queueDelay.Observe(float64(s.eng.now-pe.since) / 1e6)
-		s.launch(ts, dev)
+		s.launch(t, dev)
 		totalFree--
 	}
 	s.pending = remaining
@@ -469,23 +492,24 @@ func (s *sim) scheduleLegacy() {
 
 // launch starts one attempt on dev; completion is scheduled after the
 // network latency plus the device-speed-scaled execution time.
-func (s *sim) launch(ts *taskState, dev *deviceState) {
-	s.nextAttempt++
-	aid := s.nextAttempt
+func (s *sim) launch(t *core.Tasklet, dev *deviceState) {
+	aid, ok := s.life.Launched(t.ID, dev.info.ID)
+	if !ok {
+		return
+	}
 	devIdx := int(dev.info.ID) - 1
 	rec := &attemptRec{
-		id: aid, tasklet: ts.t.ID, device: devIdx, epoch: dev.epoch,
-		started: s.eng.now, fuel: ts.t.Fuel, content: ts.content,
+		id: aid, tasklet: t.ID, device: devIdx, epoch: dev.epoch,
+		started: s.eng.now, fuel: t.Fuel, content: s.cfg.Tasks[t.Index].Key,
 	}
 	s.attempt[aid] = rec
 	dev.free--
 	dev.backlog++
 	s.index.Assign(dev.info.ID)
-	ts.tracker.OnLaunched(aid, dev.info.ID)
 	s.stats.Attempts++
-	s.trace(TraceLaunch, devIdx, ts.t.Index, int(aid), false)
+	s.trace(TraceLaunch, devIdx, t.Index, int(aid), false)
 
-	exec := execTime(ts.t.Fuel, dev.info.Speed)
+	exec := execTime(t.Fuel, dev.info.Speed)
 	total := 2*s.cfg.Latency + exec
 	s.eng.after(total, func() { s.onComplete(rec, exec) })
 }
@@ -514,13 +538,6 @@ func (s *sim) onComplete(rec *attemptRec, exec time.Duration) {
 	s.stats.DeviceExecuted[rec.device] = dev.done
 	s.trace(TraceComplete, rec.device, int(rec.tasklet)-1, int(rec.id), false)
 
-	ts := s.tasks[rec.tasklet]
-	if ts == nil || ts.tracker.Done() {
-		s.stats.WastedAttempts++
-		s.schedule()
-		return
-	}
-
 	canon := int64(rec.tasklet)
 	if rec.content != 0 {
 		canon = int64(rec.content) // keyed content: result depends on content only
@@ -529,13 +546,16 @@ func (s *sim) onComplete(rec *attemptRec, exec time.Duration) {
 	if dev.spec.Faulty {
 		ret = tvm.Int(int64(-1000 - rec.device)) // corrupted, device-specific
 	}
-	res := core.Result{
+	disp, fx := s.life.Result(core.Result{
 		Attempt: rec.id, Tasklet: rec.tasklet, Provider: dev.info.ID,
 		Status: core.StatusOK, Return: ret,
 		FuelUsed: rec.fuel, Exec: exec,
+	})
+	if disp == lifecycle.ResultConsumed {
+		s.apply(fx)
+	} else {
+		s.stats.WastedAttempts++
 	}
-	d := ts.tracker.OnResult(res)
-	s.applyDecision(ts, d)
 	s.schedule()
 }
 
@@ -559,7 +579,7 @@ func (s *sim) onFail(i int) {
 	s.trace(TraceDeviceFail, i, 0, 0, false)
 
 	// The broker discovers the loss after the detection delay and feeds
-	// losses to the trackers.
+	// losses to the lifecycle engine.
 	var lost []*attemptRec
 	for _, rec := range s.attempt {
 		if rec.device == i && !rec.finished {
@@ -575,15 +595,11 @@ func (s *sim) onFail(i int) {
 			delete(s.attempt, rec.id)
 			s.stats.LostAttempts++
 			s.trace(TraceLost, rec.device, int(rec.tasklet)-1, int(rec.id), false)
-			ts := s.tasks[rec.tasklet]
-			if ts == nil || ts.tracker.Done() {
-				continue
-			}
-			d := ts.tracker.OnResult(core.Result{
+			_, fx := s.life.Result(core.Result{
 				Attempt: rec.id, Tasklet: rec.tasklet,
 				Provider: dev.info.ID, Status: core.StatusLost,
 			})
-			s.applyDecision(ts, d)
+			s.apply(fx)
 		}
 		s.schedule()
 	})
@@ -608,79 +624,4 @@ func (s *sim) onRecover(i int) {
 	s.trace(TraceDeviceRecover, i, 0, 0, false)
 	s.scheduleFailure(i)
 	s.schedule()
-}
-
-// applyDecision mirrors the live broker's reaction to QoC decisions.
-func (s *sim) applyDecision(ts *taskState, d qoc.Decision) {
-	for i := 0; i < d.Launch; i++ {
-		s.pending = append(s.pending, pendingEntry{tasklet: ts.t.ID, since: s.eng.now})
-	}
-	// Cancelled attempts: in simulation the redundant executions simply
-	// run to completion and are counted as wasted (conservative for the
-	// overhead measurements).
-	if d.Done {
-		s.finalize(ts, d.Final)
-	}
-}
-
-// finalize records a tasklet's final state and settles its flight, if any:
-// a finalized leader stores the result (only if QoC-cacheable) and fans it
-// out to every waiter, or — on a non-OK final — dissolves the flight so each
-// waiter schedules independently; a finalized waiter just leaves its flight.
-func (s *sim) finalize(ts *taskState, final core.Result) {
-	if ts.tracker.Done() && final.Tasklet == 0 {
-		return
-	}
-	role, fk := ts.role, ts.coKey
-	ts.role = flightNone
-	cacheable := ts.tracker.FinalCacheable()
-	strength := ts.tracker.Goal().VoteStrength()
-	delete(s.tasks, ts.t.ID)
-	s.remaining--
-	s.stats.Finals[ts.t.Index] = final
-	s.trace(TraceFinal, -1, ts.t.Index, 0, final.OK())
-	if final.OK() {
-		s.stats.Completed++
-	} else {
-		s.stats.Failed++
-	}
-	s.latency.Observe(float64(s.eng.now-ts.arrived) / 1e6)
-	if s.eng.now > s.lastDone {
-		s.lastDone = s.eng.now
-	}
-
-	switch role {
-	case flightWaiter:
-		s.flights.DropWaiter(fk, uint64(ts.t.ID))
-	case flightLeader:
-		if final.OK() {
-			if cacheable {
-				s.memo.Put(fk.Content, final.Return, nil, final.FuelUsed, final.Exec, strength)
-			}
-			for _, wid := range s.flights.Complete(fk) {
-				wts := s.tasks[core.TaskletID(wid)]
-				if wts == nil {
-					continue
-				}
-				wts.role = flightNone
-				s.finalize(wts, core.Result{
-					Tasklet: wts.t.ID, Provider: final.Provider,
-					Status: core.StatusOK, Return: final.Return.Clone(),
-					FuelUsed: final.FuelUsed, Exec: final.Exec,
-				})
-			}
-		} else {
-			// The coalesced execution failed; waiters fall back to real
-			// scheduling rather than inheriting the failure.
-			for _, wid := range s.flights.Complete(fk) {
-				wts := s.tasks[core.TaskletID(wid)]
-				if wts == nil {
-					continue
-				}
-				wts.role = flightNone
-				s.applyDecision(wts, wts.tracker.Start())
-			}
-			s.schedule()
-		}
-	}
 }

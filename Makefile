@@ -23,6 +23,10 @@ check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	# Multi-shard smoke: two peered brokers, skewed submission, asserts at
+	# least one migration and every job completing (also part of the suite
+	# above; kept explicit so sharding regressions fail loudly).
+	$(GO) test -race -run 'TestShardGroupExchangeSmoke' -count 1 ./internal/broker/
 
 # bench runs the headline benchmarks with allocation reporting: interpreter
 # hot paths, the broker data-plane throughput pair (coalescing on/off), and
@@ -36,6 +40,7 @@ bench:
 	$(GO) test -run XXX -bench BenchmarkSchedulerPick -benchmem ./internal/scheduler/
 	$(GO) test -run XXX -bench BenchmarkBrokerPlacement -benchmem ./internal/broker/
 	$(GO) test -run XXX -bench BenchmarkLifecycleEngine -benchmem ./internal/lifecycle/
+	$(GO) test -run XXX -bench 'BenchmarkRing|BenchmarkPlanPull' -benchmem ./internal/shard/
 
 # bench-smoke compiles and runs every throughput/ablation benchmark exactly
 # once (-benchtime=1x) — the CI gate that keeps the bench harness building
@@ -46,6 +51,7 @@ bench-smoke:
 	$(GO) test -run XXX -bench BenchmarkSchedulerPick -benchtime 1x ./internal/scheduler/
 	$(GO) test -run XXX -bench 'BenchmarkBrokerPlacement/P=(100|1000)$$/' -benchtime 1x ./internal/broker/
 	$(GO) test -run XXX -bench BenchmarkLifecycleEngine -benchtime 1x ./internal/lifecycle/
+	$(GO) test -run XXX -bench . -benchtime 1x ./internal/shard/
 
 # fuzz gives the program decoder + differential interpreter fuzzer a short
 # budget; lengthen FUZZTIME for deeper runs.

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e10) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e11) or 'all'")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	quiet := flag.Bool("q", false, "suppress progress logs")

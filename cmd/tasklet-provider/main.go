@@ -6,6 +6,12 @@
 //
 //	tasklet-provider -broker 127.0.0.1:7420 -slots 4
 //	tasklet-provider -broker ... -throttle 0.25 -class mobile   # emulate a phone
+//
+// Against a sharded broker group, pass a comma-separated address list to
+// multi-home: the provider registers with every listed shard, splitting
+// its slot budget evenly so total concurrency is unchanged:
+//
+//	tasklet-provider -broker host:7420,host:7421 -slots 4      # 2 slots per shard
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -28,8 +36,9 @@ var classes = map[string]core.DeviceClass{
 }
 
 func main() {
-	brokerAddr := flag.String("broker", "127.0.0.1:7420", "broker address")
-	slots := flag.Int("slots", 1, "concurrent tasklet executions")
+	brokerAddr := flag.String("broker", "127.0.0.1:7420",
+		"broker address; a comma-separated list multi-homes across a shard group, splitting -slots")
+	slots := flag.Int("slots", 1, "concurrent tasklet executions (split across multi-homed brokers)")
 	throttle := flag.Float64("throttle", 1.0, "speed factor in (0,1] emulating a slower device")
 	class := flag.String("class", "unknown", "advertised device class (server, desktop, laptop, mobile, embedded)")
 	name := flag.String("name", "", "provider name shown in broker logs")
@@ -48,30 +57,65 @@ func main() {
 		logger = nil
 	}
 
-	opts := provider.Options{
-		BrokerAddr: *brokerAddr,
-		Slots:      *slots,
-		Class:      cls,
-		Throttle:   *throttle,
-		Name:       *name,
-		Logger:     logger,
-		FailAfter:  *failAfter,
+	var addrs []string
+	for _, a := range strings.Split(*brokerAddr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "no broker address given")
+		os.Exit(2)
+	}
+	// Multi-homing splits the slot budget so total concurrency matches
+	// -slots regardless of how many shards share this machine.
+	perHome := *slots / len(addrs)
+	if perHome < 1 {
+		perHome = 1
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
 
+	for _, addr := range addrs {
+		opts := provider.Options{
+			BrokerAddr: addr,
+			Slots:      perHome,
+			Class:      cls,
+			Throttle:   *throttle,
+			Name:       *name,
+			Logger:     logger,
+			FailAfter:  *failAfter,
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			serveBroker(opts, *reconnect, stop)
+		}(addr)
+	}
+
+	<-sig
+	fmt.Println("shutting down")
+	close(stop)
+	wg.Wait()
+}
+
+// serveBroker keeps one broker connection alive until stop closes (or the
+// connection ends with -reconnect off).
+func serveBroker(opts provider.Options, reconnect bool, stop <-chan struct{}) {
 	backoff := time.Second
 	for {
 		p, err := provider.Connect(opts)
 		if err != nil {
-			if !*reconnect {
+			if !reconnect {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return
 			}
-			fmt.Fprintf(os.Stderr, "connect failed (%v); retrying in %v\n", err, backoff)
+			fmt.Fprintf(os.Stderr, "connect %s failed (%v); retrying in %v\n", opts.BrokerAddr, err, backoff)
 			select {
-			case <-sig:
+			case <-stop:
 				return
 			case <-time.After(backoff):
 			}
@@ -81,7 +125,7 @@ func main() {
 			continue
 		}
 		backoff = time.Second
-		fmt.Printf("tasklet-provider %d connected to %s (%d slots)\n", p.ID(), *brokerAddr, *slots)
+		fmt.Printf("tasklet-provider %d connected to %s (%d slots)\n", p.ID(), opts.BrokerAddr, opts.Slots)
 
 		done := make(chan struct{})
 		go func() {
@@ -89,13 +133,12 @@ func main() {
 			close(done)
 		}()
 		select {
-		case <-sig:
-			fmt.Println("shutting down")
+		case <-stop:
 			p.Close()
 			return
 		case <-done:
-			fmt.Printf("connection ended after %d tasklets\n", p.Executed())
-			if !*reconnect {
+			fmt.Printf("connection to %s ended after %d tasklets\n", opts.BrokerAddr, p.Executed())
+			if !reconnect {
 				return
 			}
 		}

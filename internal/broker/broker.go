@@ -35,6 +35,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/scheduler"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -91,6 +92,23 @@ type Options struct {
 	// way. Custom policies without an index fall back to the scan
 	// automatically.
 	NoIndex bool
+
+	// ShardID names this broker within a shard group; zero means unsharded
+	// and peer connections are refused. Consistent-hash routing happens on
+	// the client (or in ShardGroup): brokers accept whatever they are handed
+	// and rebalance queued work through the exchange. See internal/shard.
+	ShardID uint64
+	// GossipInterval is how often shard load gossip is emitted on every peer
+	// link and exchange pulls are planned. Zero selects 100ms.
+	GossipInterval time.Duration
+	// Exchange enables pull-based migration toward this shard when it is
+	// underloaded. Even with Exchange off the broker still answers peers'
+	// MigrateRequests and emits gossip, so exchange can be enabled on any
+	// subset of a group.
+	Exchange bool
+	// ExchangePolicy tunes the pull policy; zero fields take the shard
+	// package defaults.
+	ExchangePolicy shard.Policy
 }
 
 // sendQueueDepth bounds per-connection outgoing messages. A peer that
@@ -149,6 +167,25 @@ type Broker struct {
 	schedDirty bool
 	schedWake  chan struct{}
 
+	// peers maps remote shard IDs to their bound peer links; links holds
+	// every live peer connection, including inbound ones not yet named by a
+	// first gossip. migrated records tasklets handed to a peer under
+	// Cancel-before-launch — enough to re-Submit locally if the peer rejects
+	// or dies, and to route the MigrateResult back into job accounting.
+	// adopted records tasklets accepted from a peer, keyed by their fresh
+	// local ID, so their finals return as MigrateResult instead of a
+	// consumer push. See shard.go for the whole exchange.
+	peers    map[uint64]*peerState
+	links    map[*peerState]bool
+	migrated map[core.TaskletID]migratedRec
+	adopted  map[core.TaskletID]adoptedRec
+
+	gossipSeq  uint64
+	finalizedN int64 // finals processed (local + adopted); feeds the gossip rate
+	lastFinal  int64
+	exchRate   float64
+	exchRateOK bool
+
 	nextProvider core.ProviderID
 	nextConsumer core.ConsumerID
 	nextJob      core.JobID
@@ -159,21 +196,25 @@ type Broker struct {
 
 	// Hot-path metric handles, resolved once at construction so the
 	// per-result path never takes the registry lock.
-	mSendDropped  *metrics.Counter
-	mAttemptsOK   *metrics.Counter
-	mAttemptsFlt  *metrics.Counter
-	mAttemptsOth  *metrics.Counter
-	mAttemptsLost *metrics.Counter
-	mLaunched     *metrics.Counter
-	mCompleted    *metrics.Counter
-	mFailed       *metrics.Counter
-	mDeadlineExp  *metrics.Counter
+	mSendDropped   *metrics.Counter
+	mAttemptsOK    *metrics.Counter
+	mAttemptsFlt   *metrics.Counter
+	mAttemptsOth   *metrics.Counter
+	mAttemptsLost  *metrics.Counter
+	mLaunched      *metrics.Counter
+	mCompleted     *metrics.Counter
+	mFailed        *metrics.Counter
+	mDeadlineExp   *metrics.Counter
 	mProvidersLost *metrics.Counter
-	mExecMS       *metrics.Histogram
-	mLatencyMS    *metrics.Histogram
-	mSchedPassNS  *metrics.Histogram
-	mPendingDep   *metrics.Gauge
-	mPlaced       *metrics.Counter
+	mExecMS        *metrics.Histogram
+	mLatencyMS     *metrics.Histogram
+	mSchedPassNS   *metrics.Histogram
+	mPendingDep    *metrics.Gauge
+	mPlaced        *metrics.Counter
+	mExchMigrated  *metrics.Counter
+	mExchRequests  *metrics.Counter
+	mExchAdopted   *metrics.Counter
+	mShardQueue    *metrics.Gauge
 }
 
 type providerState struct {
@@ -230,6 +271,10 @@ func New(opts Options) *Broker {
 	if opts.MaxPendingPerConsumer <= 0 {
 		opts.MaxPendingPerConsumer = 1 << 20
 	}
+	if opts.GossipInterval <= 0 {
+		opts.GossipInterval = 100 * time.Millisecond
+	}
+	opts.ExchangePolicy = opts.ExchangePolicy.Normalize()
 	reg := opts.Metrics
 	if reg == nil {
 		reg = &metrics.Registry{}
@@ -247,6 +292,10 @@ func New(opts Options) *Broker {
 		jobs:      map[core.JobID]*jobState{},
 		programs:  map[core.ProgramID][]byte{},
 		deadlines: map[core.TaskletID]*time.Timer{},
+		peers:     map[uint64]*peerState{},
+		links:     map[*peerState]bool{},
+		migrated:  map[core.TaskletID]migratedRec{},
+		adopted:   map[core.TaskletID]adoptedRec{},
 		schedWake: make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 	}
@@ -265,6 +314,10 @@ func New(opts Options) *Broker {
 	b.mSchedPassNS = reg.Histogram("broker.sched_pass_ns")
 	b.mPendingDep = reg.Gauge("broker.pending_depth")
 	b.mPlaced = reg.Counter("broker.placed_per_pass")
+	b.mExchMigrated = reg.Counter("broker.exchange.migrated")
+	b.mExchRequests = reg.Counter("broker.exchange.requests")
+	b.mExchAdopted = reg.Counter("broker.exchange.adopted")
+	b.mShardQueue = reg.Gauge("broker.shard.queue_depth")
 	if !opts.NoIndex {
 		// Custom policies outside the scheduler package have no indexed
 		// form; the legacy scan handles them.
@@ -322,6 +375,13 @@ func (b *Broker) Listen(addr string) (string, error) {
 		defer b.wg.Done()
 		b.schedLoop()
 	}()
+	if b.opts.ShardID != 0 {
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.gossipLoop()
+		}()
+	}
 	return ln.Addr().String(), nil
 }
 
@@ -342,6 +402,9 @@ func (b *Broker) Close() error {
 	}
 	for _, c := range b.consumers {
 		conns = append(conns, c.nc)
+	}
+	for ps := range b.links {
+		conns = append(conns, ps.nc)
 	}
 	b.mu.Unlock()
 
@@ -433,6 +496,8 @@ func (b *Broker) handleConn(nc net.Conn) {
 		b.serveProvider(nc, conn, hello)
 	case wire.RoleConsumer:
 		b.serveConsumer(nc, conn, hello)
+	case wire.RolePeer:
+		b.servePeer(nc, conn, hello)
 	default:
 		_ = conn.Send(&wire.ErrorMsg{Code: wire.ErrCodeProtocol, Msg: "unknown role"})
 	}
@@ -868,6 +933,15 @@ func (b *Broker) cancelJob(c *consumerState, id core.JobID) {
 	}
 	job.cancelled = true
 	for _, tid := range job.tasklets {
+		if _, ok := b.migrated[tid]; ok {
+			// Migrated away: the origin-side record is the unit of ownership
+			// and it dies here; the peer's copy runs to waste and its
+			// MigrateResult will find no record.
+			delete(b.migrated, tid)
+			job.failed++
+			c.pending--
+			continue
+		}
 		dropped, fx := b.life.Cancel(tid)
 		if !dropped {
 			continue
@@ -896,6 +970,7 @@ func (b *Broker) removeConsumerLocked(c *consumerState) {
 			continue
 		}
 		for _, tid := range job.tasklets {
+			delete(b.migrated, tid)
 			if dropped, fx := b.life.Cancel(tid); dropped {
 				b.stopDeadlineLocked(tid)
 				b.applyEffectsLocked(fx)
@@ -919,6 +994,14 @@ func (b *Broker) stopDeadlineLocked(tid core.TaskletID) {
 // accounting.
 func (b *Broker) deliverLocked(ef *lifecycle.Effect) {
 	b.stopDeadlineLocked(ef.Tasklet)
+	b.finalizedN++
+	if rec, ok := b.adopted[ef.Tasklet]; ok {
+		// An adopted tasklet's final goes home as a MigrateResult: the
+		// origin shard owns the consumer connection and the job accounting.
+		delete(b.adopted, ef.Tasklet)
+		b.returnAdoptedLocked(rec, ef)
+		return
+	}
 	final := ef.Final
 
 	job := b.jobs[final.Job]

@@ -1,0 +1,666 @@
+// Broker sharding: peer links, load gossip, and the pull-based work
+// exchange.
+//
+// A shard group runs N brokers, each a complete broker (its own providers,
+// consumers, lifecycle engine, memo tier). Clients route each job to a
+// shard by consistent hash of its program hash (shard.Ring), so memo and
+// flight tables shard naturally: identical tasklets land on the same
+// broker. Peers connect with wire.RolePeer and exchange two things:
+//
+//   - ShardGossip every GossipInterval: queue depth, free slots, and an
+//     EWMA of the finalization rate. Gossip doubles as the peer-link
+//     heartbeat and, on inbound links, as the dialer's introduction.
+//   - A pull-based exchange: an underloaded shard (free slots, short
+//     queue) sends MigrateRequest to the most-loaded peer, bounded by the
+//     shard.Policy hysteresis and per-interval cap. The source answers
+//     with queued — never in-flight — tasklets, cancelling each locally
+//     before it travels (Cancel-before-launch), so exactly one shard owns
+//     a tasklet at any instant. The destination re-Submits through its own
+//     lifecycle engine (fresh QoC fan-out, its own memo key space) and
+//     routes the final back as a MigrateResult; the origin still owns the
+//     consumer connection and the job accounting.
+//
+// Failure rules keep migration loss-free: a rejected MigrateTasklet or a
+// dead peer makes the origin re-Submit from its migrated record, and a
+// destination losing the origin link cancels the orphaned adoptions (the
+// origin re-runs them). A migration can delay a tasklet, never lose it.
+// Tasklets with an armed deadline never migrate: the origin's timer stays
+// authoritative.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+	"repro/internal/memo"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// peerState is one peer broker link (either direction).
+type peerState struct {
+	id    uint64 // remote ShardID; 0 on an inbound link until its first gossip
+	out   chan wire.Message
+	nc    net.Conn
+	label string
+	gone  bool
+
+	load    shard.Load
+	loadOK  bool
+	lastSeq uint64
+
+	dropWarned atomic.Bool
+}
+
+// migratedRec remembers a tasklet handed to a peer: the full tasklet for a
+// local re-Submit on rejection or peer loss, and the peer it went to.
+type migratedRec struct {
+	t    core.Tasklet
+	peer uint64
+}
+
+// adoptedRec maps a locally re-submitted tasklet back to its origin.
+type adoptedRec struct {
+	origin core.TaskletID
+	peer   uint64
+}
+
+// ConnectPeer dials another shard's broker and registers the link. The
+// remote names itself in the Welcome; we introduce ourselves with our
+// first gossip. Both directions of a pair may dial each other — the extra
+// link is harmless (gossip flows on both, pulls use the bound one).
+func (b *Broker) ConnectPeer(addr string) error {
+	if b.opts.ShardID == 0 {
+		return errors.New("broker: ConnectPeer requires Options.ShardID")
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("broker: dial peer %s: %w", addr, err)
+	}
+	conn := wire.NewConn(nc)
+	conn.NoCoalesce = b.opts.NoCoalesce
+	conn.ReadTimeout = 30 * time.Second
+	hello := &wire.Hello{Version: wire.ProtocolVersion, Role: wire.RolePeer,
+		Name: fmt.Sprintf("shard-%d", b.opts.ShardID), Caps: wire.CapFlagsTail}
+	if err := conn.Send(hello); err != nil {
+		nc.Close()
+		return fmt.Errorf("broker: peer handshake %s: %w", addr, err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		nc.Close()
+		return fmt.Errorf("broker: peer handshake %s: %w", addr, err)
+	}
+	w, ok := msg.(*wire.Welcome)
+	if !ok {
+		nc.Close()
+		if e, isErr := msg.(*wire.ErrorMsg); isErr {
+			return fmt.Errorf("broker: peer %s refused: %s", addr, e.Msg)
+		}
+		return fmt.Errorf("broker: peer %s sent %s, want welcome", addr, msg.Type())
+	}
+
+	ps := &peerState{
+		id:    w.ID,
+		out:   make(chan wire.Message, sendQueueDepth),
+		nc:    nc,
+		label: fmt.Sprintf("peer shard %d", w.ID),
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		nc.Close()
+		return errors.New("broker: closed")
+	}
+	b.links[ps] = true
+	b.bindPeerLocked(ps, w.ID)
+	b.mu.Unlock()
+
+	b.wg.Add(2)
+	go func() {
+		defer b.wg.Done()
+		b.writerLoop(conn, ps.out, nc)
+	}()
+	go func() {
+		defer b.wg.Done()
+		defer nc.Close()
+		b.runPeerLoop(conn, ps)
+		close(ps.out)
+	}()
+
+	// Introduce ourselves immediately so the remote can bind the link
+	// before its next gossip tick.
+	b.mu.Lock()
+	b.enqueue(ps.out, b.gossipMsgLocked(), nc, &ps.dropWarned, ps.label)
+	b.mu.Unlock()
+	b.logf("broker: shard %d peered with shard %d at %s", b.opts.ShardID, w.ID, addr)
+	return nil
+}
+
+// servePeer handles an inbound peer connection (post-handshake).
+func (b *Broker) servePeer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) {
+	if b.opts.ShardID == 0 {
+		_ = conn.Send(&wire.ErrorMsg{Code: wire.ErrCodeProtocol, Msg: "broker is not sharded"})
+		return
+	}
+	ps := &peerState{
+		out:   make(chan wire.Message, sendQueueDepth),
+		nc:    nc,
+		label: "peer (unbound)",
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.links[ps] = true
+	b.mu.Unlock()
+
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.writerLoop(conn, ps.out, nc)
+	}()
+	b.enqueue(ps.out, &wire.Welcome{ID: b.opts.ShardID}, nc, &ps.dropWarned, ps.label)
+	b.logf("broker: shard %d accepted peer from %s (%s)", b.opts.ShardID, conn.RemoteAddr(), hello.Name)
+
+	b.runPeerLoop(conn, ps)
+	close(ps.out)
+}
+
+// runPeerLoop is the read loop shared by both link directions. On exit the
+// link is torn down and its outstanding migrations are re-homed.
+func (b *Broker) runPeerLoop(conn *wire.Conn, ps *peerState) {
+	// Gossip is the heartbeat; allow a generous number of missed ticks
+	// before declaring the link dead.
+	conn.ReadTimeout = 10 * b.opts.GossipInterval
+	if conn.ReadTimeout < 2*b.opts.HeartbeatTimeout {
+		conn.ReadTimeout = 2 * b.opts.HeartbeatTimeout
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		switch m := msg.(type) {
+		case *wire.ShardGossip:
+			b.onGossip(ps, m)
+		case *wire.MigrateRequest:
+			b.onMigrateRequest(ps, m)
+		case *wire.MigrateTasklet:
+			b.onMigrateTasklet(ps, m)
+		case *wire.MigrateAck:
+			b.onMigrateAck(ps, m)
+		case *wire.MigrateResult:
+			b.onMigrateResult(m)
+		case *wire.Bye:
+			goto done
+		default:
+			b.logf("broker: %s sent unexpected %s", ps.label, msg.Type())
+			goto done
+		}
+	}
+done:
+	b.mu.Lock()
+	b.removePeerLocked(ps)
+	b.mu.Unlock()
+	b.logf("broker: %s disconnected", ps.label)
+}
+
+// bindPeerLocked names a link with the remote's shard ID. The first bound
+// link for an ID receives pulls; a duplicate link (mutual dial) only takes
+// over once the first is gone.
+func (b *Broker) bindPeerLocked(ps *peerState, id uint64) {
+	if id == 0 || ps.id == id {
+		return
+	}
+	ps.id = id
+	ps.label = fmt.Sprintf("peer shard %d", id)
+	if cur := b.peers[id]; cur == nil || cur.gone {
+		b.peers[id] = ps
+	}
+}
+
+// removePeerLocked tears a link down. If no other link to the same shard
+// survives, tasklets we migrated there are re-submitted locally and
+// tasklets we adopted from it are cancelled (their origin re-runs them).
+func (b *Broker) removePeerLocked(ps *peerState) {
+	if ps.gone {
+		return
+	}
+	ps.gone = true
+	delete(b.links, ps)
+	if ps.id != 0 && b.peers[ps.id] == ps {
+		delete(b.peers, ps.id)
+	}
+	if ps.id == 0 || b.peers[ps.id] != nil {
+		return // never bound, or a duplicate link still serves this shard
+	}
+	var back []migratedRec
+	for tid, rec := range b.migrated {
+		if rec.peer == ps.id {
+			delete(b.migrated, tid)
+			back = append(back, rec)
+		}
+	}
+	for _, rec := range back {
+		b.resubmitMigratedLocked(rec)
+	}
+	dropped := 0
+	for tid, rec := range b.adopted {
+		if rec.peer != ps.id {
+			continue
+		}
+		delete(b.adopted, tid)
+		if ok, fx := b.life.Cancel(tid); ok {
+			dropped++
+			b.applyEffectsLocked(fx)
+		}
+	}
+	if len(back) > 0 || dropped > 0 {
+		b.logf("broker: shard %d link to shard %d lost: re-homed %d migrated, dropped %d adopted",
+			b.opts.ShardID, ps.id, len(back), dropped)
+		b.purgePendingLocked()
+	}
+	b.scheduleLocked()
+}
+
+// resubmitMigratedLocked re-runs a tasklet whose migration failed. The job
+// accounting never noticed the detour: the tasklet gets a fresh ID under
+// the same job slot.
+func (b *Broker) resubmitMigratedLocked(rec migratedRec) {
+	job := b.jobs[rec.t.Job]
+	if job == nil || job.cancelled {
+		return
+	}
+	b.nextTasklet++
+	t := rec.t
+	t.ID = b.nextTasklet
+	job.tasklets = append(job.tasklets, t.ID)
+	var key memo.Key
+	var haveKey bool
+	if b.memoOn {
+		key, haveKey = memo.KeyFor(uint64(t.Program), t.Seed, t.Params)
+	}
+	fx := b.life.Submit(t, key, haveKey)
+	b.applyEffectsLocked(fx)
+	b.scheduleLocked()
+}
+
+// ---------- gossip & pull planning ----------
+
+// gossipLoop emits load gossip on every peer link each interval and plans
+// at most one exchange pull per tick.
+func (b *Broker) gossipLoop() {
+	tick := time.NewTicker(b.opts.GossipInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-b.stop:
+			return
+		}
+		b.gossipTick()
+	}
+}
+
+// gossipMsgLocked samples local load into a ShardGossip frame, refreshing
+// the finalization-rate EWMA as a side effect.
+func (b *Broker) gossipMsgLocked() *wire.ShardGossip {
+	queue := len(b.pending)
+	free := 0
+	if b.index != nil {
+		free = b.index.FreeSlots()
+	} else {
+		for _, p := range b.providers {
+			if p.info.Slots > 0 && p.free > 0 {
+				free += p.free
+			}
+		}
+	}
+	sample := float64(b.finalizedN-b.lastFinal) / b.opts.GossipInterval.Seconds()
+	b.lastFinal = b.finalizedN
+	if !b.exchRateOK {
+		b.exchRate, b.exchRateOK = sample, true
+	} else {
+		b.exchRate = shard.EWMA(b.exchRate, sample)
+	}
+	b.mShardQueue.Set(int64(queue))
+	b.gossipSeq++
+	return &wire.ShardGossip{
+		Shard: b.opts.ShardID, Seq: b.gossipSeq,
+		QueueDepth: queue, FreeSlots: free, Rate: b.exchRate,
+	}
+}
+
+func (b *Broker) gossipTick() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	g := b.gossipMsgLocked()
+	for ps := range b.links {
+		b.enqueue(ps.out, g, ps.nc, &ps.dropWarned, ps.label)
+	}
+
+	var pull *peerState
+	var pullN int
+	if b.opts.Exchange {
+		self := shard.Load{Shard: g.Shard, Queue: g.QueueDepth, Free: g.FreeSlots, Rate: g.Rate}
+		loads := make([]shard.Load, 0, len(b.peers))
+		for _, ps := range b.peers {
+			if !ps.gone && ps.loadOK {
+				loads = append(loads, ps.load)
+			}
+		}
+		if from, n, ok := b.opts.ExchangePolicy.PlanPull(self, loads); ok {
+			if ps := b.peers[from]; ps != nil && !ps.gone {
+				pull, pullN = ps, n
+			}
+		}
+	}
+	if pull != nil {
+		b.mExchRequests.Inc()
+		b.enqueue(pull.out, &wire.MigrateRequest{Shard: b.opts.ShardID, Max: pullN},
+			pull.nc, &pull.dropWarned, pull.label)
+	}
+	b.mu.Unlock()
+}
+
+func (b *Broker) onGossip(ps *peerState, m *wire.ShardGossip) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bindPeerLocked(ps, m.Shard)
+	if m.Seq <= ps.lastSeq {
+		return // stale or duplicate
+	}
+	ps.lastSeq = m.Seq
+	ps.load = shard.Load{Shard: m.Shard, Queue: m.QueueDepth, Free: m.FreeSlots, Rate: m.Rate}
+	ps.loadOK = true
+}
+
+// ---------- migration ----------
+
+// onMigrateRequest answers a peer's pull with queued tasklets, newest
+// first (the back of the queue has waited least; the front is about to
+// place anyway). Only queued work with no attempts in flight and no armed
+// deadline moves; each is cancelled locally before it travels.
+func (b *Broker) onMigrateRequest(ps *peerState, m *wire.MigrateRequest) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bindPeerLocked(ps, m.Shard)
+	if b.closed || ps.gone || m.Shard == 0 {
+		return
+	}
+	lim := m.Max
+	if c := b.opts.ExchangePolicy.MaxPull; lim > c {
+		lim = c
+	}
+	var picked []core.TaskletID
+	taken := map[core.TaskletID]bool{}
+	for i := len(b.pending) - 1; i >= 0 && len(picked) < lim; i-- {
+		tid := b.pending[i]
+		if taken[tid] {
+			continue // voting fan-out queues one entry per replica
+		}
+		t := b.life.Tasklet(tid)
+		if t == nil {
+			continue
+		}
+		if b.deadlines[tid] != nil {
+			continue // the local deadline timer stays authoritative
+		}
+		if len(b.life.AppendActiveProviders(tid, nil)) > 0 {
+			continue // partially in flight (voting); never migrate those
+		}
+		taken[tid] = true
+		picked = append(picked, tid)
+	}
+	if len(picked) == 0 {
+		return
+	}
+	keep := b.pending[:0]
+	for _, tid := range b.pending {
+		if !taken[tid] {
+			keep = append(keep, tid)
+		}
+	}
+	b.pending = keep
+	for _, tid := range picked {
+		t := b.life.Tasklet(tid)
+		if t == nil {
+			continue
+		}
+		// Copy before Cancel: the engine recycles tasklet state.
+		tc := *t
+		if _, fx := b.life.Cancel(tid); fx != nil {
+			b.applyEffectsLocked(fx)
+		}
+		b.migrated[tid] = migratedRec{t: tc, peer: m.Shard}
+		b.enqueue(ps.out, &wire.MigrateTasklet{
+			Origin:      tid,
+			Program:     tc.Program,
+			ProgramData: b.programs[tc.Program],
+			Params:      tc.Params,
+			QoC:         tc.QoC,
+			Fuel:        tc.Fuel,
+			Seed:        tc.Seed,
+		}, ps.nc, &ps.dropWarned, ps.label)
+	}
+	b.mExchMigrated.Add(int64(len(picked)))
+	b.logf("broker: shard %d sent %d queued tasklets to shard %d", b.opts.ShardID, len(picked), m.Shard)
+	b.scheduleLocked()
+}
+
+// onMigrateTasklet adopts a tasklet from a peer: fresh local ID, fresh
+// Submit through this shard's lifecycle engine (memo and coalescing apply
+// in this shard's key space).
+func (b *Broker) onMigrateTasklet(ps *peerState, m *wire.MigrateTasklet) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	reject := func() {
+		b.enqueue(ps.out, &wire.MigrateAck{Shard: b.opts.ShardID, Origin: m.Origin, Accepted: false},
+			ps.nc, &ps.dropWarned, ps.label)
+	}
+	if b.closed || ps.gone || ps.id == 0 {
+		reject()
+		return
+	}
+	if _, ok := b.programs[m.Program]; !ok {
+		if core.HashProgram(m.ProgramData) != m.Program {
+			reject()
+			return
+		}
+		data := make([]byte, len(m.ProgramData))
+		copy(data, m.ProgramData)
+		b.programs[m.Program] = data
+	}
+	b.nextTasklet++
+	t := core.Tasklet{
+		ID: b.nextTasklet, Program: m.Program, Params: m.Params,
+		QoC: m.QoC, Fuel: m.Fuel, Seed: m.Seed, Submitted: time.Now(),
+	}
+	b.adopted[t.ID] = adoptedRec{origin: m.Origin, peer: ps.id}
+	b.mExchAdopted.Inc()
+	// Ack before Submit so the Ack always precedes the MigrateResult a memo
+	// hit would deliver synchronously.
+	b.enqueue(ps.out, &wire.MigrateAck{Shard: b.opts.ShardID, Origin: m.Origin, Accepted: true},
+		ps.nc, &ps.dropWarned, ps.label)
+	var key memo.Key
+	var haveKey bool
+	if b.memoOn {
+		key, haveKey = memo.KeyFor(uint64(t.Program), t.Seed, t.Params)
+	}
+	fx := b.life.Submit(t, key, haveKey)
+	b.applyEffectsLocked(fx)
+	b.scheduleLocked()
+}
+
+// onMigrateAck handles rejections: the origin re-submits locally.
+func (b *Broker) onMigrateAck(ps *peerState, m *wire.MigrateAck) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bindPeerLocked(ps, m.Shard)
+	if m.Accepted {
+		return
+	}
+	rec, ok := b.migrated[m.Origin]
+	if !ok {
+		return
+	}
+	delete(b.migrated, m.Origin)
+	b.resubmitMigratedLocked(rec)
+}
+
+// onMigrateResult feeds a migrated tasklet's final back into the origin
+// shard's normal delivery path under its original job slot.
+func (b *Broker) onMigrateResult(m *wire.MigrateResult) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rec, ok := b.migrated[m.Origin]
+	if !ok {
+		return // job cancelled while the tasklet was away
+	}
+	delete(b.migrated, m.Origin)
+	ef := lifecycle.Effect{
+		Kind:      lifecycle.EffectDeliver,
+		Tasklet:   rec.t.ID,
+		Attempts:  m.Attempts,
+		Submitted: rec.t.Submitted,
+		Final: core.Result{
+			Tasklet: rec.t.ID, Job: rec.t.Job, Index: rec.t.Index,
+			Provider: m.Provider, Status: m.Status, Return: m.Return,
+			Emitted: m.Emitted, FaultCode: m.FaultCode, FaultMsg: m.FaultMsg,
+			Exec: time.Duration(m.ExecNanos),
+		},
+	}
+	b.deliverLocked(&ef)
+}
+
+// returnAdoptedLocked ships an adopted tasklet's final home. Called from
+// deliverLocked, which already consumed the adoption record.
+func (b *Broker) returnAdoptedLocked(rec adoptedRec, ef *lifecycle.Effect) {
+	ps := b.peers[rec.peer]
+	if ps == nil || ps.gone {
+		return // origin gone; it re-homed the tasklet when the link died
+	}
+	final := ef.Final
+	b.enqueue(ps.out, &wire.MigrateResult{
+		Origin:    rec.origin,
+		Status:    final.Status,
+		Return:    final.Return,
+		Emitted:   final.Emitted,
+		FaultCode: final.FaultCode,
+		FaultMsg:  final.FaultMsg,
+		Provider:  final.Provider,
+		Attempts:  ef.Attempts,
+		ExecNanos: int64(final.Exec),
+	}, ps.nc, &ps.dropWarned, ps.label)
+}
+
+// ---------- shard group ----------
+
+// ShardGroup runs N brokers in one process, full-mesh peered, with a
+// consistent-hash ring mapping program hashes to shard addresses. It is
+// the in-process deployment used by tests, benchmarks, and experiment E11;
+// multi-process groups wire the same pieces via the tasklet-broker CLI
+// flags (-shard-id, -peer).
+type ShardGroup struct {
+	ring    *shard.Ring
+	brokers []*Broker
+	addrs   []string
+}
+
+// NewShardGroup creates n brokers from a shared option template; ShardID
+// is assigned 1..n. A nil Metrics keeps per-shard registries separate, and
+// a nil Policy gives each shard its own default policy instance (policies
+// carry mutable state, so sharing one across shards would race).
+func NewShardGroup(n int, opts Options) *ShardGroup {
+	return NewShardGroupWith(n, func(int) Options { return opts })
+}
+
+// NewShardGroupWith creates n brokers, calling mk(i) for shard i's options
+// (its ShardID is overwritten to i+1).
+func NewShardGroupWith(n int, mk func(i int) Options) *ShardGroup {
+	g := &ShardGroup{ring: shard.NewRing(0)}
+	for i := 0; i < n; i++ {
+		o := mk(i)
+		o.ShardID = uint64(i + 1)
+		g.brokers = append(g.brokers, New(o))
+		g.ring.Add(o.ShardID)
+	}
+	return g
+}
+
+// Listen binds every shard and peers them full-mesh. Port 0 gives every
+// shard an ephemeral port; an explicit port gives shard i port+i. It
+// returns the per-shard addresses, index-aligned with shard IDs 1..n.
+func (g *ShardGroup) Listen(addr string) ([]string, error) {
+	host, portStr, splitErr := net.SplitHostPort(addr)
+	port := 0
+	if splitErr == nil {
+		port, _ = strconv.Atoi(portStr)
+	}
+	for i, b := range g.brokers {
+		la := addr
+		if port != 0 && i > 0 {
+			la = net.JoinHostPort(host, strconv.Itoa(port+i))
+		}
+		a, err := b.Listen(la)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.addrs = append(g.addrs, a)
+	}
+	for i := range g.brokers {
+		for j := i + 1; j < len(g.brokers); j++ {
+			if err := g.brokers[i].ConnectPeer(g.addrs[j]); err != nil {
+				g.Close()
+				return nil, err
+			}
+		}
+	}
+	return g.addrs, nil
+}
+
+// AddrFor returns the owning shard's address for a program's bytecode.
+func (g *ShardGroup) AddrFor(program []byte) string {
+	return g.AddrForHash(uint64(core.HashProgram(program)))
+}
+
+// AddrForHash returns the owning shard's address for a program hash.
+func (g *ShardGroup) AddrForHash(h uint64) string {
+	owner, ok := g.ring.Owner(h)
+	if !ok {
+		return ""
+	}
+	return g.addrs[owner-1]
+}
+
+// Addrs returns the per-shard addresses (index i is shard ID i+1).
+func (g *ShardGroup) Addrs() []string { return g.addrs }
+
+// Broker returns shard i's broker (0-based).
+func (g *ShardGroup) Broker(i int) *Broker { return g.brokers[i] }
+
+// Size returns the number of shards.
+func (g *ShardGroup) Size() int { return len(g.brokers) }
+
+// Close shuts every shard down.
+func (g *ShardGroup) Close() error {
+	var first error
+	for _, b := range g.brokers {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

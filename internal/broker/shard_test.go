@@ -1,0 +1,197 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consumer"
+	"repro/internal/provider"
+	"repro/internal/shard"
+)
+
+// slowSrc burns enough interpreter time that queues outlive gossip ticks.
+const slowSrc = `func main(n int) int {
+	var s int = 0;
+	for (var i int = 0; i < 20000; i = i + 1) { s = s + i; }
+	return n * n;
+}`
+
+func shardGroup(t *testing.T, n int, opts Options) (*ShardGroup, []string) {
+	t.Helper()
+	g := NewShardGroup(n, opts)
+	addrs, err := g.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, addrs
+}
+
+func addProvider(t *testing.T, addr string, po provider.Options) *provider.Provider {
+	t.Helper()
+	po.BrokerAddr = addr
+	p, err := provider.Connect(po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func intRows(n int) [][]int64 {
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{int64(i)}
+	}
+	return rows
+}
+
+func checkSquares(t *testing.T, res []consumer.TaskResult, n int) {
+	t.Helper()
+	if len(res) != n {
+		t.Fatalf("got %d results, want %d", len(res), n)
+	}
+	for i, r := range res {
+		if !r.OK() || r.Return.I != int64(i*i) {
+			t.Fatalf("result[%d] = %+v, want %d", i, r, i*i)
+		}
+	}
+}
+
+// TestShardGroupExchangeSmoke is the multi-shard smoke test: two peered
+// shards, all jobs submitted to shard 1 whose only provider is heavily
+// throttled, a fast fleet on shard 2. The exchange must move work over and
+// every tasklet must complete with the right answer.
+func TestShardGroupExchangeSmoke(t *testing.T) {
+	g, addrs := shardGroup(t, 2, Options{
+		Exchange:       true,
+		GossipInterval: 5 * time.Millisecond,
+		ExchangePolicy: shard.Policy{MinGap: 1},
+	})
+	addProvider(t, addrs[0], provider.Options{Slots: 1, Speed: 100, Throttle: 0.05, Name: "slow"})
+	addProvider(t, addrs[1], provider.Options{Slots: 4, Speed: 100, Name: "fast"})
+
+	c, err := consumer.Connect(addrs[0], "skewed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 48
+	job, err := c.Submit(compileJob(t, slowSrc, intRows(n)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Collect(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSquares(t, res, n)
+
+	migrated := g.Broker(0).Metrics().Counter("broker.exchange.migrated").Value()
+	adopted := g.Broker(1).Metrics().Counter("broker.exchange.adopted").Value()
+	requests := g.Broker(1).Metrics().Counter("broker.exchange.requests").Value()
+	t.Logf("migrated=%d adopted=%d requests=%d", migrated, adopted, requests)
+	if migrated == 0 || adopted == 0 {
+		t.Fatalf("exchange moved nothing: migrated=%d adopted=%d", migrated, adopted)
+	}
+	if requests == 0 {
+		t.Fatal("underloaded shard never sent a pull")
+	}
+}
+
+// TestShardGroupSingleShard checks that a 1-shard group behaves like a
+// plain broker: same end-to-end results, zero exchange traffic. (The
+// rigorous event-level differential for the sharded world lives in
+// internal/sim's TestShardedSingleMatchesUnsharded.)
+func TestShardGroupSingleShard(t *testing.T) {
+	g, addrs := shardGroup(t, 1, Options{Exchange: true, GossipInterval: 5 * time.Millisecond})
+	addProvider(t, addrs[0], provider.Options{Slots: 2, Speed: 100, Name: "p"})
+
+	c, err := consumer.Connect(addrs[0], "solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 16
+	job, err := c.Submit(compileJob(t, squareSrc, intRows(n)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Collect(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSquares(t, res, n)
+	if v := g.Broker(0).Metrics().Counter("broker.exchange.migrated").Value(); v != 0 {
+		t.Fatalf("single-shard group migrated %d tasklets", v)
+	}
+}
+
+// TestShardPeerLossResubmit kills the adopting shard mid-exchange: every
+// migrated-but-unfinished tasklet must be re-submitted at its origin and
+// the job must still deliver each result exactly once.
+func TestShardPeerLossResubmit(t *testing.T) {
+	g, addrs := shardGroup(t, 2, Options{
+		Exchange:       true,
+		GossipInterval: 5 * time.Millisecond,
+		ExchangePolicy: shard.Policy{MinGap: 1},
+	})
+	addProvider(t, addrs[0], provider.Options{Slots: 1, Speed: 100, Throttle: 0.2, Name: "origin"})
+	// The adopter is slower still, so adopted work lingers when it dies.
+	addProvider(t, addrs[1], provider.Options{Slots: 2, Speed: 100, Throttle: 0.05, Name: "doomed"})
+
+	c, err := consumer.Connect(addrs[0], "resubmit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 32
+	job, err := c.Submit(compileJob(t, slowSrc, intRows(n)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	migratedC := g.Broker(0).Metrics().Counter("broker.exchange.migrated")
+	deadline := time.Now().Add(10 * time.Second)
+	for migratedC.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no migration happened within 10s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := g.Broker(1).Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := job.Collect(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSquares(t, res, n)
+	t.Logf("migrated=%d before peer loss", migratedC.Value())
+}
+
+// TestShardGroupRouting pins the ring-to-address mapping: stable per
+// program, and every address is a member of the group.
+func TestShardGroupRouting(t *testing.T) {
+	g, addrs := shardGroup(t, 3, Options{GossipInterval: time.Hour})
+	progs := [][]byte{[]byte("prog-a"), []byte("prog-b"), []byte("prog-c"), []byte("prog-d")}
+	for _, p := range progs {
+		a := g.AddrFor(p)
+		if a != g.AddrFor(p) {
+			t.Fatal("routing is not stable")
+		}
+		found := false
+		for _, known := range addrs {
+			if a == known {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("AddrFor returned unknown address %q", a)
+		}
+	}
+}

@@ -105,10 +105,10 @@ func Connect(addr, name string) (*Client, error) {
 		return nil, fmt.Errorf("consumer: handshake: unexpected %s", msg.Type())
 	}
 	c := &Client{
-		conn:         conn,
-		nc:           nc,
-		id:           core.ConsumerID(welcome.ID),
-		jobs:         map[core.JobID]*Job{},
+		conn: conn,
+		nc:   nc,
+		id:   core.ConsumerID(welcome.ID),
+		jobs: map[core.JobID]*Job{},
 		// 1024 in-flight submissions keeps a closed-loop load generator (the
 		// throughput benchmarks drive hundreds of concurrent single-tasklet
 		// jobs) from tripping the unacknowledged-submission limit.

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// e11Config builds the broker-bound sharding scenario: device capacity far
+// exceeds one dispatcher's service rate (50µs of broker CPU per dispatch
+// and per result ≈ 10k tasklets/s per shard against 16k/s of device
+// capacity), so aggregate throughput tracks the number of shards. Load is
+// weak-scaled — tasks ∝ shards — to keep makespans comparable, and the
+// exchange is tuned fine (2ms gossip, small hysteresis gap) relative to
+// the ~100ms runs.
+func e11Config(shards, perShard int, program func(i int) uint64, seed uint64) sim.ShardedConfig {
+	devices := make([]sim.DeviceSpec, 4*shards)
+	for i := range devices {
+		devices[i] = sim.DeviceSpec{Class: core.ClassDesktop, Slots: 4, Speed: 100}
+	}
+	n := perShard * shards
+	tasks := make([]sim.TaskSpec, n)
+	for i := range tasks {
+		tasks[i] = sim.TaskSpec{Fuel: 100_000, Program: program(i)} // 1ms of work each
+	}
+	return sim.ShardedConfig{
+		Base: sim.Config{
+			Devices: devices,
+			Tasks:   tasks,
+			Latency: 100 * time.Microsecond,
+			Seed:    seed,
+		},
+		Shards:         shards,
+		BrokerOverhead: 50 * time.Microsecond,
+		GossipInterval: 2 * time.Millisecond,
+		ExchangePolicy: shard.Policy{MinGap: 4},
+	}
+}
+
+// RunE11 evaluates broker sharding (Figure 10): aggregate saturation
+// throughput versus shard count with consistent-hash routing spreading the
+// programs, and the pull-based work exchange's recovery when every program
+// hashes to one hot shard. Reported throughput is simulated tasklets per
+// simulated second, so it isolates the dispatcher-serialization model from
+// host noise.
+func RunE11(opts Options) (*Result, error) {
+	res := &Result{ID: "E11", Title: Title("e11")}
+
+	shardCounts := []int{1, 2, 4, 8}
+	perShard := 1500
+	if opts.Quick {
+		shardCounts = []int{1, 2, 4}
+		perShard = 600
+	}
+	spread := func(i int) uint64 { return 0xabcd_0000 + uint64(i) }
+	hot := func(int) uint64 { return 0xbeef }
+	tput := func(st *sim.ShardedStats) float64 {
+		return float64(st.Completed) / st.Makespan.Seconds()
+	}
+
+	// Series 1: aggregate throughput vs shard count, balanced routing.
+	scale := &metrics.Series{Name: "tasklets/s (balanced)", XLabel: "shards"}
+	var t1, t4 float64
+	for _, s := range shardCounts {
+		cfg := e11Config(s, perShard, spread, opts.seed())
+		st, err := sim.RunSharded(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if st.Completed != perShard*s {
+			return nil, fmt.Errorf("e11: %d shards completed %d of %d", s, st.Completed, perShard*s)
+		}
+		tp := tput(st)
+		scale.Append(float64(s), tp)
+		if s == 1 {
+			t1 = tp
+		}
+		if s == 4 {
+			t4 = tp
+		}
+		opts.logf("e11: %d shards %.0f tasklets/s", s, tp)
+	}
+	res.Series = append(res.Series, scale)
+
+	// Series 2: fully skewed load (every program hashes to one shard) at
+	// the 4-shard point, exchange off and on, against the balanced run.
+	const skewShards = 4
+	run := func(program func(i int) uint64, exchange bool) (*sim.ShardedStats, error) {
+		cfg := e11Config(skewShards, perShard, program, opts.seed())
+		cfg.Exchange = exchange
+		return sim.RunSharded(cfg)
+	}
+	balanced, err := run(spread, false)
+	if err != nil {
+		return nil, err
+	}
+	skewOff, err := run(hot, false)
+	if err != nil {
+		return nil, err
+	}
+	skewOn, err := run(hot, true)
+	if err != nil {
+		return nil, err
+	}
+	recovery := tput(skewOn) / tput(balanced)
+	opts.logf("e11: skew %.0f/s off, %.0f/s on (recovery %.2f, %d migrated in %d requests)",
+		tput(skewOff), tput(skewOn), recovery, skewOn.Migrated, skewOn.MigrateRequests)
+
+	res.Rows = append(res.Rows,
+		[2]string{"skewed, 4 shards, exchange off", fmt.Sprintf("%.0f tasklets/s", tput(skewOff))},
+		[2]string{"skewed, 4 shards, exchange on", fmt.Sprintf("%.0f tasklets/s", tput(skewOn))},
+		[2]string{"balanced, 4 shards", fmt.Sprintf("%.0f tasklets/s", tput(balanced))},
+		[2]string{"speedup at 4 shards", fmt.Sprintf("%.2fx", t4/t1)},
+		[2]string{"skew recovery (exchange on, vs balanced)", fmt.Sprintf("%.0f%%", 100*recovery)},
+		[2]string{"tasklets migrated", fmt.Sprintf("%d in %d pulls", skewOn.Migrated, skewOn.MigrateRequests)},
+	)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("4 shards deliver %.2fx the 1-shard saturation throughput (dispatcher-bound)", t4/t1),
+		fmt.Sprintf("the work exchange recovers %.0f%% of balanced throughput under full skew", 100*recovery),
+	)
+	if t4 < 3*t1 {
+		return nil, fmt.Errorf("e11: 4-shard speedup %.2fx is under the 3x claim", t4/t1)
+	}
+	if recovery < 0.8 {
+		return nil, fmt.Errorf("e11: exchange recovery %.0f%% is under the 80%% claim", 100*recovery)
+	}
+	return res, nil
+}

@@ -102,6 +102,7 @@ func init() {
 		"e8":  {"Figure 7 — result memoization on Zipf-repeated workloads", RunE8},
 		"e9":  {"Figure 8 — data-plane throughput and p99 vs offered load (coalescing ablation)", RunE9},
 		"e10": {"Figure 9 — placement latency and job throughput vs fleet size (scheduler-index ablation)", RunE10},
+		"e11": {"Figure 10 — broker sharding: aggregate throughput and work-exchange recovery", RunE11},
 	}
 }
 

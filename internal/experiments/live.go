@@ -47,7 +47,7 @@ func newLiveStackCoalesce(nProviders, slots int, noCoalesce bool) (*liveStack, e
 			BrokerAddr: addr, Slots: slots, Speed: 100,
 			Name:        fmt.Sprintf("bench-%d", i),
 			MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
-			NoCoalesce:  noCoalesce,
+			NoCoalesce: noCoalesce,
 		})
 		if err != nil {
 			s.close()

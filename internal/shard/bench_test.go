@@ -1,0 +1,51 @@
+package shard
+
+import "testing"
+
+// BenchmarkRingOwner measures the routing hot path: one Owner lookup on an
+// 8-shard ring (2048 points) per submitted tasklet.
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing(0)
+	for id := uint64(1); id <= 8; id++ {
+		r.Add(id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		owner, _ := r.Owner(uint64(i) * 0x9e3779b97f4a7c15)
+		sink += owner
+	}
+	_ = sink
+}
+
+// BenchmarkRingAdd measures a full membership change (vnode placement plus
+// re-sort) on a 7-shard ring.
+func BenchmarkRingAdd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewRing(0)
+		for id := uint64(1); id <= 8; id++ {
+			r.Add(id)
+		}
+	}
+}
+
+// BenchmarkPlanPull measures one gossip interval's exchange decision
+// against 7 peer snapshots.
+func BenchmarkPlanPull(b *testing.B) {
+	p := Policy{}.Normalize()
+	self := Load{Shard: 1, Queue: 3, Free: 32}
+	peers := make([]Load, 7)
+	for i := range peers {
+		peers[i] = Load{Shard: uint64(i + 2), Queue: 10 * (i + 1), Free: 4}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		_, n, _ := p.PlanPull(self, peers)
+		sink += n
+	}
+	_ = sink
+}

@@ -1,0 +1,97 @@
+package shard
+
+import "testing"
+
+func TestPolicyNormalizeDefaults(t *testing.T) {
+	p := Policy{}.Normalize()
+	if p.Ratio != 2 || p.MinGap != 16 || p.MaxPull != 64 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	custom := Policy{Ratio: 3, MinGap: 4, MaxPull: 8}.Normalize()
+	if custom.Ratio != 3 || custom.MinGap != 4 || custom.MaxPull != 8 {
+		t.Fatalf("explicit fields clobbered: %+v", custom)
+	}
+}
+
+func TestPlanPullPicksMostLoadedPeer(t *testing.T) {
+	p := Policy{MinGap: 8}
+	self := Load{Shard: 1, Queue: 0, Free: 16}
+	peers := []Load{
+		{Shard: 2, Queue: 40},
+		{Shard: 3, Queue: 100},
+		{Shard: 4, Queue: 60},
+	}
+	from, n, ok := p.PlanPull(self, peers)
+	if !ok || from != 3 {
+		t.Fatalf("PlanPull = %d,%d,%v, want peer 3", from, n, ok)
+	}
+	if n != 50 {
+		t.Fatalf("n = %d, want half the gap (50)", n)
+	}
+}
+
+func TestPlanPullHysteresis(t *testing.T) {
+	p := Policy{MinGap: 16}
+	self := Load{Shard: 1, Queue: 0, Free: 8}
+
+	// Gap below MinGap: no pull even though the ratio is satisfied.
+	if _, _, ok := p.PlanPull(self, []Load{{Shard: 2, Queue: 10}}); ok {
+		t.Fatal("pulled over a sub-MinGap imbalance")
+	}
+	// Ratio not met: peer 2× rule blocks near-equal queues.
+	busy := Load{Shard: 1, Queue: 30, Free: 40}
+	if _, _, ok := p.PlanPull(busy, []Load{{Shard: 2, Queue: 50}}); ok {
+		t.Fatal("pulled although peer queue < Ratio×(self+1)")
+	}
+	// Both satisfied: pull happens.
+	if _, n, ok := p.PlanPull(self, []Load{{Shard: 2, Queue: 40}}); !ok || n != 20 {
+		t.Fatalf("expected pull of 20, got %d,%v", n, ok)
+	}
+}
+
+func TestPlanPullRequiresUnderload(t *testing.T) {
+	p := Policy{MinGap: 8}
+	peers := []Load{{Shard: 2, Queue: 500}}
+	// No free slots: pulled work could not launch.
+	if _, _, ok := p.PlanPull(Load{Shard: 1, Queue: 0, Free: 0}, peers); ok {
+		t.Fatal("pulled with zero free slots")
+	}
+	// Queue already covers the free slots.
+	if _, _, ok := p.PlanPull(Load{Shard: 1, Queue: 12, Free: 8}, peers); ok {
+		t.Fatal("pulled with queue ≥ free slots")
+	}
+}
+
+func TestPlanPullCap(t *testing.T) {
+	p := Policy{MinGap: 8, MaxPull: 32}
+	self := Load{Shard: 1, Queue: 0, Free: 64}
+	_, n, ok := p.PlanPull(self, []Load{{Shard: 2, Queue: 10_000}})
+	if !ok || n != 32 {
+		t.Fatalf("n = %d,%v, want MaxPull cap 32", n, ok)
+	}
+}
+
+func TestPlanPullIgnoresSelfAndLighterPeers(t *testing.T) {
+	p := Policy{MinGap: 8}
+	self := Load{Shard: 1, Queue: 2, Free: 16}
+	peers := []Load{
+		{Shard: 1, Queue: 9_999}, // stale self-echo must be skipped
+		{Shard: 2, Queue: 1},
+	}
+	if from, n, ok := p.PlanPull(self, peers); ok {
+		t.Fatalf("unexpected pull %d,%d", from, n)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	v := 100.0
+	for i := 0; i < 50; i++ {
+		v = EWMA(v, 200)
+	}
+	if v < 199 || v > 200 {
+		t.Fatalf("EWMA failed to converge: %f", v)
+	}
+	if got := EWMA(100, 100); got != 100 {
+		t.Fatalf("EWMA(100,100) = %f", got)
+	}
+}

@@ -1,0 +1,158 @@
+package shard
+
+import "testing"
+
+// keysFor distributes k synthetic routing keys and tallies owners.
+func keysFor(r *Ring, k int) map[uint64]int {
+	counts := make(map[uint64]int)
+	for i := 0; i < k; i++ {
+		owner, ok := r.Owner(uint64(i)*0x9e3779b97f4a7c15 + 1)
+		if !ok {
+			panic("empty ring")
+		}
+		counts[owner]++
+	}
+	return counts
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing(0)
+	b := NewRing(0)
+	for id := uint64(1); id <= 4; id++ {
+		a.Add(id)
+		b.Add(id)
+	}
+	for i := 0; i < 1000; i++ {
+		key := uint64(i) * 7919
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("key %d: ring A gives %d, ring B gives %d", key, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner(42); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+	r.Add(3)
+	r.Add(1)
+	r.Add(3) // duplicate add is a no-op
+	if got := r.Size(); got != 2 {
+		t.Fatalf("Size = %d, want 2", got)
+	}
+	m := r.Members()
+	if len(m) != 2 || m[0] != 1 || m[1] != 3 {
+		t.Fatalf("Members = %v, want [1 3]", m)
+	}
+	r.Remove(1)
+	r.Remove(99) // absent remove is a no-op
+	if owner, ok := r.Owner(42); !ok || owner != 3 {
+		t.Fatalf("Owner after removals = %d,%v, want 3,true", owner, ok)
+	}
+}
+
+// TestRingDistributionUniform bounds the χ² statistic of the key
+// distribution over 8 shards. With 256 vnodes/shard the relative per-shard
+// imbalance is ~1/sqrt(256) ≈ 6%; for K=100k keys that puts the expected
+// χ² (df=7) in the low hundreds. The hash is deterministic, so this is a
+// regression pin with headroom, not a statistical sample: the bound of
+// 1200 corresponds to a ~12% relative stddev, double the design point.
+func TestRingDistributionUniform(t *testing.T) {
+	const shards, keys = 8, 100_000
+	r := NewRing(0)
+	for id := uint64(1); id <= shards; id++ {
+		r.Add(id)
+	}
+	counts := keysFor(r, keys)
+	expected := float64(keys) / shards
+	var chi2 float64
+	for id := uint64(1); id <= shards; id++ {
+		d := float64(counts[id]) - expected
+		chi2 += d * d / expected
+	}
+	t.Logf("counts=%v chi2=%.1f", counts, chi2)
+	if chi2 > 1200 {
+		t.Fatalf("χ² = %.1f exceeds uniformity bound 1200 (counts %v)", chi2, counts)
+	}
+	// No shard may be starved or doubled relative to the mean.
+	for id := uint64(1); id <= shards; id++ {
+		ratio := float64(counts[id]) / expected
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Fatalf("shard %d holds %.0f%% of expected load", id, 100*ratio)
+		}
+	}
+}
+
+// TestRingBoundedRemapOnJoin verifies the consistent-hashing contract: when
+// shard N+1 joins an N-shard ring, every remapped key moves to the joining
+// shard (nothing shuffles between survivors), and the moved fraction is
+// close to the ideal K/(N+1).
+func TestRingBoundedRemapOnJoin(t *testing.T) {
+	const shards, keys = 4, 50_000
+	r := NewRing(0)
+	for id := uint64(1); id <= shards; id++ {
+		r.Add(id)
+	}
+	before := make([]uint64, keys)
+	for i := 0; i < keys; i++ {
+		before[i], _ = r.Owner(uint64(i)*0x9e3779b97f4a7c15 + 1)
+	}
+	r.Add(shards + 1)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		after, _ := r.Owner(uint64(i)*0x9e3779b97f4a7c15 + 1)
+		if after == before[i] {
+			continue
+		}
+		if after != shards+1 {
+			t.Fatalf("key %d moved %d→%d instead of to the joining shard", i, before[i], after)
+		}
+		moved++
+	}
+	ideal := keys / (shards + 1)
+	t.Logf("moved %d keys (ideal %d)", moved, ideal)
+	if moved == 0 {
+		t.Fatal("join moved no keys")
+	}
+	if moved > ideal*3/2 {
+		t.Fatalf("join remapped %d keys, more than 1.5× the ideal %d", moved, ideal)
+	}
+}
+
+// TestRingBoundedRemapOnLeave is the converse: a leaving shard's keys
+// scatter over the survivors, and no key owned by a survivor moves.
+func TestRingBoundedRemapOnLeave(t *testing.T) {
+	const shards, keys = 5, 50_000
+	r := NewRing(0)
+	for id := uint64(1); id <= shards; id++ {
+		r.Add(id)
+	}
+	const leaving = 3
+	before := make([]uint64, keys)
+	for i := 0; i < keys; i++ {
+		before[i], _ = r.Owner(uint64(i)*0x9e3779b97f4a7c15 + 1)
+	}
+	r.Remove(leaving)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		after, _ := r.Owner(uint64(i)*0x9e3779b97f4a7c15 + 1)
+		if before[i] != leaving {
+			if after != before[i] {
+				t.Fatalf("survivor-owned key %d moved %d→%d on unrelated leave", i, before[i], after)
+			}
+			continue
+		}
+		if after == leaving {
+			t.Fatalf("key %d still owned by removed shard", i)
+		}
+		moved++
+	}
+	ideal := keys / shards
+	t.Logf("moved %d keys (ideal %d)", moved, ideal)
+	if moved > ideal*3/2 {
+		t.Fatalf("leave remapped %d keys, more than 1.5× the ideal %d", moved, ideal)
+	}
+}

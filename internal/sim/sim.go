@@ -52,6 +52,10 @@ type TaskSpec struct {
 	// content (never memoized). A correct execution of a keyed tasklet
 	// returns Int(Key), so repeats are bit-identical, as purity guarantees.
 	Key uint64
+	// Program is the tasklet's program hash, used only by the sharded
+	// simulator as the consistent-hash routing key (RunSharded). Zero falls
+	// back to Key, then to a per-task spread. Single-shard Run ignores it.
+	Program uint64
 }
 
 // Config is a complete simulation scenario.
@@ -192,11 +196,20 @@ type sim struct {
 	cands []scheduler.Candidate
 
 	stats      Stats
-	latency    metrics.Histogram
-	queueDelay metrics.Histogram
+	latency    *metrics.Histogram
+	queueDelay *metrics.Histogram
 	lastDone   time.Duration
 	firstArr   time.Duration
 	remaining  int
+
+	// overhead models the broker dispatcher's serialized CPU cost per
+	// placement dispatch and per result processed; busyUntil is the virtual
+	// time the dispatcher frees up. Zero overhead (plain Run) adds no events
+	// and no delay, keeping single-broker behavior bit-identical. The
+	// sharded simulator sets it so that splitting one dispatcher into N
+	// actually buys throughput (see sharded.go).
+	overhead  time.Duration
+	busyUntil time.Duration
 }
 
 type pendingEntry struct {
@@ -204,13 +217,13 @@ type pendingEntry struct {
 	since   time.Duration
 }
 
-// Run executes the scenario and returns its statistics.
-func Run(cfg Config) (*Stats, error) {
+// normalize fills Config defaults shared by Run and RunSharded.
+func (cfg Config) normalize() (Config, error) {
 	if len(cfg.Devices) == 0 {
-		return nil, errors.New("sim: no devices")
+		return cfg, errors.New("sim: no devices")
 	}
 	if len(cfg.Tasks) == 0 {
-		return nil, errors.New("sim: no tasks")
+		return cfg, errors.New("sim: no tasks")
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = scheduler.NewWorkSteal()
@@ -221,11 +234,21 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.MaxTime <= 0 {
 		cfg.MaxTime = 24 * time.Hour
 	}
+	return cfg, nil
+}
 
+// newSim builds one broker world — lifecycle engine, memo, devices, index —
+// on the given event engine. Run uses exactly one; RunSharded builds one
+// per shard over a shared engine. cfg must be normalized and its Devices
+// are this world's devices only (Tasks stays the full list: shards need
+// arrival/key lookups for any task index that migrates to them).
+func newSim(cfg Config, eng *engine) *sim {
 	s := &sim{
-		cfg:     cfg,
-		eng:     newEngine(cfg.Seed),
-		attempt: map[core.AttemptID]*attemptRec{},
+		cfg:        cfg,
+		eng:        eng,
+		attempt:    map[core.AttemptID]*attemptRec{},
+		latency:    &metrics.Histogram{},
+		queueDelay: &metrics.Histogram{},
 	}
 	var opts lifecycle.Options
 	opts.MaxAttempts = cfg.MaxAttempts
@@ -276,8 +299,17 @@ func Run(cfg Config) (*Stats, error) {
 	s.stats.BusyTime = make([]time.Duration, len(s.devices))
 	s.stats.DeviceExecuted = make([]int, len(s.devices))
 	s.stats.Finals = make([]core.Result, len(cfg.Tasks))
-
 	s.firstArr = time.Duration(-1)
+	return s
+}
+
+// Run executes the scenario and returns its statistics.
+func Run(cfg Config) (*Stats, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	s := newSim(cfg, newEngine(cfg.Seed))
 	s.remaining = len(cfg.Tasks)
 	for i, tspec := range cfg.Tasks {
 		fuel := tspec.Fuel
@@ -511,7 +543,25 @@ func (s *sim) launch(t *core.Tasklet, dev *deviceState) {
 
 	exec := execTime(t.Fuel, dev.info.Speed)
 	total := 2*s.cfg.Latency + exec
+	// The dispatch itself consumes serialized broker CPU before the Assign
+	// leaves the broker (no-op when the overhead model is off).
+	total += s.gate()
 	s.eng.after(total, func() { s.onComplete(rec, exec) })
+}
+
+// gate charges one dispatcher operation against the broker-CPU model and
+// returns how long the caller must wait for its turn. With no overhead
+// configured it returns 0 without touching any state.
+func (s *sim) gate() time.Duration {
+	if s.overhead <= 0 {
+		return 0
+	}
+	start := s.busyUntil
+	if start < s.eng.now {
+		start = s.eng.now
+	}
+	s.busyUntil = start + s.overhead
+	return s.busyUntil - s.eng.now
 }
 
 // execTime converts fuel to wall time at the given speed.
@@ -523,10 +573,24 @@ func execTime(fuel uint64, mopsPerSec float64) time.Duration {
 }
 
 // onComplete fires when an attempt's result would arrive at the broker.
+// Result processing consumes serialized broker CPU: under the overhead
+// model the booking is deferred until the dispatcher frees up, otherwise it
+// runs inline (no extra event, keeping plain Run bit-identical).
 func (s *sim) onComplete(rec *attemptRec, exec time.Duration) {
+	if rec.finished || s.devices[rec.device].epoch != rec.epoch {
+		return // device died mid-execution; loss handled by detection
+	}
+	if d := s.gate(); d > 0 {
+		s.eng.after(d, func() { s.completeReady(rec, exec) })
+		return
+	}
+	s.completeReady(rec, exec)
+}
+
+func (s *sim) completeReady(rec *attemptRec, exec time.Duration) {
 	dev := s.devices[rec.device]
 	if rec.finished || dev.epoch != rec.epoch {
-		return // device died mid-execution; loss handled by detection
+		return // device died while the result sat in the dispatcher queue
 	}
 	rec.finished = true
 	delete(s.attempt, rec.id)

@@ -75,6 +75,35 @@ func allMessages() []Message {
 			},
 			Pending: 7,
 		},
+		&Hello{Version: ProtocolVersion, Role: RolePeer, Name: "shard-2"},
+		&ShardGossip{Shard: 2, Seq: 41, QueueDepth: 120, FreeSlots: 3, Rate: 812.5},
+		&MigrateRequest{Shard: 1, Max: 32},
+		&MigrateTasklet{
+			Origin: 55, Program: 77,
+			ProgramData: []byte{1, 2, 3},
+			Params:      []tvm.Value{tvm.Int(9), tvm.Str("k")},
+			QoC: core.QoC{
+				Mode: core.QoCVoting, Replicas: 3, MaxRetries: 2,
+				Deadline: time.Second, PreferFast: true, NoCache: true,
+			},
+			Fuel: 5000, Seed: 11,
+		},
+		&MigrateTasklet{Origin: 56, Program: 77, ProgramData: []byte{}, Params: []tvm.Value{}},
+		&MigrateAck{Shard: 2, Origin: 55, Accepted: true},
+		&MigrateAck{Shard: 2, Origin: 56},
+		&MigrateResult{
+			Origin: 55, Status: core.StatusOK,
+			Return:   tvm.Int(81),
+			Emitted:  []tvm.Value{tvm.Str("log")},
+			Provider: 4, Attempts: 1, ExecNanos: 4242,
+		},
+		&MigrateResult{
+			Origin: 56, Status: core.StatusFault,
+			Return:    tvm.Nil(),
+			Emitted:   []tvm.Value{},
+			FaultCode: tvm.FaultOutOfFuel, FaultMsg: "budget exhausted",
+			Attempts: 3,
+		},
 	}
 }
 

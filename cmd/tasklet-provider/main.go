@@ -9,9 +9,10 @@
 //
 // Against a sharded broker group, pass a comma-separated address list to
 // multi-home: the provider registers with every listed shard, splitting
-// its slot budget evenly so total concurrency is unchanged:
+// its slot budget so total concurrency is unchanged (any remainder goes to
+// the first shards in the list; more shards than slots is an error):
 //
-//	tasklet-provider -broker host:7420,host:7421 -slots 4      # 2 slots per shard
+//	tasklet-provider -broker host:7420,host:7421 -slots 5      # 3 + 2 slots
 package main
 
 import (
@@ -67,19 +68,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "no broker address given")
 		os.Exit(2)
 	}
-	// Multi-homing splits the slot budget so total concurrency matches
-	// -slots regardless of how many shards share this machine.
-	perHome := *slots / len(addrs)
-	if perHome < 1 {
-		perHome = 1
+	if *slots < 1 {
+		fmt.Fprintln(os.Stderr, "-slots must be at least 1")
+		os.Exit(2)
 	}
+	if len(addrs) > *slots {
+		fmt.Fprintf(os.Stderr, "-slots %d cannot cover %d brokers (each home needs at least one slot); raise -slots or list fewer brokers\n",
+			*slots, len(addrs))
+		os.Exit(2)
+	}
+	// Multi-homing splits the slot budget so total concurrency matches
+	// -slots exactly: every home gets the base share and the first
+	// slots%len(addrs) homes absorb the remainder.
+	base, rem := *slots/len(addrs), *slots%len(addrs)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 
-	for _, addr := range addrs {
+	for i, addr := range addrs {
+		perHome := base
+		if i < rem {
+			perHome++
+		}
 		opts := provider.Options{
 			BrokerAddr: addr,
 			Slots:      perHome,

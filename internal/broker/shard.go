@@ -59,10 +59,14 @@ type peerState struct {
 }
 
 // migratedRec remembers a tasklet handed to a peer: the full tasklet for a
-// local re-Submit on rejection or peer loss, and the peer it went to.
+// local re-Submit on rejection or peer loss, the peer it went to, and the
+// exact link its MigrateTasklet frame was queued on. With mutual dial two
+// links per pair exist, so re-homing keys off the link, not the shard ID:
+// a frame queued on a dying link is lost even when a sibling link survives.
 type migratedRec struct {
 	t    core.Tasklet
 	peer uint64
+	link *peerState
 }
 
 // adoptedRec maps a locally re-submitted tasklet back to its origin.
@@ -227,9 +231,14 @@ func (b *Broker) bindPeerLocked(ps *peerState, id uint64) {
 	}
 }
 
-// removePeerLocked tears a link down. If no other link to the same shard
-// survives, tasklets we migrated there are re-submitted locally and
-// tasklets we adopted from it are cancelled (their origin re-runs them).
+// removePeerLocked tears a link down. Tasklets whose MigrateTasklet frames
+// travelled on this link are re-submitted locally no matter what: with
+// mutual dial a sibling link to the same shard may survive, but frames
+// queued on the dead link are gone with it. Re-homing is safe even when
+// the peer did adopt the tasklet — deleting the record here dedups its
+// late MigrateResult, so the worst case is wasted duplicate execution.
+// Adopted tasklets are only cancelled once the last link to their origin
+// is gone (the origin re-runs them when its own sending link died).
 func (b *Broker) removePeerLocked(ps *peerState) {
 	if ps.gone {
 		return
@@ -239,12 +248,9 @@ func (b *Broker) removePeerLocked(ps *peerState) {
 	if ps.id != 0 && b.peers[ps.id] == ps {
 		delete(b.peers, ps.id)
 	}
-	if ps.id == 0 || b.peers[ps.id] != nil {
-		return // never bound, or a duplicate link still serves this shard
-	}
 	var back []migratedRec
 	for tid, rec := range b.migrated {
-		if rec.peer == ps.id {
+		if rec.link == ps {
 			delete(b.migrated, tid)
 			back = append(back, rec)
 		}
@@ -253,14 +259,31 @@ func (b *Broker) removePeerLocked(ps *peerState) {
 		b.resubmitMigratedLocked(rec)
 	}
 	dropped := 0
-	for tid, rec := range b.adopted {
-		if rec.peer != ps.id {
-			continue
+	if ps.id != 0 {
+		// Promote a surviving sibling link (mutual dial) so pulls and
+		// MigrateResults keep flowing without waiting for its next gossip.
+		var sibling *peerState
+		for l := range b.links {
+			if l.id == ps.id && !l.gone {
+				sibling = l
+				break
+			}
 		}
-		delete(b.adopted, tid)
-		if ok, fx := b.life.Cancel(tid); ok {
-			dropped++
-			b.applyEffectsLocked(fx)
+		if sibling != nil {
+			if b.peers[ps.id] == nil {
+				b.peers[ps.id] = sibling
+			}
+		} else {
+			for tid, rec := range b.adopted {
+				if rec.peer != ps.id {
+					continue
+				}
+				delete(b.adopted, tid)
+				if ok, fx := b.life.Cancel(tid); ok {
+					dropped++
+					b.applyEffectsLocked(fx)
+				}
+			}
 		}
 	}
 	if len(back) > 0 || dropped > 0 {
@@ -277,6 +300,12 @@ func (b *Broker) removePeerLocked(ps *peerState) {
 func (b *Broker) resubmitMigratedLocked(rec migratedRec) {
 	job := b.jobs[rec.t.Job]
 	if job == nil || job.cancelled {
+		// Job cancellation deletes its migrated records, so a live record
+		// pointing at a dead job means accounting went wrong somewhere —
+		// say so instead of losing the tasklet silently.
+		if job == nil {
+			b.logf("broker: dropping re-homed tasklet %d: job %d unknown", rec.t.ID, rec.t.Job)
+		}
 		return
 	}
 	b.nextTasklet++
@@ -417,6 +446,12 @@ func (b *Broker) onMigrateRequest(ps *peerState, m *wire.MigrateRequest) {
 		if b.deadlines[tid] != nil {
 			continue // the local deadline timer stays authoritative
 		}
+		if _, isAdopted := b.adopted[tid]; isAdopted {
+			// Adopted work never re-migrates: its only job accounting lives
+			// at the origin shard, so a failed onward hop could not be
+			// re-submitted here (no local job record to hang it on).
+			continue
+		}
 		if len(b.life.AppendActiveProviders(tid, nil)) > 0 {
 			continue // partially in flight (voting); never migrate those
 		}
@@ -443,7 +478,7 @@ func (b *Broker) onMigrateRequest(ps *peerState, m *wire.MigrateRequest) {
 		if _, fx := b.life.Cancel(tid); fx != nil {
 			b.applyEffectsLocked(fx)
 		}
-		b.migrated[tid] = migratedRec{t: tc, peer: m.Shard}
+		b.migrated[tid] = migratedRec{t: tc, peer: m.Shard, link: ps}
 		b.enqueue(ps.out, &wire.MigrateTasklet{
 			Origin:      tid,
 			Program:     tc.Program,

@@ -1,12 +1,16 @@
 package broker
 
 import (
+	"net"
 	"testing"
 	"time"
 
 	"repro/internal/consumer"
+	"repro/internal/core"
 	"repro/internal/provider"
 	"repro/internal/shard"
+	"repro/internal/tvm"
+	"repro/internal/wire"
 )
 
 // slowSrc burns enough interpreter time that queues outlive gossip ticks.
@@ -172,6 +176,120 @@ func TestShardPeerLossResubmit(t *testing.T) {
 	}
 	checkSquares(t, res, n)
 	t.Logf("migrated=%d before peer loss", migratedC.Value())
+}
+
+// fakePeer builds an in-memory peer link (a net.Pipe end, no wire loop).
+// The buffered out channel absorbs every frame a test provokes.
+func fakePeer(t *testing.T, id uint64) *peerState {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	return &peerState{id: id, out: make(chan wire.Message, 32),
+		nc: c1, label: "fake peer"}
+}
+
+// TestMigrateRequestSkipsAdopted: work adopted from one peer must never be
+// offered onward to another. An adopted tasklet's job accounting lives at
+// its origin shard (local Job is 0), so a failed second hop could not be
+// re-submitted here and the tasklet would be lost.
+func TestMigrateRequestSkipsAdopted(t *testing.T) {
+	b := New(Options{ShardID: 1, Exchange: true, GossipInterval: time.Hour})
+	defer b.Close()
+
+	src := fakePeer(t, 2)
+	b.mu.Lock()
+	b.links[src] = true
+	b.peers[2] = src
+	b.mu.Unlock()
+
+	prog := []byte("adopted-program")
+	b.onMigrateTasklet(src, &wire.MigrateTasklet{
+		Origin:      77,
+		Program:     core.HashProgram(prog),
+		ProgramData: prog,
+		Params:      []tvm.Value{tvm.Int(3)},
+		Fuel:        1 << 20,
+	})
+	b.mu.Lock()
+	nAdopted, nPending := len(b.adopted), len(b.pending)
+	b.mu.Unlock()
+	if nAdopted != 1 || nPending != 1 {
+		t.Fatalf("adoption setup: adopted=%d pending=%d, want 1 and 1", nAdopted, nPending)
+	}
+
+	third := fakePeer(t, 3)
+	b.mu.Lock()
+	b.links[third] = true
+	b.peers[3] = third
+	b.mu.Unlock()
+	b.onMigrateRequest(third, &wire.MigrateRequest{Shard: 3, Max: 8})
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.migrated) != 0 {
+		t.Fatalf("adopted tasklet was re-migrated: %d migrated records", len(b.migrated))
+	}
+	if len(b.adopted) != 1 || len(b.pending) != 1 {
+		t.Fatalf("adoption disturbed: adopted=%d pending=%d", len(b.adopted), len(b.pending))
+	}
+	select {
+	case m := <-third.out:
+		t.Fatalf("shard 3 was offered %s for adopted work", m.Type())
+	default:
+	}
+}
+
+// TestDuplicateLinkDeathRehomesMigrated: with mutual dial two links to the
+// same shard exist and MigrateTasklet frames can travel on either. When
+// the link that carried a migration dies, its record must be re-homed even
+// though the sibling link survives — frames queued on the dead link are
+// gone with it.
+func TestDuplicateLinkDeathRehomesMigrated(t *testing.T) {
+	b := New(Options{ShardID: 1, Exchange: true, GossipInterval: time.Hour})
+	defer b.Close()
+
+	bound, dup := fakePeer(t, 2), fakePeer(t, 2)
+	prog := []byte("migrated-program")
+	pid := core.HashProgram(prog)
+
+	b.mu.Lock()
+	b.links[bound] = true
+	b.peers[2] = bound
+	b.links[dup] = true
+	b.programs[pid] = prog
+	job := &jobState{id: 9, consumer: 1, total: 1, tasklets: []core.TaskletID{5}}
+	b.jobs[9] = job
+	tk := core.Tasklet{ID: 5, Job: 9, Program: pid,
+		Params: []tvm.Value{tvm.Int(1)}, Fuel: 1 << 20, Submitted: time.Now()}
+	b.migrated[tk.ID] = migratedRec{t: tk, peer: 2, link: dup}
+
+	b.removePeerLocked(dup)
+
+	if len(b.migrated) != 0 {
+		t.Fatalf("migration on dead duplicate link not re-homed: %d records left", len(b.migrated))
+	}
+	if len(b.pending) != 1 {
+		t.Fatalf("re-homed tasklet not re-queued: pending=%d", len(b.pending))
+	}
+	if len(job.tasklets) != 2 {
+		t.Fatalf("re-submit did not extend the job slot list: %v", job.tasklets)
+	}
+	if b.peers[2] != bound {
+		t.Fatalf("bound link displaced by duplicate's death")
+	}
+	b.mu.Unlock()
+
+	// The bound link dying too must promote nothing (no siblings left) and
+	// leave the re-homed record alone — it now belongs to no peer.
+	b.mu.Lock()
+	b.removePeerLocked(bound)
+	if b.peers[2] != nil {
+		t.Fatalf("dead shard still has a bound link")
+	}
+	if len(b.pending) != 1 {
+		t.Fatalf("second link death disturbed the re-homed tasklet: pending=%d", len(b.pending))
+	}
+	b.mu.Unlock()
 }
 
 // TestShardGroupRouting pins the ring-to-address mapping: stable per

@@ -27,6 +27,9 @@ check:
 	# least one migration and every job completing (also part of the suite
 	# above; kept explicit so sharding regressions fail loudly).
 	$(GO) test -race -run 'TestShardGroupExchangeSmoke' -count 1 ./internal/broker/
+	# Batching smoke under race: the batched control plane (the default) and
+	# its -no-batch ablation must stay bit-identical, live and sharded.
+	$(GO) test -race -run 'TestDifferentialBatching' -count 1 ./internal/broker/
 
 # bench runs the headline benchmarks with allocation reporting: interpreter
 # hot paths, the broker data-plane throughput pair (coalescing on/off), and
@@ -35,8 +38,8 @@ check:
 # BENCH_PR2.json / BENCH_PR3.json regenerate via
 # `go run ./cmd/tasklet-bench -exp e8|e9 -json <file>`.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkVM_|BenchmarkE1_SpinVM|BenchmarkAblation_Optimize|BenchmarkAblation_Memo|BenchmarkBrokerThroughput|BenchmarkAblation_Coalesce' -benchmem .
-	$(GO) test -run XXX -bench 'BenchmarkConnSend|BenchmarkLegacySend' -benchmem ./internal/wire/
+	$(GO) test -run XXX -bench 'BenchmarkVM_|BenchmarkE1_SpinVM|BenchmarkAblation_Optimize|BenchmarkAblation_Memo|BenchmarkBrokerThroughput|BenchmarkAblation_Coalesce|BenchmarkAblation_Batch' -benchmem .
+	$(GO) test -run XXX -bench 'BenchmarkConnSend|BenchmarkLegacySend|BenchmarkBatch' -benchmem ./internal/wire/
 	$(GO) test -run XXX -bench BenchmarkSchedulerPick -benchmem ./internal/scheduler/
 	$(GO) test -run XXX -bench BenchmarkBrokerPlacement -benchmem ./internal/broker/
 	$(GO) test -run XXX -bench BenchmarkLifecycleEngine -benchmem ./internal/lifecycle/

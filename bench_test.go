@@ -479,14 +479,17 @@ func BenchmarkAblation_MemoOff(b *testing.B) { benchAblationMemo(b, false) }
 // noop job per iteration, so the broker handles bursts of assigns and result
 // pushes on every connection. The coalescing ablation pair below toggles
 // write coalescing (broker writer batching + wire flush policy) — the frame
-// bytes are identical either way, only syscall boundaries move.
-func benchBrokerThroughput(b *testing.B, noCoalesce bool) {
+// bytes are identical either way, only syscall boundaries move. The batching
+// ablation pair toggles the batch frames themselves (AssignBatch /
+// AttemptResultBatch / ResultPushBatch and the bulk lifecycle ingest):
+// batch-off pays one frame and one broker lock acquisition per attempt.
+func benchBrokerThroughput(b *testing.B, noCoalesce, noBatch bool) {
 	const nConsumers, nProviders, perJob = 4, 4, 256
 	// Memo off at both tiers: repeated identical noop tasklets must traverse
 	// the full data plane every iteration.
 	br := broker.New(broker.Options{
 		MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
-		NoCoalesce: noCoalesce,
+		NoCoalesce: noCoalesce, NoBatch: noBatch,
 	})
 	defer br.Close()
 	addr, err := br.Listen("127.0.0.1:0")
@@ -497,7 +500,7 @@ func benchBrokerThroughput(b *testing.B, noCoalesce bool) {
 		p, err := provider.Connect(provider.Options{
 			BrokerAddr: addr, Slots: 8, Speed: 100,
 			MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
-			NoCoalesce: noCoalesce,
+			NoCoalesce: noCoalesce, NoBatch: noBatch,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -519,6 +522,7 @@ func benchBrokerThroughput(b *testing.B, noCoalesce bool) {
 	}
 	params := make([][]tvm.Value, perJob)
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		errs := make(chan error, nConsumers)
@@ -552,9 +556,11 @@ func benchBrokerThroughput(b *testing.B, noCoalesce bool) {
 	b.ReportMetric(float64(nConsumers*perJob*b.N)/b.Elapsed().Seconds(), "tasklets/s")
 }
 
-func BenchmarkBrokerThroughput(b *testing.B)     { benchBrokerThroughput(b, false) }
-func BenchmarkAblation_CoalesceOn(b *testing.B)  { benchBrokerThroughput(b, false) }
-func BenchmarkAblation_CoalesceOff(b *testing.B) { benchBrokerThroughput(b, true) }
+func BenchmarkBrokerThroughput(b *testing.B)     { benchBrokerThroughput(b, false, false) }
+func BenchmarkAblation_CoalesceOn(b *testing.B)  { benchBrokerThroughput(b, false, false) }
+func BenchmarkAblation_CoalesceOff(b *testing.B) { benchBrokerThroughput(b, true, false) }
+func BenchmarkAblation_BatchOn(b *testing.B)     { benchBrokerThroughput(b, false, false) }
+func BenchmarkAblation_BatchOff(b *testing.B)    { benchBrokerThroughput(b, false, true) }
 
 // benchStack is a minimal live stack helper for ablation benches.
 type benchStack struct {

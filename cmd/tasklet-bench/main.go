@@ -1,5 +1,5 @@
 // Command tasklet-bench regenerates the paper's evaluation: every table and
-// figure has an experiment (e1–e10; see DESIGN.md §4) whose rows/series this
+// figure has an experiment (e1–e12; see DESIGN.md §4) whose rows/series this
 // tool prints.
 //
 // Usage:
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e11) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e12) or 'all'")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	quiet := flag.Bool("q", false, "suppress progress logs")

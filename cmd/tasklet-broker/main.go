@@ -42,6 +42,8 @@ func main() {
 		"base delay before re-issuing a lost attempt, doubling per re-issue (0 = immediate)")
 	noCoalesce := flag.Bool("no-coalesce", false,
 		"disable write coalescing (flush every frame individually; ablation/debugging)")
+	noBatch := flag.Bool("no-batch", false,
+		"disable batch frames (one Assign/ResultPush per attempt even to batch-capable peers; ablation/debugging)")
 	noIndex := flag.Bool("no-index", false,
 		"disable the incremental scheduler index (full-scan placement; ablation/debugging)")
 	shards := flag.Int("shards", 1,
@@ -80,6 +82,7 @@ func main() {
 			MaxAttempts:      *maxAttempts,
 			RetryBackoff:     *retryBackoff,
 			NoCoalesce:       *noCoalesce,
+			NoBatch:          *noBatch,
 			NoIndex:          *noIndex,
 			ShardID:          *shardID,
 			GossipInterval:   *gossip,

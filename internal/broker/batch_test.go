@@ -1,0 +1,162 @@
+package broker
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/consumer"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/provider"
+	"repro/internal/shard"
+	"repro/internal/tvm"
+)
+
+// runJobWithBatching runs one deterministic job through a fresh stack with
+// batch frames enabled or disabled on the broker and every provider. It
+// returns the collected results plus how many AssignBatch frames the
+// providers decoded, so callers can prove batches actually flowed (or
+// didn't).
+func runJobWithBatching(t *testing.T, noBatch bool) ([]consumer.TaskResult, int64) {
+	t.Helper()
+	regs := make([]*metrics.Registry, 3)
+	addr := testStack(t, Options{NoBatch: noBatch}, 3, func(i int) provider.Options {
+		regs[i] = &metrics.Registry{}
+		return provider.Options{Slots: 2, Speed: 100, NoBatch: noBatch, Metrics: regs[i]}
+	})
+	c, err := consumer.Connect(addr, "diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 96
+	job, err := c.Submit(compileJob(t, squareSrc, intRows(n)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Collect(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches int64
+	for _, reg := range regs {
+		batches += reg.Counter("provider.batches.received").Value()
+	}
+	return res, batches
+}
+
+// TestDifferentialBatchingBitIdentical proves batching changes frame
+// boundaries only: the same job produces bit-identical results (status,
+// return values, emits, faults) with batch frames on and off — and the
+// batched run really did use batch frames while the disabled run used none.
+func TestDifferentialBatchingBitIdentical(t *testing.T) {
+	resOn, batchesOn := runJobWithBatching(t, false)
+	resOff, batchesOff := runJobWithBatching(t, true)
+	if on, off := essences(resOn), essences(resOff); !reflect.DeepEqual(on, off) {
+		t.Fatalf("results diverge with batching on vs off:\non:  %+v\noff: %+v", on, off)
+	}
+	// One Submit queues 96 tasklets before the first placement pass runs, so
+	// the pass must group ≥2 assignments per provider into AssignBatches.
+	if batchesOn == 0 {
+		t.Fatal("batching enabled but providers decoded no AssignBatch frames")
+	}
+	if batchesOff != 0 {
+		t.Fatalf("batching disabled but providers decoded %d AssignBatch frames", batchesOff)
+	}
+	for i, r := range resOn {
+		if r.Status != core.StatusOK || !r.Return.Equal(tvm.Int(int64(i)*int64(i))) {
+			t.Fatalf("result[%d] = %+v, want OK %d", i, r, i*i)
+		}
+	}
+}
+
+// runShardedWithBatching runs a skewed workload through a peered shard pair
+// with the work exchange active, batch frames on or off.
+func runShardedWithBatching(t *testing.T, noBatch bool) []consumer.TaskResult {
+	t.Helper()
+	_, addrs := shardGroup(t, 2, Options{
+		NoBatch:        noBatch,
+		Exchange:       true,
+		GossipInterval: 5 * time.Millisecond,
+		ExchangePolicy: shard.Policy{MinGap: 1},
+	})
+	addProvider(t, addrs[0], provider.Options{Slots: 1, Speed: 100, Throttle: 0.05, NoBatch: noBatch, Name: "slow"})
+	addProvider(t, addrs[1], provider.Options{Slots: 4, Speed: 100, NoBatch: noBatch, Name: "fast"})
+
+	c, err := consumer.Connect(addrs[0], "sharded-diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 48
+	job, err := c.Submit(compileJob(t, slowSrc, intRows(n)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Collect(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDifferentialBatchingSharded repeats the differential on a 2-shard
+// group with work exchange migrating tasklets between shards: adoption,
+// migrated results and re-delivery must all be batching-agnostic.
+func TestDifferentialBatchingSharded(t *testing.T) {
+	on := essences(runShardedWithBatching(t, false))
+	off := essences(runShardedWithBatching(t, true))
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("sharded results diverge with batching on vs off:\non:  %+v\noff: %+v", on, off)
+	}
+	for i, r := range on {
+		if r.Status != core.StatusOK || r.Return != tvm.Int(int64(i)*int64(i)).String() {
+			t.Fatalf("result[%d] = %+v, want OK %d", i, r, i*i)
+		}
+	}
+}
+
+// TestBatchBrokerLegacyProviderInterop pairs a batch-capable broker with a
+// provider that never advertised CapBatch (standing in for a pre-batch
+// binary): the broker must fall back to single Assign frames for that peer
+// and the job must complete normally. The converse pairing — legacy broker,
+// batch-capable provider — must also hold.
+func TestBatchBrokerLegacyProviderInterop(t *testing.T) {
+	cases := []struct {
+		name                       string
+		brokerNoBatch, provNoBatch bool
+	}{
+		{"legacy-provider", false, true},
+		{"legacy-broker", true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := &metrics.Registry{}
+			addr := testStack(t, Options{NoBatch: tc.brokerNoBatch}, 1, func(int) provider.Options {
+				return provider.Options{Slots: 2, Speed: 100, NoBatch: tc.provNoBatch, Metrics: reg}
+			})
+			c, err := consumer.Connect(addr, "interop")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			const n = 24
+			job, err := c.Submit(compileJob(t, squareSrc, intRows(n)...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := job.Collect(ctxT(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSquares(t, res, n)
+			if got := reg.Counter("provider.batches.received").Value(); got != 0 {
+				t.Fatalf("legacy pairing still shipped %d AssignBatch frames", got)
+			}
+		})
+	}
+}

@@ -85,6 +85,15 @@ type Options struct {
 	// bytes are identical either way.
 	NoCoalesce bool
 
+	// NoBatch disables the batch control-plane frames on this broker:
+	// placement sends one Assign per attempt instead of grouped
+	// AssignBatches, and result pushes are never folded into
+	// ResultPushBatches, regardless of what peers advertise. Incoming
+	// batches are still decoded (liberal ingest). Exists for the batching
+	// ablation (experiment E12) and differential tests; job results are
+	// identical either way.
+	NoBatch bool
+
 	// NoIndex disables the incremental scheduler index and forces the
 	// legacy full-scan placement path (rebuild candidates + Policy.Pick per
 	// pending tasklet). Exists for the placement ablation (experiment E10)
@@ -160,6 +169,12 @@ type Broker struct {
 	// allocations. Only touched under b.mu by the scheduler goroutine.
 	exclScratch []core.ProviderID
 	candScratch []scheduler.Candidate
+	// stagedScratch lists the providers holding a staged AssignBatch this
+	// pass; flushAssignBatchesLocked drains it.
+	stagedScratch []*providerState
+	// evScratch stages bulk lifecycle events (batched results, job
+	// admission); reused across bursts under b.mu.
+	evScratch []lifecycle.Event
 
 	// schedDirty marks that scheduling state changed since the last
 	// placement pass; schedWake pokes the scheduler goroutine. Events
@@ -230,6 +245,11 @@ type providerState struct {
 	finished int // attempts that returned any result
 	gone     bool
 
+	// staged accumulates this pass's assignments into one AssignBatch frame
+	// (batch-capable providers only); flushed at the end of every placement
+	// pass. Only touched under b.mu by the scheduler goroutine.
+	staged *wire.AssignBatch
+
 	// lastBeat is the UnixNano timestamp of the latest heartbeat, updated
 	// without the broker mutex so heartbeats never queue behind scheduling.
 	lastBeat atomic.Int64
@@ -243,6 +263,7 @@ type consumerState struct {
 	out     chan wire.Message
 	nc      net.Conn
 	label   string // "consumer N", precomputed for hot-path logs
+	caps    uint8  // protocol extensions advertised in Hello
 	jobs    map[core.JobID]bool
 	pending int // queued tasklets across this consumer's jobs
 	gone    bool
@@ -534,35 +555,16 @@ func (b *Broker) scheduleLocked() {
 	}
 }
 
-// writerLoop drains a connection's outgoing queue. Unless coalescing is
-// disabled, it folds whatever burst is queued (up to writerBatchMax) into
-// one SendBatch so a single flush — one syscall — covers the burst.
-func (b *Broker) writerLoop(conn *wire.Conn, out <-chan wire.Message, nc net.Conn) {
-	batch := make([]wire.Message, 0, writerBatchMax)
-	for m := range out {
-		batch = append(batch[:0], m)
-		if !b.opts.NoCoalesce {
-		drain:
-			for len(batch) < writerBatchMax {
-				select {
-				case mm, ok := <-out:
-					if !ok {
-						break drain
-					}
-					batch = append(batch, mm)
-				default:
-					break drain
-				}
-			}
-		}
-		if err := conn.SendBatch(batch); err != nil {
-			nc.Close() // unblocks the reader, which tears the peer down
-			// Drain remaining messages so enqueuers never block.
-			for range out {
-			}
-			return
-		}
-	}
+// writerLoop drains a connection's outgoing queue through the shared
+// wire.WriterLoop. fold, when non-nil, rewrites each drained burst before it
+// is sent (batch-frame folding on capable consumer links).
+func (b *Broker) writerLoop(conn *wire.Conn, out <-chan wire.Message, nc net.Conn, fold func([]wire.Message) []wire.Message) {
+	wire.WriterLoop(conn, out, wire.WriterOpts{
+		Max:        writerBatchMax,
+		NoCoalesce: b.opts.NoCoalesce,
+		Fold:       fold,
+		Closer:     nc,
+	})
 }
 
 // enqueue appends to a bounded send queue. A peer that cannot drain
@@ -657,7 +659,7 @@ func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
-		b.writerLoop(conn, p.out, nc)
+		b.writerLoop(conn, p.out, nc, nil)
 	}()
 
 	b.enqueue(p.out, &wire.Welcome{ID: uint64(id)}, nc, &p.dropWarned, p.label)
@@ -689,6 +691,8 @@ func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 			p.lastBeat.Store(time.Now().UnixNano())
 		case *wire.AttemptResult:
 			b.onAttemptResult(p, m)
+		case *wire.AttemptResultBatch:
+			b.onAttemptResultBatch(p, m)
 		case *wire.Bye:
 			goto done
 		default:
@@ -765,6 +769,83 @@ func (b *Broker) onAttemptResult(p *providerState, m *wire.AttemptResult) {
 	b.scheduleLocked()
 }
 
+// onAttemptResultBatch processes a provider's folded burst of result
+// reports: the whole batch becomes one slice of lifecycle events applied
+// under a single lock acquisition, with one slot/index/reliability
+// settlement, one counter update per status class, and one scheduler
+// wake-up for the burst.
+func (b *Broker) onAttemptResultBatch(p *providerState, m *wire.AttemptResultBatch) {
+	if len(m.Results) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	evs := b.evScratch[:0]
+	for i := range m.Results {
+		r := &m.Results[i]
+		evs = append(evs, lifecycle.Event{
+			Kind: lifecycle.EventResult,
+			Result: core.Result{
+				Tasklet:   r.Tasklet,
+				Attempt:   r.Attempt,
+				Provider:  p.info.ID,
+				Status:    r.Status,
+				Return:    r.Return,
+				Emitted:   r.Emitted,
+				FaultCode: r.FaultCode,
+				FaultMsg:  r.FaultMsg,
+				FuelUsed:  r.FuelUsed,
+				Exec:      time.Duration(r.ExecNanos),
+			},
+		})
+	}
+	fx := b.life.Apply(evs)
+
+	freed := 0
+	var nOK, nFlt, nOth int64
+	for i := range evs {
+		if evs[i].Disp == lifecycle.ResultStale {
+			continue // unknown attempt or wrong provider; no slot was consumed
+		}
+		freed++
+		if evs[i].Disp != lifecycle.ResultConsumed {
+			continue
+		}
+		r := &m.Results[i]
+		switch r.Status {
+		case core.StatusOK:
+			nOK++
+		case core.StatusFault:
+			nFlt++
+		default:
+			nOth++
+		}
+		b.mExecMS.Observe(float64(r.ExecNanos) / 1e6)
+	}
+	if freed > 0 {
+		p.free += freed
+		p.backlog -= freed
+		p.finished += freed
+		b.updateReliabilityLocked(p)
+		// One absolute index resync replaces `freed` Complete calls: Upsert
+		// sets free/backlog outright and re-ranks once.
+		b.index.Upsert(&p.info, p.free, p.backlog)
+	}
+	if nOK > 0 {
+		b.mAttemptsOK.Add(nOK)
+	}
+	if nFlt > 0 {
+		b.mAttemptsFlt.Add(nFlt)
+	}
+	if nOth > 0 {
+		b.mAttemptsOth.Add(nOth)
+	}
+	b.applyEffectsLocked(fx)
+	b.scheduleLocked()
+	b.evScratch = evs[:0]
+}
+
 // updateReliabilityLocked refreshes the completion-ratio estimate.
 func (b *Broker) updateReliabilityLocked(p *providerState) {
 	if p.assigned > 0 {
@@ -790,15 +871,23 @@ func (b *Broker) serveConsumer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 		out:   make(chan wire.Message, sendQueueDepth),
 		nc:    nc,
 		label: fmt.Sprintf("consumer %d", id),
+		caps:  hello.Caps,
 		jobs:  map[core.JobID]bool{},
 	}
 	b.consumers[id] = c
 	b.mu.Unlock()
 
+	// Batch-capable consumers get each writer burst's run of ResultPushes
+	// folded into one ResultPushBatch frame; legacy consumers keep receiving
+	// byte-identical single frames.
+	var fold func([]wire.Message) []wire.Message
+	if c.caps&wire.CapBatch != 0 && !b.opts.NoBatch {
+		fold = wire.FoldBatchFrames
+	}
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
-		b.writerLoop(conn, c.out, nc)
+		b.writerLoop(conn, c.out, nc, fold)
 	}()
 
 	b.enqueue(c.out, &wire.Welcome{ID: uint64(id)}, nc, &c.dropWarned, c.label)
@@ -869,13 +958,14 @@ func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 	b.jobs[job.id] = job
 	c.jobs[job.id] = true
 
-	// Cache hits collected during admission; delivered only after the
-	// JobAccepted below so the consumer has registered the job before its
-	// first ResultPush arrives. Copied by value: the engine's effect slice
-	// is scratch reused by the next Submit.
-	var hits []lifecycle.Effect
-
+	// The whole job is one bulk Submit: the engine walks every tasklet under
+	// a single effect-scratch reset and returns one concatenated effect
+	// slice. Deliver effects (cache hits) are skipped on the first walk and
+	// replayed only after the JobAccepted below, so the consumer has
+	// registered the job before its first ResultPush arrives; nothing
+	// between the two walks calls the engine, so the slice stays valid.
 	now := time.Now()
+	evs := b.evScratch[:0]
 	for i, params := range m.Params {
 		b.nextTasklet++
 		t := core.Tasklet{
@@ -886,25 +976,26 @@ func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 		job.tasklets = append(job.tasklets, t.ID)
 		c.pending++
 
-		var key memo.Key
-		var haveKey bool
+		ev := lifecycle.Event{Kind: lifecycle.EventSubmit, Tasklet: t}
 		if b.memoOn {
-			key, haveKey = memo.KeyFor(uint64(progID), t.Seed, t.Params)
+			ev.Key, ev.HaveKey = memo.KeyFor(uint64(progID), t.Seed, t.Params)
 		}
-		fx := b.life.Submit(t, key, haveKey)
-		for j := range fx {
-			if fx[j].Kind == lifecycle.EffectDeliver {
-				hits = append(hits, fx[j])
-			} else {
-				b.applyEffectLocked(&fx[j])
-			}
+		evs = append(evs, ev)
+	}
+	fx := b.life.Apply(evs)
+	for j := range fx {
+		if fx[j].Kind != lifecycle.EffectDeliver {
+			b.applyEffectLocked(&fx[j])
 		}
 	}
 	b.reg.Counter("tasklets.submitted").Add(int64(len(m.Params)))
 	b.enqueue(c.out, &wire.JobAccepted{Job: job.id, Tasklets: job.total}, c.nc, &c.dropWarned, c.label)
-	for i := range hits {
-		b.deliverLocked(&hits[i])
+	for j := range fx {
+		if fx[j].Kind == lifecycle.EffectDeliver {
+			b.deliverLocked(&fx[j])
+		}
 	}
+	b.evScratch = evs[:0]
 	b.logf("broker: job %d accepted: %d tasklets, qoc %s", job.id, job.total, m.QoC.Mode)
 	b.scheduleLocked()
 	return nil
@@ -1070,9 +1161,11 @@ func (b *Broker) schedulePassLocked() {
 	} else {
 		placed = b.schedulePassLegacyLocked()
 	}
+	b.flushAssignBatchesLocked()
 	b.mSchedPassNS.Observe(float64(time.Since(start)))
 	if placed > 0 {
 		b.mPlaced.Add(int64(placed))
+		b.mLaunched.Add(int64(placed)) // one counter update per pass, not per attempt
 	}
 	b.mPendingDep.Set(int64(len(b.pending)))
 }
@@ -1108,8 +1201,9 @@ func (b *Broker) schedulePassIndexedLocked() int {
 			remaining = append(remaining, tid)
 			continue
 		}
-		b.launchAttemptLocked(t, p)
-		placed++
+		if b.launchAttemptLocked(t, p) {
+			placed++
+		}
 	}
 	b.pending = remaining
 	return placed
@@ -1165,9 +1259,10 @@ func (b *Broker) schedulePassLegacyLocked() int {
 			remaining = append(remaining, tid)
 			continue
 		}
-		b.launchAttemptLocked(t, p)
+		if b.launchAttemptLocked(t, p) {
+			placed++
+		}
 		totalFree--
-		placed++
 	}
 	b.pending = remaining
 	return placed
@@ -1184,11 +1279,14 @@ func (b *Broker) purgePendingLocked() {
 	b.pending = live
 }
 
-// launchAttemptLocked creates and dispatches one attempt.
-func (b *Broker) launchAttemptLocked(t *core.Tasklet, p *providerState) {
+// launchAttemptLocked creates and dispatches one attempt. For
+// batch-capable providers the assignment is staged into the provider's
+// per-pass AssignBatch (flushed by flushAssignBatchesLocked at the end of
+// the placement pass) instead of sent as its own frame.
+func (b *Broker) launchAttemptLocked(t *core.Tasklet, p *providerState) bool {
 	aid, ok := b.life.Launched(t.ID, p.info.ID)
 	if !ok {
-		return // defensive; callers checked liveness under the same lock
+		return false // defensive; callers checked liveness under the same lock
 	}
 	p.free--
 	p.backlog++
@@ -1196,7 +1294,7 @@ func (b *Broker) launchAttemptLocked(t *core.Tasklet, p *providerState) {
 	b.updateReliabilityLocked(p)
 	b.index.Assign(p.info.ID) // after the reliability update so rank refreshes
 
-	msg := &wire.Assign{
+	a := wire.Assign{
 		Attempt: aid,
 		Tasklet: t.ID,
 		Program: t.Program,
@@ -1208,14 +1306,66 @@ func (b *Broker) launchAttemptLocked(t *core.Tasklet, p *providerState) {
 		// result memo for NoCache to bypass anyway.
 		NoCache: t.QoC.NoCache && p.caps&wire.CapFlagsTail != 0,
 	}
+	var progData []byte
 	if b.opts.DisableProgramCache {
-		msg.ProgramData = b.programs[t.Program]
+		progData = b.programs[t.Program]
 	} else if !p.sent[t.Program] {
-		msg.ProgramData = b.programs[t.Program]
+		progData = b.programs[t.Program]
 		p.sent[t.Program] = true
 	}
-	b.enqueue(p.out, msg, p.nc, &p.dropWarned, p.label)
-	b.mLaunched.Inc()
+
+	if !b.opts.NoBatch && p.caps&wire.CapBatch != 0 {
+		if p.staged == nil {
+			p.staged = &wire.AssignBatch{}
+			b.stagedScratch = append(b.stagedScratch, p)
+		}
+		if len(progData) > 0 && !batchHasProgram(p.staged, t.Program) {
+			// Program bytes are deduplicated within the frame: shipped once
+			// in the table however many entries reference them.
+			p.staged.Programs = append(p.staged.Programs, wire.ProgramBlob{ID: t.Program, Data: progData})
+		}
+		p.staged.Assigns = append(p.staged.Assigns, a)
+		return true
+	}
+	a.ProgramData = progData
+	b.enqueue(p.out, &a, p.nc, &p.dropWarned, p.label)
+	return true
+}
+
+// batchHasProgram reports whether the staged batch's program table already
+// carries id. Tables hold the pass's distinct fresh programs — almost
+// always zero or one entry — so a linear scan wins over any map.
+func batchHasProgram(ab *wire.AssignBatch, id core.ProgramID) bool {
+	for i := range ab.Programs {
+		if ab.Programs[i].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// flushAssignBatchesLocked ships every staged AssignBatch accumulated by
+// the current placement pass: one frame per provider per pass. A batch that
+// holds a single assignment degenerates to a plain Assign frame, so
+// low-rate traffic stays byte-identical to the pre-batch revision.
+func (b *Broker) flushAssignBatchesLocked() {
+	for _, p := range b.stagedScratch {
+		ab := p.staged
+		p.staged = nil
+		if ab == nil || len(ab.Assigns) == 0 {
+			continue
+		}
+		if len(ab.Assigns) == 1 {
+			a := ab.Assigns[0]
+			if len(ab.Programs) == 1 {
+				a.ProgramData = ab.Programs[0].Data
+			}
+			b.enqueue(p.out, &a, p.nc, &p.dropWarned, p.label)
+			continue
+		}
+		b.enqueue(p.out, ab, p.nc, &p.dropWarned, p.label)
+	}
+	b.stagedScratch = b.stagedScratch[:0]
 }
 
 // fleetInfo builds the provider-directory reply for QueryFleet.

@@ -129,7 +129,7 @@ func (b *Broker) ConnectPeer(addr string) error {
 	b.wg.Add(2)
 	go func() {
 		defer b.wg.Done()
-		b.writerLoop(conn, ps.out, nc)
+		b.writerLoop(conn, ps.out, nc, nil)
 	}()
 	go func() {
 		defer b.wg.Done()
@@ -169,7 +169,7 @@ func (b *Broker) servePeer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) {
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
-		b.writerLoop(conn, ps.out, nc)
+		b.writerLoop(conn, ps.out, nc, nil)
 	}()
 	b.enqueue(ps.out, &wire.Welcome{ID: b.opts.ShardID}, nc, &ps.dropWarned, ps.label)
 	b.logf("broker: shard %d accepted peer from %s (%s)", b.opts.ShardID, conn.RemoteAddr(), hello.Name)
@@ -255,8 +255,19 @@ func (b *Broker) removePeerLocked(ps *peerState) {
 			back = append(back, rec)
 		}
 	}
-	for _, rec := range back {
-		b.resubmitMigratedLocked(rec)
+	if len(back) > 0 {
+		// A dead link can strand a whole exchange burst; re-home it as one
+		// bulk Submit instead of one engine call per tasklet.
+		evs := b.evScratch[:0]
+		for _, rec := range back {
+			if ev, ok := b.resubmitEventLocked(rec); ok {
+				evs = append(evs, ev)
+			}
+		}
+		if len(evs) > 0 {
+			b.applyEffectsLocked(b.life.Apply(evs))
+		}
+		b.evScratch = evs[:0]
 	}
 	dropped := 0
 	if ps.id != 0 {
@@ -294,10 +305,11 @@ func (b *Broker) removePeerLocked(ps *peerState) {
 	b.scheduleLocked()
 }
 
-// resubmitMigratedLocked re-runs a tasklet whose migration failed. The job
-// accounting never noticed the detour: the tasklet gets a fresh ID under
-// the same job slot.
-func (b *Broker) resubmitMigratedLocked(rec migratedRec) {
+// resubmitEventLocked stages the re-run of a tasklet whose migration
+// failed as a bulk Submit event. The job accounting never noticed the
+// detour: the tasklet gets a fresh ID under the same job slot. ok is false
+// when the job is gone.
+func (b *Broker) resubmitEventLocked(rec migratedRec) (lifecycle.Event, bool) {
 	job := b.jobs[rec.t.Job]
 	if job == nil || job.cancelled {
 		// Job cancellation deletes its migrated records, so a live record
@@ -306,18 +318,27 @@ func (b *Broker) resubmitMigratedLocked(rec migratedRec) {
 		if job == nil {
 			b.logf("broker: dropping re-homed tasklet %d: job %d unknown", rec.t.ID, rec.t.Job)
 		}
-		return
+		return lifecycle.Event{}, false
 	}
 	b.nextTasklet++
 	t := rec.t
 	t.ID = b.nextTasklet
 	job.tasklets = append(job.tasklets, t.ID)
-	var key memo.Key
-	var haveKey bool
+	ev := lifecycle.Event{Kind: lifecycle.EventSubmit, Tasklet: t}
 	if b.memoOn {
-		key, haveKey = memo.KeyFor(uint64(t.Program), t.Seed, t.Params)
+		ev.Key, ev.HaveKey = memo.KeyFor(uint64(t.Program), t.Seed, t.Params)
 	}
-	fx := b.life.Submit(t, key, haveKey)
+	return ev, true
+}
+
+// resubmitMigratedLocked re-runs one migration-failed tasklet immediately
+// (the single-rejection path; link teardown batches instead).
+func (b *Broker) resubmitMigratedLocked(rec migratedRec) {
+	ev, ok := b.resubmitEventLocked(rec)
+	if !ok {
+		return
+	}
+	fx := b.life.Submit(ev.Tasklet, ev.Key, ev.HaveKey)
 	b.applyEffectsLocked(fx)
 	b.scheduleLocked()
 }

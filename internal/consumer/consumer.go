@@ -87,9 +87,12 @@ func Connect(addr, name string) (*Client, error) {
 		return nil, fmt.Errorf("consumer: dial broker: %w", err)
 	}
 	conn := wire.NewConn(nc)
+	// CapBatch lets the broker fold a burst of completed results into one
+	// ResultPushBatch frame; the per-result payloads are identical, so the
+	// application sees the same stream either way.
 	if err := conn.Send(&wire.Hello{
 		Version: wire.ProtocolVersion, Role: wire.RoleConsumer, Name: name,
-		Caps: wire.CapFlagsTail,
+		Caps: wire.CapFlagsTail | wire.CapBatch,
 	}); err != nil {
 		nc.Close()
 		return nil, err
@@ -262,6 +265,10 @@ func (c *Client) readLoop() {
 			c.onAccepted(nil, fmt.Errorf("consumer: broker rejected job: %s", m.Msg))
 		case *wire.ResultPush:
 			c.onResult(m)
+		case *wire.ResultPushBatch:
+			for i := range m.Results {
+				c.onResult(&m.Results[i])
+			}
 		case *wire.JobDone:
 			c.onJobDone(m)
 		case *wire.FleetInfo:

@@ -103,6 +103,7 @@ func init() {
 		"e9":  {"Figure 8 — data-plane throughput and p99 vs offered load (coalescing ablation)", RunE9},
 		"e10": {"Figure 9 — placement latency and job throughput vs fleet size (scheduler-index ablation)", RunE10},
 		"e11": {"Figure 10 — broker sharding: aggregate throughput and work-exchange recovery", RunE11},
+		"e12": {"Figure 11 — control-plane batching: saturation throughput with batch frames on vs off", RunE12},
 	}
 }
 

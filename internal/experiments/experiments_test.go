@@ -12,7 +12,7 @@ import (
 func quick() Options { return Options{Quick: true, Seed: 7} }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -277,6 +277,31 @@ func TestE9DataPlaneShape(t *testing.T) {
 	}
 	if pooled >= legacy {
 		t.Fatalf("pooled send path allocs/msg = %v, legacy = %v; pooling regressed", pooled, legacy)
+	}
+}
+
+func TestE12BatchingShape(t *testing.T) {
+	res, err := RunE12(quick())
+	if err != nil {
+		t.Fatal(err) // RunE12 hard-fails below 1.5x single-shard / 1.2x 4-shard
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	on, off := res.Series[0], res.Series[1]
+	if !strings.Contains(on.Name, "batch on") || !strings.Contains(off.Name, "batch off") {
+		t.Fatalf("series order changed: %s / %s", on.Name, off.Name)
+	}
+	// Batched must beat unbatched at every shard count, and 4 batched
+	// shards must still scale over 1 batched shard (batching must not eat
+	// the sharding win).
+	for i := range on.Y {
+		if on.Y[i] <= off.Y[i] {
+			t.Fatalf("at %v shards: batched %.0f/s not above unbatched %.0f/s", on.X[i], on.Y[i], off.Y[i])
+		}
+	}
+	if last := len(on.Y) - 1; on.Y[last] < 3*on.Y[0] {
+		t.Fatalf("4-shard batched throughput %.0f/s under 3x the 1-shard %.0f/s", on.Y[last], on.Y[0])
 	}
 }
 

@@ -31,12 +31,22 @@ func newLiveStack(nProviders, slots int) (*liveStack, error) {
 // newLiveStackCoalesce additionally controls write coalescing on every
 // connection (broker and providers); E9 ablates it.
 func newLiveStackCoalesce(nProviders, slots int, noCoalesce bool) (*liveStack, error) {
+	return newLiveStackOpts(nProviders, slots, noCoalesce, false)
+}
+
+// newLiveStackBatch additionally controls control-plane batching on the
+// broker and every provider; E12 ablates it.
+func newLiveStackBatch(nProviders, slots int, noBatch bool) (*liveStack, error) {
+	return newLiveStackOpts(nProviders, slots, false, noBatch)
+}
+
+func newLiveStackOpts(nProviders, slots int, noCoalesce, noBatch bool) (*liveStack, error) {
 	// E1/E2/E7/E9 measure the raw dispatch path with repeated identical
 	// tasklets; the result memo would serve those from cache and measure
 	// the wrong thing, so it is disabled here. E8 covers the memo.
 	s := &liveStack{broker: broker.New(broker.Options{
 		MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
-		NoCoalesce: noCoalesce,
+		NoCoalesce: noCoalesce, NoBatch: noBatch,
 	})}
 	addr, err := s.broker.Listen("127.0.0.1:0")
 	if err != nil {
@@ -47,7 +57,7 @@ func newLiveStackCoalesce(nProviders, slots int, noCoalesce bool) (*liveStack, e
 			BrokerAddr: addr, Slots: slots, Speed: 100,
 			Name:        fmt.Sprintf("bench-%d", i),
 			MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
-			NoCoalesce: noCoalesce,
+			NoCoalesce: noCoalesce, NoBatch: noBatch,
 		})
 		if err != nil {
 			s.close()

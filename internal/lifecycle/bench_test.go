@@ -24,6 +24,58 @@ func BenchmarkLifecycleEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkLifecycleEngineApply measures the bulk-ingest path a decoded
+// batch frame drives: one Apply call covering a burst of 64 submissions,
+// then one covering their 64 results — one effects reset and one walk per
+// burst instead of per event.
+func BenchmarkLifecycleEngineApply(b *testing.B) {
+	const burst = 64
+	e := New(Options{})
+	evs := make([]Event, burst)
+	aids := make([]core.AttemptID, burst)
+	next := core.TaskletID(1)
+	run := func() {
+		for i := range evs {
+			evs[i] = Event{Kind: EventSubmit, Tasklet: core.Tasklet{ID: next, Job: 1, Fuel: 1000}}
+			next++
+		}
+		if fx := e.Apply(evs); len(fx) != burst {
+			b.Fatalf("submit burst effects = %d", len(fx))
+		}
+		base := next - burst
+		for i := range aids {
+			aid, ok := e.Launched(base+core.TaskletID(i), 1)
+			if !ok {
+				b.Fatal("launch refused")
+			}
+			aids[i] = aid
+		}
+		for i := range evs {
+			evs[i] = Event{Kind: EventResult, Result: core.Result{
+				Attempt: aids[i], Tasklet: base + core.TaskletID(i), Provider: 1,
+				Status: core.StatusOK, Return: tvm.Int(7), FuelUsed: 500,
+			}}
+		}
+		fx := e.Apply(evs)
+		if len(fx) != burst {
+			b.Fatalf("result burst effects = %d", len(fx))
+		}
+		for i := range evs {
+			if evs[i].Disp != ResultConsumed {
+				b.Fatalf("event %d disposition = %v", i, evs[i].Disp)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		run() // warm pools
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
 func runOne(b *testing.B, e *Engine, tid core.TaskletID) {
 	fx := e.Submit(core.Tasklet{ID: tid, Job: 1, Fuel: 1000}, "", false)
 	if len(fx) != 1 || fx[0].Kind != EffectLaunch {

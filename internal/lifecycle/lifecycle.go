@@ -144,6 +144,12 @@ func New(opts Options) *Engine {
 // or the initial fan-out's Launch effects.
 func (e *Engine) Submit(t core.Tasklet, key memo.Key, haveKey bool) []Effect {
 	e.fx = e.fx[:0]
+	e.submit(t, key, haveKey)
+	return e.fx
+}
+
+// submit is the reset-free core of Submit, shared with Apply.
+func (e *Engine) submit(t core.Tasklet, key memo.Key, haveKey bool) {
 	ts := e.newState(t)
 	e.tasklets[t.ID] = ts
 	goal := ts.tracker.Goal()
@@ -159,7 +165,7 @@ func (e *Engine) Submit(t core.Tasklet, key memo.Key, haveKey bool) []Effect {
 				Status: core.StatusOK, Return: ret, Emitted: em,
 				FuelUsed: ent.FuelUsed, Exec: ent.Exec,
 			}, 0, true)
-			return e.fx
+			return
 		}
 	}
 
@@ -182,12 +188,11 @@ func (e *Engine) Submit(t core.Tasklet, key memo.Key, haveKey bool) []Effect {
 			// still applies independently.
 			ts.role = flightWaiter
 			e.emit(Effect{Kind: EffectCoalesced, Tasklet: t.ID})
-			return e.fx
+			return
 		}
 	}
 
 	e.applyDecision(ts, ts.tracker.Start())
-	return e.fx
 }
 
 // Launched records that the driver placed one attempt for tid on provider
@@ -211,21 +216,31 @@ func (e *Engine) Launched(tid core.TaskletID, pid core.ProviderID) (core.Attempt
 // Result feeds one attempt outcome. The disposition tells the driver how to
 // account it (see Disposition); effects accompany ResultConsumed only.
 func (e *Engine) Result(res core.Result) (Disposition, []Effect) {
+	e.fx = e.fx[:0]
+	disp := e.result(res)
+	if disp != ResultConsumed {
+		return disp, nil
+	}
+	return disp, e.fx
+}
+
+// result is the reset-free core of Result, shared with Apply. It appends
+// effects only when the outcome is consumed.
+func (e *Engine) result(res core.Result) Disposition {
 	a, ok := e.attempts[res.Attempt]
 	if !ok || a.provider != res.Provider {
-		return ResultStale, nil
+		return ResultStale
 	}
 	delete(e.attempts, res.Attempt)
 	if a.abandoned {
-		return ResultWasted, nil
+		return ResultWasted
 	}
 	ts := e.tasklets[a.tasklet]
 	if ts == nil {
-		return ResultWasted, nil
+		return ResultWasted
 	}
-	e.fx = e.fx[:0]
 	e.applyDecision(ts, ts.tracker.OnResult(res))
-	return ResultConsumed, e.fx
+	return ResultConsumed
 }
 
 // ProviderLost declares every attempt on pid lost and feeds the losses to

@@ -67,13 +67,18 @@ type Options struct {
 	MemoEntries int
 	MemoBytes   int
 	MemoTTL     time.Duration
-	// Metrics receives provider counters (prefix "provider.memo.") when
-	// non-nil.
+	// Metrics receives provider counters ("provider.memo.*" plus the
+	// "provider.attempts.*" family) when non-nil.
 	Metrics *metrics.Registry
 	// NoCoalesce disables write coalescing on the broker connection: every
 	// outgoing message is flushed individually instead of batching a burst
 	// of results into one syscall. Ablation and differential tests only.
 	NoCoalesce bool
+	// NoBatch stops this provider from advertising CapBatch (so the broker
+	// sends one Assign per attempt) and from folding its result bursts into
+	// AttemptResultBatch frames. Ablation and differential tests only; job
+	// results are identical either way.
+	NoBatch bool
 }
 
 // Local result memo defaults: deliberately smaller than the broker tier —
@@ -110,6 +115,14 @@ type Provider struct {
 
 	wg   sync.WaitGroup
 	done chan struct{}
+
+	// Hot-path metric handles, resolved once at Connect so the per-attempt
+	// path never takes the registry lock (the memo cache resolves its
+	// "provider.memo.*" handles the same way at construction).
+	mExecuted   *metrics.Counter
+	mMemoServed *metrics.Counter
+	mRejected   *metrics.Counter
+	mBatches    *metrics.Counter
 }
 
 // Connect dials the broker, performs the handshake, measures (or adopts)
@@ -148,9 +161,13 @@ func Connect(opts Options) (*Provider, error) {
 	}
 	conn := wire.NewConn(nc)
 	conn.NoCoalesce = opts.NoCoalesce
+	caps := wire.CapFlagsTail
+	if !opts.NoBatch {
+		caps |= wire.CapBatch
+	}
 	if err := conn.Send(&wire.Hello{
 		Version: wire.ProtocolVersion, Role: wire.RoleProvider, Name: opts.Name,
-		Caps: wire.CapFlagsTail,
+		Caps: caps,
 	}); err != nil {
 		nc.Close()
 		return nil, err
@@ -178,6 +195,14 @@ func Connect(opts Options) (*Provider, error) {
 		cache:   newProgramLRU(opts.CacheSize),
 		done:    make(chan struct{}),
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = &metrics.Registry{} // private sink; keeps handles non-nil
+	}
+	p.mExecuted = reg.Counter("provider.attempts.executed")
+	p.mMemoServed = reg.Counter("provider.attempts.memo_served")
+	p.mRejected = reg.Counter("provider.attempts.rejected")
+	p.mBatches = reg.Counter("provider.batches.received")
 	if opts.MemoEntries >= 0 && opts.MemoBytes >= 0 && opts.MemoTTL >= 0 {
 		entries, bytes := opts.MemoEntries, opts.MemoBytes
 		if entries == 0 {
@@ -240,30 +265,20 @@ func (p *Provider) Wait() { p.wg.Wait() }
 const writerBatchMax = 128
 
 func (p *Provider) writerLoop() {
-	batch := make([]wire.Message, 0, writerBatchMax)
-	for {
-		select {
-		case m := <-p.out:
-			batch = append(batch[:0], m)
-			if !p.opts.NoCoalesce {
-			drain:
-				for len(batch) < writerBatchMax {
-					select {
-					case mm := <-p.out:
-						batch = append(batch, mm)
-					default:
-						break drain
-					}
-				}
-			}
-			if err := p.conn.SendBatch(batch); err != nil {
-				p.nc.Close()
-				return
-			}
-		case <-p.done:
-			return
-		}
+	// Fold each flush window's run of results into one AttemptResultBatch
+	// frame; the broker always decodes batches regardless of capability
+	// negotiation (liberal ingest), so the fold is gated only on NoBatch.
+	var fold func([]wire.Message) []wire.Message
+	if !p.opts.NoBatch {
+		fold = wire.FoldBatchFrames
 	}
+	wire.WriterLoop(p.conn, p.out, wire.WriterOpts{
+		Max:        writerBatchMax,
+		NoCoalesce: p.opts.NoCoalesce,
+		Fold:       fold,
+		Done:       p.done,
+		Closer:     p.nc,
+	})
 }
 
 func (p *Provider) heartbeatLoop() {
@@ -301,6 +316,8 @@ func (p *Provider) readLoop() {
 		switch m := msg.(type) {
 		case *wire.Assign:
 			p.onAssign(m)
+		case *wire.AssignBatch:
+			p.onAssignBatch(m)
 		case *wire.CancelAttempt:
 			p.mu.Lock()
 			if c := p.cancels[m.Attempt]; c != nil {
@@ -317,29 +334,92 @@ func (p *Provider) readLoop() {
 	}
 }
 
-// onAssign admits one execution attempt. The broker never over-commits a
-// provider's slots, so a full semaphore indicates state drift; such
-// attempts are rejected rather than queued to keep accounting exact.
+// onAssign admits one execution attempt arriving as a single frame.
 func (p *Provider) onAssign(m *wire.Assign) {
 	prog, err := p.resolveProgram(m)
 	if err != nil {
-		p.logf("provider %d: attempt %d rejected: %v", p.id, m.Attempt, err)
-		p.send(&wire.AttemptResult{
-			Attempt: m.Attempt, Tasklet: m.Tasklet,
-			Status: core.StatusRejected, FaultMsg: err.Error(),
-		})
+		p.reject(m, err.Error())
 		return
 	}
+	p.admit(m, prog)
+}
+
+// onAssignBatch admits a burst of attempts from one AssignBatch frame: the
+// frame's program table is installed and every distinct referenced program
+// resolved under ONE mutex acquisition, then each entry goes through the
+// same admission path a single Assign would.
+func (p *Provider) onAssignBatch(m *wire.AssignBatch) {
+	p.mBatches.Inc()
+	progs := p.resolveBatch(m)
+	for i := range m.Assigns {
+		a := &m.Assigns[i]
+		prog := progs[a.Program]
+		if prog == nil {
+			p.reject(a, fmt.Sprintf("unknown program %d in batch", a.Program))
+			continue
+		}
+		p.admit(a, prog)
+	}
+}
+
+// resolveBatch installs the batch's program table into the cache and maps
+// every program its entries reference, holding the mutex once for the whole
+// frame. Programs that fail verification or decoding are simply absent from
+// the result, so the entries naming them get rejected individually.
+func (p *Provider) resolveBatch(m *wire.AssignBatch) map[core.ProgramID]*tvm.Program {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range m.Programs {
+		blob := &m.Programs[i]
+		if _, ok := p.cache.get(blob.ID); ok {
+			continue
+		}
+		if got := core.HashProgram(blob.Data); got != blob.ID {
+			p.logf("provider %d: batch program hash mismatch: got %d want %d", p.id, got, blob.ID)
+			continue
+		}
+		var prog tvm.Program
+		if err := prog.UnmarshalBinary(blob.Data); err != nil {
+			p.logf("provider %d: batch program %d: bad bytecode: %v", p.id, blob.ID, err)
+			continue
+		}
+		prog.Optimize()
+		p.cache.put(blob.ID, &prog)
+	}
+	progs := make(map[core.ProgramID]*tvm.Program, len(m.Programs)+1)
+	for i := range m.Assigns {
+		id := m.Assigns[i].Program
+		if _, seen := progs[id]; seen {
+			continue
+		}
+		prog, _ := p.cache.get(id) // nil on miss → entry rejected
+		progs[id] = prog
+	}
+	return progs
+}
+
+// reject reports an attempt the provider will not run.
+func (p *Provider) reject(m *wire.Assign, why string) {
+	p.logf("provider %d: attempt %d rejected: %s", p.id, m.Attempt, why)
+	p.mRejected.Inc()
+	p.send(&wire.AttemptResult{
+		Attempt: m.Attempt, Tasklet: m.Tasklet,
+		Status: core.StatusRejected, FaultMsg: why,
+	})
+}
+
+// admit runs one resolved assignment: memo short-circuit, slot claim, then
+// an execution goroutine. The broker never over-commits a provider's slots,
+// so a full semaphore indicates state drift; such attempts are rejected
+// rather than queued to keep accounting exact.
+func (p *Provider) admit(m *wire.Assign, prog *tvm.Program) {
 	if p.memoServe(m) {
 		return
 	}
 	select {
 	case p.slotSem <- struct{}{}:
 	default:
-		p.send(&wire.AttemptResult{
-			Attempt: m.Attempt, Tasklet: m.Tasklet,
-			Status: core.StatusRejected, FaultMsg: "no free slot",
-		})
+		p.reject(m, "no free slot")
 		return
 	}
 
@@ -419,6 +499,8 @@ func (p *Provider) memoServe(m *wire.Assign) bool {
 	// toward Executed but not toward the FailAfter churn threshold, which
 	// models failures of real executions.
 	p.executed.Add(1)
+	p.mExecuted.Inc()
+	p.mMemoServed.Inc()
 	return true
 }
 
@@ -478,6 +560,7 @@ func (p *Provider) execute(m *wire.Assign, prog *tvm.Program, cancel *atomic.Boo
 // injection when armed.
 func (p *Provider) noteFinished() {
 	p.executed.Add(1)
+	p.mExecuted.Inc()
 	n := p.ran.Add(1)
 	if p.opts.FailAfter > 0 && int(n) >= p.opts.FailAfter && !p.closed.Swap(true) {
 		p.logf("provider %d: injected failure after %d tasklets", p.id, n)

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// finalEssence strips a final result to its semantically meaningful part:
+// timing and placement (Provider, Exec, FuelUsed, IDs) legitimately shift
+// when the frame-overhead model reshapes the dispatcher timeline.
+type finalEssence struct {
+	Index   int
+	Status  core.ResultStatus
+	Return  string
+	Fault   string
+	Emitted int
+}
+
+func finalEssences(finals []core.Result) []finalEssence {
+	out := make([]finalEssence, len(finals))
+	for i, f := range finals {
+		out[i] = finalEssence{
+			Index: f.Index, Status: f.Status,
+			Return: f.Return.String(), Fault: f.FaultMsg,
+			Emitted: len(f.Emitted),
+		}
+	}
+	return out
+}
+
+// TestSimBatchZeroFrameOverheadIdentical: with no frame cost configured the
+// batched control-plane model must be completely inert — bit-identical
+// stats with Batch on and off, and a 1-shard batched group bit-identical to
+// the unsharded simulator, traces included.
+func TestSimBatchZeroFrameOverheadIdentical(t *testing.T) {
+	for name, cfg := range diffConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg.Trace = true
+			plain, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := RunSharded(ShardedConfig{Base: cfg, Shards: 1, Exchange: true, Batch: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(*plain, batched.Stats) {
+				t.Errorf("1-shard batched group diverged from unsharded run:\nunsharded: %+v\n  batched: %+v",
+					*plain, batched.Stats)
+			}
+			unbatched, err := RunSharded(ShardedConfig{Base: cfg, Shards: 1, Exchange: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(unbatched, batched) {
+				t.Error("Batch flag changed a zero-frame-overhead run")
+			}
+		})
+	}
+}
+
+// batchScaleConfig is shardScaleConfig plus the frame-cost model: half the
+// dispatcher's serialized cost is per-operation, half is per-frame, so
+// batching has real headroom to reclaim. Tasks carry unique content keys so
+// each final's value is content-determined — anonymous tasks return their
+// shard-local tasklet ID, which legitimately shifts when different timing
+// migrates a task to a different shard.
+func batchScaleConfig(shards, tasksPerShard int, batch bool) ShardedConfig {
+	cfg := shardScaleConfig(shards, tasksPerShard, uniqueProgram)
+	for i := range cfg.Base.Tasks {
+		cfg.Base.Tasks[i].Key = 0x5000_0000 + uint64(i)
+	}
+	cfg.BrokerOverhead = 25 * time.Microsecond
+	cfg.FrameOverhead = 25 * time.Microsecond
+	cfg.Batch = batch
+	return cfg
+}
+
+// TestSimBatchDifferentialFinals: under a non-zero frame cost the batched
+// and unbatched control planes must still produce semantically identical
+// finals — on one shard and on a 4-shard cluster with the work exchange
+// migrating tasklets.
+func TestSimBatchDifferentialFinals(t *testing.T) {
+	shapes := []struct {
+		name   string
+		shards int
+	}{{"1-shard", 1}, {"4-shard-exchange", 4}}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			mk := func(batch bool) *ShardedStats {
+				cfg := batchScaleConfig(sh.shards, 400, batch)
+				cfg.Exchange = sh.shards > 1
+				st, err := RunSharded(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			on, off := mk(true), mk(false)
+			if on.Completed != 400*sh.shards || off.Completed != 400*sh.shards {
+				t.Fatalf("completed %d / %d of %d", on.Completed, off.Completed, 400*sh.shards)
+			}
+			if !reflect.DeepEqual(finalEssences(on.Finals), finalEssences(off.Finals)) {
+				t.Fatal("finals diverge between batch on and off")
+			}
+		})
+	}
+}
+
+// TestSimBatchThroughputImproves pins the direction of the tentpole claim
+// at test scale: with a real per-frame cost, the batched control plane
+// saturates strictly higher than one frame per attempt. (The ≥1.5× bar at
+// experiment scale is enforced by E12.)
+func TestSimBatchThroughputImproves(t *testing.T) {
+	tput := func(batch bool) float64 {
+		st, err := RunSharded(batchScaleConfig(1, 1500, batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed != 1500 {
+			t.Fatalf("completed %d of 1500", st.Completed)
+		}
+		return float64(st.Completed) / st.Makespan.Seconds()
+	}
+	on, off := tput(true), tput(false)
+	t.Logf("throughput: batch on %.0f/s, off %.0f/s (%.2fx)", on, off, on/off)
+	if on <= off {
+		t.Fatalf("batching did not improve saturation throughput: on %.0f/s vs off %.0f/s", on, off)
+	}
+}

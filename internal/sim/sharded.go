@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/scheduler"
@@ -37,6 +38,18 @@ type ShardedConfig struct {
 	// broker a bottleneck that sharding can relieve; zero disables the
 	// model (then sharding only redistributes device capacity).
 	BrokerOverhead time.Duration
+
+	// FrameOverhead is the per-wire-frame serialized cost (encode, syscall,
+	// decode) added on top of BrokerOverhead for each frame the dispatcher
+	// handles; zero disables the frame model, keeping runs bit-identical to
+	// the pre-batching simulator. Batch selects the batched control plane:
+	// with Batch off every dispatch and every result carries its own frame;
+	// with Batch on a placement pass pays one frame per destination device
+	// (AssignBatch) and a result pays a frame only when the dispatcher is
+	// idle (AttemptResultBatch folding) — mirroring the live broker's
+	// capability-gated batching, which E12 ablates.
+	FrameOverhead time.Duration
+	Batch         bool
 
 	// Exchange enables gossip-driven work migration between shards;
 	// GossipInterval is the load-snapshot period (default 10ms), and
@@ -175,6 +188,8 @@ func RunSharded(cfg ShardedConfig) (*ShardedStats, error) {
 		}
 		ss := &shardSim{sim: newSim(scfg, w.eng), pos: i}
 		ss.overhead = cfg.BrokerOverhead
+		ss.frameOverhead = cfg.FrameOverhead
+		ss.batched = cfg.Batch
 		// All shards observe into the world's shared distributions.
 		ss.latency, ss.queueDelay = w.lat, w.qd
 		w.shards = append(w.shards, ss)
@@ -322,14 +337,14 @@ func (w *shardWorld) migrate(src, dst *shardSim, max int) {
 	if launched {
 		src.schedule()
 	}
-	// The batch transfer costs each dispatcher one serialized operation —
-	// migration frames batch like writer-loop sends, they are not charged
-	// per tasklet.
-	src.gate()
+	// The batch transfer costs each dispatcher one serialized operation and
+	// one frame — migration frames batch like writer-loop sends, they are
+	// not charged per tasklet.
+	src.gate(true)
 	src.out += len(picked)
 	w.stats.Migrated += len(picked)
 	w.eng.after(w.cfg.Base.Latency, func() {
-		if d := dst.gate(); d > 0 {
+		if d := dst.gate(true); d > 0 {
 			w.eng.after(d, func() { w.admit(dst, picked) })
 			return
 		}
@@ -337,25 +352,23 @@ func (w *shardWorld) migrate(src, dst *shardSim, max int) {
 	})
 }
 
-// admit is the destination side of a migration: a fresh Submit per
-// tasklet under a shard-local ID, re-entering memoization, coalescing and
-// QoC fan-out on the receiving engine.
+// admit is the destination side of a migration: fresh submissions under
+// shard-local IDs, re-entering memoization, coalescing and QoC fan-out on
+// the receiving engine — applied as ONE bulk lifecycle event burst, the
+// same way the live broker ingests a decoded batch frame.
 func (w *shardWorld) admit(dst *shardSim, batch []core.Tasklet) {
 	dst.in += len(batch)
-	launched := false
+	evs := make([]lifecycle.Event, 0, len(batch))
 	for _, t := range batch {
 		dst.nextTid++
 		t.ID = dst.nextTid
-		var key memo.Key
-		var haveKey bool
+		ev := lifecycle.Event{Kind: lifecycle.EventSubmit, Tasklet: t}
 		if content := w.cfg.Base.Tasks[t.Index].Key; dst.memoOn && content != 0 {
-			key, haveKey = memo.KeyFor(content, dst.cfg.Seed, nil)
+			ev.Key, ev.HaveKey = memo.KeyFor(content, dst.cfg.Seed, nil)
 		}
-		if dst.apply(dst.life.Submit(t, key, haveKey)) {
-			launched = true
-		}
+		evs = append(evs, ev)
 	}
-	if launched {
+	if dst.apply(dst.life.Apply(evs)) {
 		dst.schedule()
 	}
 }

@@ -171,6 +171,10 @@ type deviceState struct {
 	backlog int
 	busy    time.Duration
 	done    int
+	// lastFramePass marks the placement pass that last charged this device
+	// an assignment frame; under the batched control-plane model all of a
+	// pass's launches to one device share one AssignBatch frame.
+	lastFramePass uint64
 }
 
 // sim is the running world: a virtual-time driver of the shared lifecycle
@@ -210,6 +214,16 @@ type sim struct {
 	// actually buys throughput (see sharded.go).
 	overhead  time.Duration
 	busyUntil time.Duration
+	// frameOverhead extends the overhead model with a per-wire-frame cost
+	// (encode + syscall + decode) on top of the per-operation cost. batched
+	// selects the batched control plane: a placement pass pays one frame per
+	// destination device (AssignBatch) instead of one per attempt, and a
+	// result pays a frame only when the dispatcher is idle — results that
+	// arrive while it is busy fold into the batch already being drained
+	// (AttemptResultBatch). Zero frameOverhead makes both modes identical.
+	frameOverhead time.Duration
+	batched       bool
+	passSeq       uint64
 }
 
 type pendingEntry struct {
@@ -436,6 +450,7 @@ func (s *sim) schedule() {
 	if len(s.pending) == 0 {
 		return
 	}
+	s.passSeq++ // new pass: each device's first launch charges a fresh frame
 	if s.index != nil {
 		s.scheduleIndexed()
 	} else {
@@ -544,23 +559,38 @@ func (s *sim) launch(t *core.Tasklet, dev *deviceState) {
 	exec := execTime(t.Fuel, dev.info.Speed)
 	total := 2*s.cfg.Latency + exec
 	// The dispatch itself consumes serialized broker CPU before the Assign
-	// leaves the broker (no-op when the overhead model is off).
-	total += s.gate()
+	// leaves the broker (no-op when the overhead model is off). Batched
+	// control plane: only the pass's first launch onto this device pays the
+	// frame cost — the rest ride the same AssignBatch.
+	frame := true
+	if s.batched {
+		if dev.lastFramePass == s.passSeq {
+			frame = false
+		} else {
+			dev.lastFramePass = s.passSeq
+		}
+	}
+	total += s.gate(frame)
 	s.eng.after(total, func() { s.onComplete(rec, exec) })
 }
 
-// gate charges one dispatcher operation against the broker-CPU model and
-// returns how long the caller must wait for its turn. With no overhead
-// configured it returns 0 without touching any state.
-func (s *sim) gate() time.Duration {
-	if s.overhead <= 0 {
+// gate charges one dispatcher operation — plus one wire frame when frame is
+// set — against the broker-CPU model and returns how long the caller must
+// wait for its turn. With no cost configured it returns 0 without touching
+// any state.
+func (s *sim) gate(frame bool) time.Duration {
+	cost := s.overhead
+	if frame {
+		cost += s.frameOverhead
+	}
+	if cost <= 0 {
 		return 0
 	}
 	start := s.busyUntil
 	if start < s.eng.now {
 		start = s.eng.now
 	}
-	s.busyUntil = start + s.overhead
+	s.busyUntil = start + cost
 	return s.busyUntil - s.eng.now
 }
 
@@ -580,7 +610,11 @@ func (s *sim) onComplete(rec *attemptRec, exec time.Duration) {
 	if rec.finished || s.devices[rec.device].epoch != rec.epoch {
 		return // device died mid-execution; loss handled by detection
 	}
-	if d := s.gate(); d > 0 {
+	// Batched control plane: a result arriving while the dispatcher is busy
+	// folds into the AttemptResultBatch already being drained, so only a
+	// result that finds the dispatcher idle pays its own frame.
+	frame := !s.batched || s.busyUntil <= s.eng.now
+	if d := s.gate(frame); d > 0 {
 		s.eng.after(d, func() { s.completeReady(rec, exec) })
 		return
 	}

@@ -1,0 +1,161 @@
+package wire
+
+import "repro/internal/core"
+
+// Batch frames coalesce the per-attempt control plane: many Assigns to one
+// provider, many AttemptResults back, many ResultPushes out to a consumer —
+// each as ONE frame, one decode, one lock acquisition at the receiver.
+//
+// They are a capability-gated compatible extension (CapBatch in the Hello
+// tail): the broker ships batches only to peers that advertised the bit,
+// and peers that did not keep receiving single frames byte-identical to the
+// pre-batch revision. The single-frame encodings themselves are untouched —
+// a batch is a new frame type wrapping them, not a change to them.
+
+// ProgramBlob carries one program's bytecode inside an AssignBatch. Each
+// distinct program a batch needs is shipped at most once, however many
+// entries reference it.
+type ProgramBlob struct {
+	ID   core.ProgramID
+	Data []byte
+}
+
+// AssignBatch dispatches many execution attempts to one provider in a
+// single frame. Program bytes are deduplicated within the frame: entries
+// reference programs by ID, and the Programs table holds the bytecode for
+// any the broker believes the provider has not cached (possibly none). The
+// provider installs the table's programs once, then admits every entry with
+// a single cache lookup per distinct program.
+//
+// Entries reuse the Assign struct but NOT its single-frame encoding: an
+// Assign's optional flags tail is detected by buffer exhaustion, which is
+// meaningless mid-frame, so batch entries always encode the flags byte
+// (like MigrateTasklet — every CapBatch peer is post-flags-revision). Entry
+// ProgramData is always empty; bytecode travels only in the table.
+type AssignBatch struct {
+	Programs []ProgramBlob
+	Assigns  []Assign
+}
+
+// AttemptResultBatch reports many attempt outcomes from provider to broker
+// in one frame. The provider's writer loop folds the results that
+// accumulated over one flush window; the broker applies the whole batch to
+// the lifecycle engine under a single lock acquisition.
+type AttemptResultBatch struct {
+	Results []AttemptResult
+}
+
+// ResultPushBatch delivers many completed tasklets' final results to one
+// consumer in a single frame, folded from the broker's per-consumer send
+// queue over one writer flush window.
+type ResultPushBatch struct {
+	Results []ResultPush
+}
+
+// Interface compliance.
+var (
+	_ Message = (*AssignBatch)(nil)
+	_ Message = (*AttemptResultBatch)(nil)
+	_ Message = (*ResultPushBatch)(nil)
+)
+
+func (*AssignBatch) Type() MsgType        { return TypeAssignBatch }
+func (*AttemptResultBatch) Type() MsgType { return TypeAttemptResultBatch }
+func (*ResultPushBatch) Type() MsgType    { return TypeResultPushBatch }
+
+func (m *AssignBatch) encode(e *enc) {
+	e.u32(uint32(len(m.Programs)))
+	for _, p := range m.Programs {
+		e.u64(uint64(p.ID))
+		e.bytes(p.Data)
+	}
+	e.u32(uint32(len(m.Assigns)))
+	for i := range m.Assigns {
+		a := &m.Assigns[i]
+		e.u64(uint64(a.Attempt))
+		e.u64(uint64(a.Tasklet))
+		e.u64(uint64(a.Program))
+		e.values(a.Params)
+		e.u64(a.Fuel)
+		e.u64(a.Seed)
+		var fl uint8
+		if a.NoCache {
+			fl |= flagNoCache
+		}
+		e.u8(fl) // mandatory mid-frame; see the AssignBatch doc
+	}
+}
+
+func (m *AssignBatch) decode(d *dec) {
+	n := d.u32()
+	if d.err == nil && int(n) > d.remaining() {
+		d.fail(errShort)
+		return
+	}
+	m.Programs = make([]ProgramBlob, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		var p ProgramBlob
+		p.ID = core.ProgramID(d.u64())
+		p.Data = d.bytesv()
+		m.Programs = append(m.Programs, p)
+	}
+	n = d.u32()
+	if d.err == nil && int(n) > d.remaining() {
+		d.fail(errShort)
+		return
+	}
+	m.Assigns = make([]Assign, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		var a Assign
+		a.Attempt = core.AttemptID(d.u64())
+		a.Tasklet = core.TaskletID(d.u64())
+		a.Program = core.ProgramID(d.u64())
+		a.Params = d.values()
+		a.Fuel = d.u64()
+		a.Seed = d.u64()
+		a.NoCache = d.u8()&flagNoCache != 0
+		m.Assigns = append(m.Assigns, a)
+	}
+}
+
+func (m *AttemptResultBatch) encode(e *enc) {
+	e.u32(uint32(len(m.Results)))
+	for i := range m.Results {
+		m.Results[i].encode(e)
+	}
+}
+
+func (m *AttemptResultBatch) decode(d *dec) {
+	n := d.u32()
+	if d.err == nil && int(n) > d.remaining() {
+		d.fail(errShort)
+		return
+	}
+	m.Results = make([]AttemptResult, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		var r AttemptResult
+		r.decode(d)
+		m.Results = append(m.Results, r)
+	}
+}
+
+func (m *ResultPushBatch) encode(e *enc) {
+	e.u32(uint32(len(m.Results)))
+	for i := range m.Results {
+		m.Results[i].encode(e)
+	}
+}
+
+func (m *ResultPushBatch) decode(d *dec) {
+	n := d.u32()
+	if d.err == nil && int(n) > d.remaining() {
+		d.fail(errShort)
+		return
+	}
+	m.Results = make([]ResultPush, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		var r ResultPush
+		r.decode(d)
+		m.Results = append(m.Results, r)
+	}
+}

@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tvm"
+)
+
+// mkResultBurst builds a writer-flush-window's worth of result frames.
+func mkResultBurst(n int) []Message {
+	out := make([]Message, n)
+	for i := range out {
+		out[i] = &AttemptResult{
+			Attempt: core.AttemptID(i + 1), Tasklet: core.TaskletID(i + 1),
+			Status: core.StatusOK, Return: tvm.Int(int64(i)),
+			Emitted: []tvm.Value{}, FuelUsed: 500, ExecNanos: 1234,
+		}
+	}
+	return out
+}
+
+// BenchmarkBatchFold measures folding a 64-frame result burst into one
+// AttemptResultBatch — the work the provider's writer loop adds per flush.
+func BenchmarkBatchFold(b *testing.B) {
+	burst := mkResultBurst(64)
+	scratch := make([]Message, len(burst))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, burst) // fold rewrites in place
+		if out := FoldBatchFrames(scratch[:len(burst)]); len(out) != 1 {
+			b.Fatalf("folded to %d messages", len(out))
+		}
+	}
+}
+
+// BenchmarkBatchSend measures sending a 64-result burst as one folded batch
+// frame vs 64 single frames — the syscall-and-encode half of the batching
+// claim (the receiver-side half is the broker's one-lock bulk ingest).
+func BenchmarkBatchSend(b *testing.B) {
+	burst := mkResultBurst(64)
+	scratch := make([]Message, len(burst))
+
+	b.Run("folded", func(b *testing.B) {
+		c := NewConn(&sinkConn{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(scratch, burst)
+			if err := c.SendBatch(FoldBatchFrames(scratch[:len(burst)])); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("single-frames", func(b *testing.B) {
+		c := NewConn(&sinkConn{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.SendBatch(burst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchUnmarshalAssignBatch measures decoding a 64-entry
+// AssignBatch — the provider-side cost of one batched dispatch.
+func BenchmarkBatchUnmarshalAssignBatch(b *testing.B) {
+	m := &AssignBatch{Programs: []ProgramBlob{{ID: 7, Data: make([]byte, 512)}}}
+	for i := 0; i < 64; i++ {
+		m.Assigns = append(m.Assigns, Assign{
+			Attempt: core.AttemptID(i + 1), Tasklet: core.TaskletID(i + 1), Program: 7,
+			Params: []tvm.Value{tvm.Int(int64(i))}, Fuel: 1000, Seed: 5,
+		})
+	}
+	frame, err := Marshal(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := frame[5:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(TypeAssignBatch, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

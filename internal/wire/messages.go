@@ -34,6 +34,11 @@ const (
 	// CapFlagsTail: the sender decodes the optional flags tail on
 	// broker-originated messages (Assign).
 	CapFlagsTail uint8 = 1 << 0
+	// CapBatch: the sender decodes the batch frames (AssignBatch,
+	// AttemptResultBatch, ResultPushBatch). The broker sends batches only
+	// to peers that advertised this bit; peers without it keep receiving
+	// single frames byte-identical to the pre-batch revision.
+	CapBatch uint8 = 1 << 1
 )
 
 // Flag bits carried in the optional tail of SubmitJob and Assign.
@@ -69,6 +74,9 @@ const (
 	TypeMigrateTasklet
 	TypeMigrateAck
 	TypeMigrateResult
+	TypeAssignBatch
+	TypeAttemptResultBatch
+	TypeResultPushBatch
 )
 
 // String returns the message-type name for logs.
@@ -83,7 +91,9 @@ func (t MsgType) String() string {
 		TypeQueryFleet: "query_fleet", TypeFleetInfo: "fleet_info",
 		TypeShardGossip: "shard_gossip", TypeMigrateRequest: "migrate_request",
 		TypeMigrateTasklet: "migrate_tasklet", TypeMigrateAck: "migrate_ack",
-		TypeMigrateResult: "migrate_result",
+		TypeMigrateResult: "migrate_result", TypeAssignBatch: "assign_batch",
+		TypeAttemptResultBatch: "attempt_result_batch",
+		TypeResultPushBatch:    "result_push_batch",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -758,6 +768,12 @@ func newMessage(t MsgType) (Message, error) {
 		return &MigrateAck{}, nil
 	case TypeMigrateResult:
 		return &MigrateResult{}, nil
+	case TypeAssignBatch:
+		return &AssignBatch{}, nil
+	case TypeAttemptResultBatch:
+		return &AttemptResultBatch{}, nil
+	case TypeResultPushBatch:
+		return &ResultPushBatch{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", uint8(t))
 	}

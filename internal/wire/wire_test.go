@@ -104,6 +104,36 @@ func allMessages() []Message {
 			FaultCode: tvm.FaultOutOfFuel, FaultMsg: "budget exhausted",
 			Attempts: 3,
 		},
+		&AssignBatch{
+			Programs: []ProgramBlob{{ID: 77, Data: []byte{1, 2, 3}}, {ID: 78, Data: []byte{}}},
+			Assigns: []Assign{
+				{Attempt: 9, Tasklet: 8, Program: 77,
+					Params: []tvm.Value{tvm.Int(1), tvm.Str("x")}, Fuel: 1000, Seed: 5},
+				{Attempt: 10, Tasklet: 9, Program: 78,
+					Params: []tvm.Value{}, Fuel: 1, NoCache: true},
+			},
+		},
+		&AssignBatch{Programs: []ProgramBlob{}, Assigns: []Assign{
+			{Attempt: 11, Tasklet: 10, Program: 77, Params: []tvm.Value{tvm.Int(4)}},
+		}},
+		&AttemptResultBatch{Results: []AttemptResult{
+			{Attempt: 9, Tasklet: 8, Status: core.StatusOK,
+				Return: tvm.Int(7), Emitted: []tvm.Value{tvm.Str("out")},
+				FuelUsed: 42, ExecNanos: 1234},
+			{Attempt: 10, Tasklet: 9, Status: core.StatusFault,
+				Return: tvm.Nil(), Emitted: []tvm.Value{},
+				FaultCode: tvm.FaultOutOfFuel, FaultMsg: "budget exhausted",
+				FuelUsed: 999, ExecNanos: 555},
+		}},
+		&ResultPushBatch{Results: []ResultPush{
+			{Job: 3, Tasklet: 8, Index: 17, Status: core.StatusOK,
+				Return: tvm.Float(3.14), Emitted: []tvm.Value{tvm.Str("out")},
+				Provider: 2, Attempts: 2, ExecNanos: 777},
+			{Job: 3, Tasklet: 9, Index: 18, Status: core.StatusFault,
+				Return: tvm.Nil(), Emitted: []tvm.Value{},
+				FaultCode: tvm.FaultOutOfFuel, FaultMsg: "budget exhausted",
+				Provider: 4, Attempts: 1, ExecNanos: 12},
+		}},
 	}
 }
 
@@ -304,7 +334,7 @@ func TestUnmarshalUnknownType(t *testing.T) {
 // Property: random byte payloads never panic the decoder.
 func TestUnmarshalRobustProperty(t *testing.T) {
 	f := func(tByte uint8, payload []byte) bool {
-		_, _ = Unmarshal(MsgType(tByte%20), payload)
+		_, _ = Unmarshal(MsgType(tByte%25), payload)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {

@@ -1,0 +1,134 @@
+package wire
+
+import "io"
+
+// WriterOpts configures a WriterLoop.
+type WriterOpts struct {
+	// Max bounds how many queued messages one flush may cover.
+	Max int
+	// NoCoalesce disables burst draining: every message is sent (and
+	// flushed) individually, restoring the historical one-frame-per-syscall
+	// behavior for ablation and differential tests.
+	NoCoalesce bool
+	// Fold, when non-nil, rewrites each drained burst before it is sent —
+	// e.g. FoldBatchFrames collapses runs of per-attempt frames into batch
+	// frames. Nil sends the burst unchanged.
+	Fold func([]Message) []Message
+	// Done, when non-nil, terminates the loop when closed (peers whose out
+	// channel stays open for the process lifetime). When nil, the loop runs
+	// until out is closed, and on a send error it keeps draining out so
+	// enqueuers never block.
+	Done <-chan struct{}
+	// Closer is closed on a send error, unblocking the connection's reader
+	// so it tears the peer down. Typically the underlying net.Conn.
+	Closer io.Closer
+}
+
+// WriterLoop drains a connection's outgoing queue onto conn. Unless
+// coalescing is disabled it folds whatever burst is queued (up to Max) into
+// one SendBatch, so a single flush — one syscall — covers the burst. It is
+// the one copy of the drain logic shared by the broker (provider, consumer
+// and peer links) and the provider (broker link).
+func WriterLoop(conn *Conn, out <-chan Message, o WriterOpts) {
+	if o.Max <= 0 {
+		o.Max = 1
+	}
+	batch := make([]Message, 0, o.Max)
+	for {
+		var m Message
+		var ok bool
+		select {
+		case m, ok = <-out:
+			if !ok {
+				return
+			}
+		case <-o.Done: // never fires while Done is nil
+			return
+		}
+		batch = append(batch[:0], m)
+		if !o.NoCoalesce {
+		drain:
+			for len(batch) < o.Max {
+				select {
+				case mm, ok := <-out:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, mm)
+				default:
+					break drain
+				}
+			}
+		}
+		if o.Fold != nil {
+			batch = o.Fold(batch)
+		}
+		if err := conn.SendBatch(batch); err != nil {
+			if o.Closer != nil {
+				o.Closer.Close() // unblocks the reader, which tears the peer down
+			}
+			if o.Done == nil {
+				// Drain remaining messages so enqueuers never block.
+				for range out {
+				}
+			}
+			return
+		}
+	}
+}
+
+// FoldBatchFrames rewrites one writer burst in place, collapsing every run
+// of two or more consecutive AttemptResult frames into one
+// AttemptResultBatch and every such run of ResultPush frames into one
+// ResultPushBatch. Lone frames pass through untouched, so low-rate traffic
+// stays byte-identical to the pre-batch revision, and relative frame order
+// is preserved — a ResultPush queued before a JobDone still arrives before
+// it. Callers must only use it on connections whose peer advertised
+// CapBatch.
+func FoldBatchFrames(batch []Message) []Message {
+	out := batch[:0] // in-place: the write index never passes the read index
+	for i := 0; i < len(batch); {
+		switch batch[i].(type) {
+		case *AttemptResult:
+			j := i + 1
+			for j < len(batch) {
+				if _, ok := batch[j].(*AttemptResult); !ok {
+					break
+				}
+				j++
+			}
+			if j-i >= 2 {
+				rb := &AttemptResultBatch{Results: make([]AttemptResult, 0, j-i)}
+				for k := i; k < j; k++ {
+					rb.Results = append(rb.Results, *batch[k].(*AttemptResult))
+				}
+				out = append(out, rb)
+			} else {
+				out = append(out, batch[i])
+			}
+			i = j
+		case *ResultPush:
+			j := i + 1
+			for j < len(batch) {
+				if _, ok := batch[j].(*ResultPush); !ok {
+					break
+				}
+				j++
+			}
+			if j-i >= 2 {
+				rb := &ResultPushBatch{Results: make([]ResultPush, 0, j-i)}
+				for k := i; k < j; k++ {
+					rb.Results = append(rb.Results, *batch[k].(*ResultPush))
+				}
+				out = append(out, rb)
+			} else {
+				out = append(out, batch[i])
+			}
+			i = j
+		default:
+			out = append(out, batch[i])
+			i++
+		}
+	}
+	return out
+}

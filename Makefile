@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-smoke fuzz fuzz-smoke clean
+.PHONY: all build vet test race check bench bench-smoke bench-gate profile fuzz fuzz-smoke clean
 
 all: check
 
@@ -30,6 +30,11 @@ check:
 	# Batching smoke under race: the batched control plane (the default) and
 	# its -no-batch ablation must stay bit-identical, live and sharded.
 	$(GO) test -race -run 'TestDifferentialBatching' -count 1 ./internal/broker/
+	# Partitioned-core smoke under race: -partitions=1 must stay
+	# event-identical to the legacy serialized broker, and the cross-stripe
+	# stress (interleaved submit/result/deadline/cancel plus a provider loss)
+	# must finalize every tasklet exactly once and leak no attempts.
+	$(GO) test -race -run 'TestDifferentialPartitions|TestPartitionStress' -count 1 ./internal/broker/
 
 # bench runs the headline benchmarks with allocation reporting: interpreter
 # hot paths, the broker data-plane throughput pair (coalescing on/off), and
@@ -44,6 +49,28 @@ bench:
 	$(GO) test -run XXX -bench BenchmarkBrokerPlacement -benchmem ./internal/broker/
 	$(GO) test -run XXX -bench BenchmarkLifecycleEngine -benchmem ./internal/lifecycle/
 	$(GO) test -run XXX -bench 'BenchmarkRing|BenchmarkPlanPull' -benchmem ./internal/shard/
+
+# profile captures CPU, mutex and block profiles from the saturating
+# broker-throughput benchmark — the partitioned core's hot path. Inspect
+# with `go tool pprof $(PROFILEDIR)/cpu.out` (or mutex.out / block.out) plus
+# the test binary left beside them; mutex samples on b.mu and the partition
+# stripes are the first thing to look at when scaling regresses.
+PROFILEDIR ?= profiles
+profile:
+	mkdir -p $(PROFILEDIR)
+	$(GO) test -run XXX -bench 'BenchmarkBrokerThroughput$$' -benchmem \
+		-cpuprofile $(PROFILEDIR)/cpu.out \
+		-mutexprofile $(PROFILEDIR)/mutex.out \
+		-blockprofile $(PROFILEDIR)/block.out \
+		-o $(PROFILEDIR)/bench.test .
+
+# bench-gate re-runs the partitioned-core experiment at CI scale and diffs
+# its series against the committed baseline (BENCH_PR9.json). Drops beyond
+# 10% print WARN lines but never fail the target — host noise makes CI
+# timings advisory; the hard thresholds live inside the experiment itself
+# (it errors below a 1.5x P=8-vs-P=1 speedup).
+bench-gate:
+	$(GO) run ./cmd/tasklet-bench -exp e13 -quick -q -compare BENCH_PR9.json
 
 # bench-smoke compiles and runs every throughput/ablation benchmark exactly
 # once (-benchtime=1x) — the CI gate that keeps the bench harness building

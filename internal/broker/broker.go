@@ -8,15 +8,22 @@
 //
 // Concurrency model: one reader goroutine per connection, one writer
 // goroutine per connection (fed by a bounded queue so a slow peer cannot
-// stall the broker), one scheduler goroutine, and a single mutex guarding
-// all scheduling state. State-mutating work is short and never blocks on
-// the network. Events (results, joins, deadlines) do not run placement
-// themselves: they set a dirty flag and wake the scheduler, so a burst of
-// events costs one placement pass instead of one per event, and result
-// routing never serializes behind a scheduling walk. Heartbeats bypass the
-// mutex entirely (atomic timestamp per provider). Writer goroutines drain
-// their queue in batches so one socket flush covers a burst of Assigns or
-// ResultPushes (see wire.Conn for the flush policy).
+// stall the broker), one scheduler goroutine, and per-tasklet state split
+// into P lock-striped partitions (partition.go) keyed by tasklet-ID hash.
+// Reader goroutines push decoded results into per-partition ingress rings
+// and the first arrival combines the backlog into one bulk engine Apply, so
+// lifecycle execution, QoC fan-in, memo lookups and effect emission run on
+// all cores; deadlines and retry backoffs are served by one timer wheel
+// goroutine per partition instead of one runtime timer per tasklet.
+// Placement stays single-writer: events set a dirty flag and wake the
+// scheduler goroutine, which owns scheduler.Index exclusively and drains
+// partition queues round-robin, so a burst of events costs one placement
+// pass instead of one per event. Heartbeats bypass every lock (atomic
+// timestamp per provider). Writer goroutines drain their queue in batches
+// so one socket flush covers a burst of Assigns or ResultPushes (see
+// wire.Conn for the flush policy). Options.Partitions = 1 collapses the
+// striping to a single partition whose observable behavior is pinned
+// event-identical to the pre-partitioned broker by the differential tests.
 package broker
 
 import (
@@ -25,6 +32,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,6 +67,12 @@ type Options struct {
 	// instead of once per provider. Exists for the program-cache ablation
 	// benchmark; never enable it in a real deployment.
 	DisableProgramCache bool
+
+	// Partitions is the number of lock-striped lifecycle partitions the
+	// broker runs (see partition.go). Zero selects GOMAXPROCS; 1 is the
+	// ablation/legacy-equivalent configuration with a single stripe. Capped
+	// at 64.
+	Partitions int
 
 	// MemoEntries, MemoBytes, and MemoTTL configure the broker-tier result
 	// memo (content-addressed cache of QoC-finalized results, plus
@@ -128,41 +142,68 @@ const sendQueueDepth = 4096
 // one flush.
 const writerBatchMax = 128
 
+// maxPartitions caps Options.Partitions so batch routing can track touched
+// partitions in one 64-bit mask.
+const maxPartitions = 64
+
 // Broker is the central coordinator. Create with New, start with Serve.
+//
+// Locking: b.mu guards the listener, the provider registry structure and
+// all scheduler state (index, staged batches, scratch); jobMu guards
+// consumers/jobs and their accounting (the delivery path); progMu guards
+// the program store; exMu guards the shard-exchange state (shard.go); pmu
+// is a read gate on the providers map for partition-side cancel sends; each
+// partition has its own mutex (partition.go documents the full lock order).
+// No goroutine ever holds two of {b.mu, jobMu, exMu} at once.
 type Broker struct {
 	opts Options
 	reg  *metrics.Registry
 	logf func(format string, args ...any)
 
 	mu        sync.Mutex
-	closed    bool
 	ln        net.Listener
 	providers map[core.ProviderID]*providerState
-	consumers map[core.ConsumerID]*consumerState
-	jobs      map[core.JobID]*jobState
-	programs  map[core.ProgramID][]byte
 
-	// life is the shared tasklet lifecycle engine: it owns tasklet and
-	// attempt records, memo lookups, flight coalescing, QoC decisions and
-	// finalization. The broker feeds it events under b.mu and executes the
-	// returned effects against timers and connections.
-	life *lifecycle.Engine
+	// closed flips once in Close; lock-free paths (combiners, wheels) read
+	// it without b.mu.
+	closed atomic.Bool
+
+	// pmu guards the providers map alongside b.mu: writers hold both, so a
+	// reader may hold either. Partition effect application cancels attempts
+	// under pmu.RLock, which lets provider removal barrier on pmu before
+	// the send queue is closed.
+	pmu sync.RWMutex
+
+	jobMu        sync.Mutex
+	consumers    map[core.ConsumerID]*consumerState
+	jobs         map[core.JobID]*jobState
+	nextConsumer core.ConsumerID
+	nextJob      core.JobID
+
+	progMu   sync.RWMutex
+	programs map[core.ProgramID][]byte
+
+	// parts holds the lock-striped lifecycle partitions; see partition.go.
+	parts []*partition
 	// memoOn gates content-key computation on submission (pure CPU saving;
-	// the engine would ignore the key anyway when memoization is off).
+	// the engines would ignore the key anyway when memoization is off).
 	memoOn bool
-	// deadlines holds the armed per-tasklet deadline timers (the wall-clock
-	// realization of the engine's SetDeadline effects).
-	deadlines map[core.TaskletID]*time.Timer
-
-	// pending is the placement queue: one entry per attempt awaiting a
-	// provider, in FIFO order.
-	pending []core.TaskletID
+	// pendingN tracks the total placement-queue depth across partitions.
+	pendingN atomic.Int64
 
 	// index is the incremental placement index mirroring provider
 	// free/backlog state; nil when Options.NoIndex is set or the policy has
 	// no indexed form, in which case the legacy scan runs. All Index
-	// methods are nil-safe, so event handlers update it unconditionally.
+	// methods are nil-safe. The scheduler goroutine owns it exclusively
+	// (everything touching it runs under b.mu); partitions publish slot
+	// changes through the dirty-provider list instead.
 	index *scheduler.Index
+
+	// dirtyMu guards the dirty-provider list: providers whose slot
+	// accounting moved since the last pass and need an index resync.
+	dirtyMu    sync.Mutex
+	dirtyProv  []*providerState
+	dirtySpare []*providerState
 
 	// exclScratch and candScratch are placement-pass scratch buffers,
 	// reused across picks so a pass over a deep queue performs no
@@ -172,14 +213,11 @@ type Broker struct {
 	// stagedScratch lists the providers holding a staged AssignBatch this
 	// pass; flushAssignBatchesLocked drains it.
 	stagedScratch []*providerState
-	// evScratch stages bulk lifecycle events (batched results, job
-	// admission); reused across bursts under b.mu.
-	evScratch []lifecycle.Event
 
 	// schedDirty marks that scheduling state changed since the last
 	// placement pass; schedWake pokes the scheduler goroutine. Events
 	// between two passes collapse into one flag, so a burst costs one pass.
-	schedDirty bool
+	schedDirty atomic.Bool
 	schedWake  chan struct{}
 
 	// peers maps remote shard IDs to their bound peer links; links holds
@@ -189,28 +227,32 @@ type Broker struct {
 	// or dies, and to route the MigrateResult back into job accounting.
 	// adopted records tasklets accepted from a peer, keyed by their fresh
 	// local ID, so their finals return as MigrateResult instead of a
-	// consumer push. See shard.go for the whole exchange.
+	// consumer push. All five live under exMu; see shard.go.
+	exMu     sync.Mutex
 	peers    map[uint64]*peerState
 	links    map[*peerState]bool
 	migrated map[core.TaskletID]migratedRec
 	adopted  map[core.TaskletID]adoptedRec
 
 	gossipSeq  uint64
-	finalizedN int64 // finals processed (local + adopted); feeds the gossip rate
 	lastFinal  int64
 	exchRate   float64
 	exchRateOK bool
+	// finalizedN counts finals processed (local + adopted); feeds the
+	// gossip rate. Atomic: partitions bump it, gossipTick reads it.
+	finalizedN atomic.Int64
 
-	nextProvider core.ProviderID
-	nextConsumer core.ConsumerID
-	nextJob      core.JobID
-	nextTasklet  core.TaskletID
+	nextProvider core.ProviderID // under b.mu
+	nextTasklet  atomic.Uint64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 
 	// Hot-path metric handles, resolved once at construction so the
-	// per-result path never takes the registry lock.
+	// per-result path never takes the registry lock. The per-attempt and
+	// per-tasklet counters are additionally lock-striped: each partition
+	// increments its own cell (cached in the partition struct) and Value()
+	// merges.
 	mSendDropped   *metrics.Counter
 	mAttemptsOK    *metrics.Counter
 	mAttemptsFlt   *metrics.Counter
@@ -221,6 +263,7 @@ type Broker struct {
 	mFailed        *metrics.Counter
 	mDeadlineExp   *metrics.Counter
 	mProvidersLost *metrics.Counter
+	mSubmitted     *metrics.Counter
 	mExecMS        *metrics.Histogram
 	mLatencyMS     *metrics.Histogram
 	mSchedPassNS   *metrics.Histogram
@@ -233,17 +276,26 @@ type Broker struct {
 }
 
 type providerState struct {
-	info     core.ProviderInfo
-	out      chan wire.Message
-	nc       net.Conn
-	label    string // "provider N", precomputed for hot-path logs
-	caps     uint8  // protocol extensions advertised in Hello
-	free     int
-	backlog  int
-	sent     map[core.ProgramID]bool // programs already shipped
-	assigned int
-	finished int // attempts that returned any result
-	gone     bool
+	info  core.ProviderInfo
+	out   chan wire.Message
+	nc    net.Conn
+	label string // "provider N", precomputed for hot-path logs
+	caps  uint8  // protocol extensions advertised in Hello
+
+	// free/backlog/finished are atomics: partition combiners settle them as
+	// results arrive while the scheduler reads them under b.mu. assigned
+	// and the reliability estimate inside info stay scheduler-only.
+	free     atomic.Int64
+	backlog  atomic.Int64
+	finished atomic.Int64 // attempts that returned any result
+	assigned int          // under b.mu
+
+	sent map[core.ProgramID]bool // programs already shipped; under b.mu
+
+	gone atomic.Bool
+	// dirty marks membership in the broker's dirty-provider list (one
+	// index resync per pass however many results arrived).
+	dirty atomic.Bool
 
 	// staged accumulates this pass's assignments into one AssignBatch frame
 	// (batch-capable providers only); flushed at the end of every placement
@@ -295,6 +347,15 @@ func New(opts Options) *Broker {
 	if opts.GossipInterval <= 0 {
 		opts.GossipInterval = 100 * time.Millisecond
 	}
+	if opts.Partitions == 0 {
+		opts.Partitions = runtime.GOMAXPROCS(0)
+	}
+	if opts.Partitions < 1 {
+		opts.Partitions = 1
+	}
+	if opts.Partitions > maxPartitions {
+		opts.Partitions = maxPartitions
+	}
 	opts.ExchangePolicy = opts.ExchangePolicy.Normalize()
 	reg := opts.Metrics
 	if reg == nil {
@@ -312,7 +373,6 @@ func New(opts Options) *Broker {
 		consumers: map[core.ConsumerID]*consumerState{},
 		jobs:      map[core.JobID]*jobState{},
 		programs:  map[core.ProgramID][]byte{},
-		deadlines: map[core.TaskletID]*time.Timer{},
 		peers:     map[uint64]*peerState{},
 		links:     map[*peerState]bool{},
 		migrated:  map[core.TaskletID]migratedRec{},
@@ -330,6 +390,7 @@ func New(opts Options) *Broker {
 	b.mFailed = reg.Counter("tasklets.failed")
 	b.mDeadlineExp = reg.Counter("tasklets.deadline_expired")
 	b.mProvidersLost = reg.Counter("providers.lost")
+	b.mSubmitted = reg.Counter("tasklets.submitted")
 	b.mExecMS = reg.Histogram("attempt.exec_ms")
 	b.mLatencyMS = reg.Histogram("tasklet.latency_ms")
 	b.mSchedPassNS = reg.Histogram("broker.sched_pass_ns")
@@ -346,10 +407,15 @@ func New(opts Options) *Broker {
 			b.index = ix
 		}
 	}
+
 	var lopts lifecycle.Options
 	lopts.MaxAttempts = opts.MaxAttempts
 	lopts.RetryBackoff = opts.RetryBackoff
 	if opts.MemoEntries >= 0 && opts.MemoBytes >= 0 && opts.MemoTTL >= 0 {
+		// One cache shared by every partition engine (the cache carries its
+		// own mutex), so repeats hit across partitions. Flight tables are
+		// per partition: a flight's waiter fan-out dereferences the owning
+		// engine's tasklet records, so coalescing is partition-local.
 		lopts.Memo = memo.New(memo.Config{
 			MaxEntries: opts.MemoEntries,
 			MaxBytes:   opts.MemoBytes,
@@ -357,11 +423,57 @@ func New(opts Options) *Broker {
 			Metrics:    reg,
 			Prefix:     "memo.",
 		})
-		lopts.Flights = memo.NewFlightTable(reg, "memo.")
 		b.memoOn = true
 	}
-	b.life = lifecycle.New(lopts)
+
+	p := opts.Partitions
+	b.mAttemptsOK.Shard(p)
+	b.mAttemptsFlt.Shard(p)
+	b.mAttemptsOth.Shard(p)
+	b.mCompleted.Shard(p)
+	b.mFailed.Shard(p)
+	b.mDeadlineExp.Shard(p)
+	b.mExecMS.Shard(p)
+	b.mLatencyMS.Shard(p)
+	b.parts = make([]*partition, p)
+	for i := range b.parts {
+		po := lopts
+		po.AttemptOffset = uint64(i)
+		po.AttemptStride = uint64(p)
+		if b.memoOn {
+			po.Flights = memo.NewFlightTable(reg, "memo.")
+		}
+		part := &partition{
+			idx:        i,
+			life:       lifecycle.New(po),
+			ring:       newIngressRing(),
+			cOK:        b.mAttemptsOK.Cell(i),
+			cFlt:       b.mAttemptsFlt.Cell(i),
+			cOth:       b.mAttemptsOth.Cell(i),
+			cCompleted: b.mCompleted.Cell(i),
+			cFailed:    b.mFailed.Cell(i),
+			cDeadlineExp: b.mDeadlineExp.Cell(i),
+			hExec:      b.mExecMS.Cell(i),
+			hLatency:   b.mLatencyMS.Cell(i),
+		}
+		part.wheel = newTimerWheel(b.wheelFire(part))
+		b.parts[i] = part
+	}
 	return b
+}
+
+// wheelFire builds part's timer-wheel callback: firings enter the partition
+// through its ingress ring like any other event, so the combiner discipline
+// covers them.
+func (b *Broker) wheelFire(part *partition) func(kind uint8, tid core.TaskletID) {
+	return func(kind uint8, tid core.TaskletID) {
+		ev := partEvent{kind: peDeadline, tid: tid}
+		if kind == wheelLaunch {
+			ev.kind = peLaunchReady
+		}
+		part.ring.push(&ev)
+		b.pump(part)
+	}
 }
 
 // Metrics returns the broker's metrics registry.
@@ -375,7 +487,7 @@ func (b *Broker) Listen(addr string) (string, error) {
 		return "", fmt.Errorf("broker: listen %s: %w", addr, err)
 	}
 	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		b.mu.Unlock()
 		ln.Close()
 		return "", errors.New("broker: already closed")
@@ -396,6 +508,14 @@ func (b *Broker) Listen(addr string) (string, error) {
 		defer b.wg.Done()
 		b.schedLoop()
 	}()
+	for _, part := range b.parts {
+		w := part.wheel
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			w.run(b.stop)
+		}()
+	}
 	if b.opts.ShardID != 0 {
 		b.wg.Add(1)
 		go func() {
@@ -410,24 +530,28 @@ func (b *Broker) Listen(addr string) (string, error) {
 // waits for the handler goroutines to drain.
 func (b *Broker) Close() error {
 	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		b.mu.Unlock()
 		return nil
 	}
-	b.closed = true
+	b.closed.Store(true)
 	close(b.stop)
 	ln := b.ln
 	var conns []net.Conn
 	for _, p := range b.providers {
 		conns = append(conns, p.nc)
 	}
+	b.mu.Unlock()
+	b.jobMu.Lock()
 	for _, c := range b.consumers {
 		conns = append(conns, c.nc)
 	}
+	b.jobMu.Unlock()
+	b.exMu.Lock()
 	for ps := range b.links {
 		conns = append(conns, ps.nc)
 	}
-	b.mu.Unlock()
+	b.exMu.Unlock()
 
 	if ln != nil {
 		ln.Close()
@@ -468,23 +592,21 @@ func (b *Broker) reaperLoop() {
 			return
 		}
 		b.mu.Lock()
-		if b.closed {
+		if b.closed.Load() {
 			b.mu.Unlock()
 			return
 		}
 		cutoff := time.Now().Add(-b.opts.HeartbeatTimeout).UnixNano()
 		var dead []*providerState
 		for _, p := range b.providers {
-			if !p.gone && p.lastBeat.Load() < cutoff {
+			if !p.gone.Load() && p.lastBeat.Load() < cutoff {
 				dead = append(dead, p)
 			}
 		}
-		for _, p := range dead {
-			b.logf("broker: provider %d missed heartbeats, removing", p.info.ID)
-			b.removeProviderLocked(p)
-		}
 		b.mu.Unlock()
 		for _, p := range dead {
+			b.logf("broker: provider %d missed heartbeats, removing", p.info.ID)
+			b.removeProvider(p)
 			p.nc.Close()
 		}
 	}
@@ -525,9 +647,10 @@ func (b *Broker) handleConn(nc net.Conn) {
 }
 
 // schedLoop is the single scheduler goroutine: it runs one placement pass
-// per wake-up. While a pass holds b.mu, arriving events queue on the mutex,
-// set the dirty flag, and are all covered by the next pass — so a burst of
-// N results costs one or two walks of the placement queue, not N.
+// per wake-up. While a pass holds b.mu and the partition locks, arriving
+// events settle into partition state, set the dirty flag, and are all
+// covered by the next pass — so a burst of N results costs one or two walks
+// of the placement queue, not N.
 func (b *Broker) schedLoop() {
 	for {
 		select {
@@ -535,20 +658,22 @@ func (b *Broker) schedLoop() {
 		case <-b.stop:
 			return
 		}
-		b.mu.Lock()
-		for b.schedDirty && !b.closed {
-			b.schedDirty = false
+		for b.schedDirty.Swap(false) {
+			if b.closed.Load() {
+				return
+			}
+			b.mu.Lock()
 			b.schedulePassLocked()
+			b.mu.Unlock()
 		}
-		b.mu.Unlock()
 	}
 }
 
-// scheduleLocked records that scheduling state changed and wakes the
-// scheduler goroutine. Callers hold b.mu; the pass itself runs on the
-// scheduler goroutine so event handlers return immediately.
-func (b *Broker) scheduleLocked() {
-	b.schedDirty = true
+// schedule records that scheduling state changed and wakes the scheduler
+// goroutine. Callers need no lock; the pass itself runs on the scheduler
+// goroutine so event handlers return immediately.
+func (b *Broker) schedule() {
+	b.schedDirty.Store(true)
 	select {
 	case b.schedWake <- struct{}{}:
 	default: // a wake-up is already pending; it will cover this event
@@ -583,55 +708,11 @@ func (b *Broker) enqueue(out chan wire.Message, m wire.Message, nc net.Conn, war
 	}
 }
 
-// ---------- lifecycle effect application ----------
-
-// applyEffectsLocked executes the lifecycle engine's effects against the
-// wire world: pending-queue appends, cancel messages, deadline timers, and
-// result delivery. Effect slices are only valid until the next engine call,
-// so callers must apply them before feeding another event.
-func (b *Broker) applyEffectsLocked(fx []lifecycle.Effect) {
-	for i := range fx {
-		b.applyEffectLocked(&fx[i])
-	}
-}
-
-func (b *Broker) applyEffectLocked(ef *lifecycle.Effect) {
-	switch ef.Kind {
-	case lifecycle.EffectLaunch:
-		if ef.Delay > 0 {
-			// Backoff re-issue: queue only after the delay, and only if the
-			// tasklet is still live by then.
-			tid := ef.Tasklet
-			time.AfterFunc(ef.Delay, func() {
-				b.mu.Lock()
-				if !b.closed && b.life.Live(tid) {
-					b.pending = append(b.pending, tid)
-					b.scheduleLocked()
-				}
-				b.mu.Unlock()
-			})
-		} else {
-			b.pending = append(b.pending, ef.Tasklet)
-		}
-	case lifecycle.EffectCancelAttempt:
-		if p := b.providers[ef.Provider]; p != nil {
-			b.enqueue(p.out, &wire.CancelAttempt{Attempt: ef.Attempt}, p.nc, &p.dropWarned, p.label)
-		}
-	case lifecycle.EffectSetDeadline:
-		tid := ef.Tasklet
-		b.deadlines[tid] = time.AfterFunc(ef.Delay, func() { b.onDeadline(tid) })
-	case lifecycle.EffectDeliver:
-		b.deliverLocked(ef)
-	case lifecycle.EffectMemoStore, lifecycle.EffectCoalesced:
-		// Informational; the memo package maintains its own counters.
-	}
-}
-
 // ---------- provider side ----------
 
 func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) {
 	b.mu.Lock()
-	if b.closed {
+	if b.closed.Load() {
 		b.mu.Unlock()
 		return
 	}
@@ -653,7 +734,9 @@ func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 		sent:  map[core.ProgramID]bool{},
 	}
 	p.lastBeat.Store(now.UnixNano())
+	b.pmu.Lock()
 	b.providers[id] = p
+	b.pmu.Unlock()
 	b.mu.Unlock()
 
 	b.wg.Add(1)
@@ -679,15 +762,15 @@ func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 			p.info.Slots = m.Slots
 			p.info.Class = m.Class
 			p.info.Speed = m.Speed
-			p.free = m.Slots
-			b.index.Upsert(&p.info, p.free, p.backlog)
-			b.scheduleLocked()
+			p.free.Store(int64(m.Slots))
+			b.index.Upsert(&p.info, m.Slots, int(p.backlog.Load()))
 			b.mu.Unlock()
+			b.schedule()
 			b.logf("broker: provider %d registered: %d slots, %.1f Mops/s, class %s",
 				id, m.Slots, m.Speed, m.Class)
 		case *wire.Heartbeat:
 			// Liveness only; no broker state changes, so heartbeats never
-			// queue behind the scheduling mutex.
+			// queue behind any lock.
 			p.lastBeat.Store(time.Now().UnixNano())
 		case *wire.AttemptResult:
 			b.onAttemptResult(p, m)
@@ -701,92 +784,86 @@ func (b *Broker) serveProvider(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 		}
 	}
 done:
-	b.mu.Lock()
-	b.removeProviderLocked(p)
-	b.mu.Unlock()
+	b.removeProvider(p)
+	// Barrier: a partition applying a CancelAttempt may hold a reference
+	// from before the map delete; it enqueues under pmu.RLock, so one write
+	// acquisition guarantees no send races the close below.
+	b.pmu.Lock()
+	b.pmu.Unlock() //lint:ignore SA2001 empty section is the barrier
 	close(p.out)
 	b.mProvidersLost.Inc()
 	b.logf("broker: provider %d disconnected", id)
 }
 
-// removeProviderLocked declares a provider dead: its in-flight attempts are
-// fed back to the lifecycle engine as lost. Idempotent.
-func (b *Broker) removeProviderLocked(p *providerState) {
-	if p.gone {
+// removeProvider declares a provider dead: its in-flight attempts are fed
+// back to every partition engine as lost. Idempotent; callers hold no
+// locks.
+func (b *Broker) removeProvider(p *providerState) {
+	b.mu.Lock()
+	if p.gone.Swap(true) {
+		b.mu.Unlock()
 		return
 	}
-	p.gone = true
+	b.pmu.Lock()
 	delete(b.providers, p.info.ID)
+	b.pmu.Unlock()
 	b.index.Remove(p.info.ID)
+	b.mu.Unlock()
 
-	lost, fx := b.life.ProviderLost(p.info.ID)
+	lost := 0
+	var out []lifecycle.Effect
+	for _, part := range b.parts {
+		part.mu.Lock()
+		n, fx := part.life.ProviderLost(p.info.ID)
+		lost += n
+		out, _ = b.applyPartFxLocked(part, fx, out)
+		part.mu.Unlock()
+	}
 	if lost > 0 {
 		b.mAttemptsLost.Add(int64(lost))
 	}
-	b.applyEffectsLocked(fx)
-	b.scheduleLocked()
+	b.applyOutFx(out)
+	b.schedule()
 }
 
-// onAttemptResult processes a provider's result report.
+// onAttemptResult routes a provider's result report to its partition.
 func (b *Broker) onAttemptResult(p *providerState, m *wire.AttemptResult) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-
-	disp, fx := b.life.Result(core.Result{
-		Tasklet:   m.Tasklet,
-		Attempt:   m.Attempt,
-		Provider:  p.info.ID,
-		Status:    m.Status,
-		Return:    m.Return,
-		Emitted:   m.Emitted,
-		FaultCode: m.FaultCode,
-		FaultMsg:  m.FaultMsg,
-		FuelUsed:  m.FuelUsed,
-		Exec:      time.Duration(m.ExecNanos),
+	part := b.part(m.Tasklet)
+	part.ring.push(&partEvent{
+		kind: peResult,
+		prov: p,
+		res: core.Result{
+			Tasklet:   m.Tasklet,
+			Attempt:   m.Attempt,
+			Provider:  p.info.ID,
+			Status:    m.Status,
+			Return:    m.Return,
+			Emitted:   m.Emitted,
+			FaultCode: m.FaultCode,
+			FaultMsg:  m.FaultMsg,
+			FuelUsed:  m.FuelUsed,
+			Exec:      time.Duration(m.ExecNanos),
+		},
 	})
-	if disp == lifecycle.ResultStale {
-		return // unknown attempt or wrong provider; no slot was consumed
-	}
-
-	p.free++
-	p.backlog--
-	p.finished++
-	b.updateReliabilityLocked(p)
-	b.index.Complete(p.info.ID) // after the reliability update so rank refreshes
-
-	if disp == lifecycle.ResultConsumed {
-		switch m.Status {
-		case core.StatusOK:
-			b.mAttemptsOK.Inc()
-		case core.StatusFault:
-			b.mAttemptsFlt.Inc()
-		default:
-			b.mAttemptsOth.Inc()
-		}
-		b.mExecMS.Observe(float64(m.ExecNanos) / 1e6)
-		b.applyEffectsLocked(fx)
-	}
-	b.scheduleLocked()
+	b.pump(part)
 }
 
-// onAttemptResultBatch processes a provider's folded burst of result
-// reports: the whole batch becomes one slice of lifecycle events applied
-// under a single lock acquisition, with one slot/index/reliability
-// settlement, one counter update per status class, and one scheduler
-// wake-up for the burst.
+// onAttemptResultBatch routes a provider's folded burst of result reports:
+// each result goes to its partition's ring, then every touched partition is
+// pumped once, so the whole burst becomes at most one bulk Engine.Apply per
+// partition (exactly one with a single partition — the legacy path).
 func (b *Broker) onAttemptResultBatch(p *providerState, m *wire.AttemptResultBatch) {
 	if len(m.Results) == 0 {
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-
-	evs := b.evScratch[:0]
+	var touched uint64
 	for i := range m.Results {
 		r := &m.Results[i]
-		evs = append(evs, lifecycle.Event{
-			Kind: lifecycle.EventResult,
-			Result: core.Result{
+		part := b.part(r.Tasklet)
+		part.ring.push(&partEvent{
+			kind: peResult,
+			prov: p,
+			res: core.Result{
 				Tasklet:   r.Tasklet,
 				Attempt:   r.Attempt,
 				Provider:  p.info.ID,
@@ -799,57 +876,20 @@ func (b *Broker) onAttemptResultBatch(p *providerState, m *wire.AttemptResultBat
 				Exec:      time.Duration(r.ExecNanos),
 			},
 		})
+		touched |= 1 << uint(part.idx)
 	}
-	fx := b.life.Apply(evs)
-
-	freed := 0
-	var nOK, nFlt, nOth int64
-	for i := range evs {
-		if evs[i].Disp == lifecycle.ResultStale {
-			continue // unknown attempt or wrong provider; no slot was consumed
+	for _, part := range b.parts {
+		if touched&(1<<uint(part.idx)) != 0 {
+			b.pump(part)
 		}
-		freed++
-		if evs[i].Disp != lifecycle.ResultConsumed {
-			continue
-		}
-		r := &m.Results[i]
-		switch r.Status {
-		case core.StatusOK:
-			nOK++
-		case core.StatusFault:
-			nFlt++
-		default:
-			nOth++
-		}
-		b.mExecMS.Observe(float64(r.ExecNanos) / 1e6)
 	}
-	if freed > 0 {
-		p.free += freed
-		p.backlog -= freed
-		p.finished += freed
-		b.updateReliabilityLocked(p)
-		// One absolute index resync replaces `freed` Complete calls: Upsert
-		// sets free/backlog outright and re-ranks once.
-		b.index.Upsert(&p.info, p.free, p.backlog)
-	}
-	if nOK > 0 {
-		b.mAttemptsOK.Add(nOK)
-	}
-	if nFlt > 0 {
-		b.mAttemptsFlt.Add(nFlt)
-	}
-	if nOth > 0 {
-		b.mAttemptsOth.Add(nOth)
-	}
-	b.applyEffectsLocked(fx)
-	b.scheduleLocked()
-	b.evScratch = evs[:0]
 }
 
-// updateReliabilityLocked refreshes the completion-ratio estimate.
+// updateReliabilityLocked refreshes the completion-ratio estimate. Callers
+// hold b.mu (info.Reliability is scheduler-owned).
 func (b *Broker) updateReliabilityLocked(p *providerState) {
 	if p.assigned > 0 {
-		p.info.Reliability = float64(p.finished) / float64(p.assigned)
+		p.info.Reliability = float64(p.finished.Load()) / float64(p.assigned)
 		if p.info.Reliability > 1 {
 			p.info.Reliability = 1
 		}
@@ -859,11 +899,10 @@ func (b *Broker) updateReliabilityLocked(p *providerState) {
 // ---------- consumer side ----------
 
 func (b *Broker) serveConsumer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Load() {
 		return
 	}
+	b.jobMu.Lock()
 	b.nextConsumer++
 	id := b.nextConsumer
 	c := &consumerState{
@@ -875,7 +914,7 @@ func (b *Broker) serveConsumer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 		jobs:  map[core.JobID]bool{},
 	}
 	b.consumers[id] = c
-	b.mu.Unlock()
+	b.jobMu.Unlock()
 
 	// Batch-capable consumers get each writer burst's run of ResultPushes
 	// folded into one ResultPushBatch frame; legacy consumers keep receiving
@@ -916,15 +955,13 @@ func (b *Broker) serveConsumer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) 
 		}
 	}
 done:
-	b.mu.Lock()
-	b.removeConsumerLocked(c)
-	b.mu.Unlock()
+	b.removeConsumer(c)
 	close(c.out)
 	b.logf("broker: consumer %d disconnected", id)
 }
 
 // acceptJob validates and admits a job, submitting its tasklets to the
-// lifecycle engine.
+// partition lifecycle engines.
 func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 	spec := core.JobSpec{
 		Program: m.Program, Params: m.Params, QoC: m.QoC, Fuel: m.Fuel, Seed: m.Seed,
@@ -937,229 +974,204 @@ func (b *Broker) acceptJob(c *consumerState, m *wire.SubmitJob) error {
 		fuel = 100_000_000
 	}
 
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if c.gone {
-		return errors.New("broker: consumer disconnected")
-	}
-	if c.pending+len(m.Params) > b.opts.MaxPendingPerConsumer {
-		return fmt.Errorf("broker: consumer queue limit %d exceeded", b.opts.MaxPendingPerConsumer)
-	}
-
 	progID := core.HashProgram(m.Program)
+	b.progMu.Lock()
 	if _, ok := b.programs[progID]; !ok {
 		data := make([]byte, len(m.Program))
 		copy(data, m.Program)
 		b.programs[progID] = data
 	}
+	b.progMu.Unlock()
+
+	n := len(m.Params)
+	b.jobMu.Lock()
+	if c.gone {
+		b.jobMu.Unlock()
+		return errors.New("broker: consumer disconnected")
+	}
+	if c.pending+n > b.opts.MaxPendingPerConsumer {
+		b.jobMu.Unlock()
+		return fmt.Errorf("broker: consumer queue limit %d exceeded", b.opts.MaxPendingPerConsumer)
+	}
 
 	b.nextJob++
-	job := &jobState{id: b.nextJob, consumer: c.id, total: len(m.Params)}
+	job := &jobState{id: b.nextJob, consumer: c.id, total: n}
 	b.jobs[job.id] = job
 	c.jobs[job.id] = true
+	c.pending += n
 
-	// The whole job is one bulk Submit: the engine walks every tasklet under
-	// a single effect-scratch reset and returns one concatenated effect
-	// slice. Deliver effects (cache hits) are skipped on the first walk and
-	// replayed only after the JobAccepted below, so the consumer has
-	// registered the job before its first ResultPush arrives; nothing
-	// between the two walks calls the engine, so the slice stays valid.
+	// Tasklet IDs are allocated as one contiguous run so P=1 keeps the
+	// legacy sequence, then the whole job is grouped per partition: each
+	// group is one bulk Apply under its partition's effect-scratch reset
+	// (one group — the legacy single bulk Submit — when Partitions is 1).
+	// JobAccepted is queued before any engine runs so the consumer has
+	// registered the job before its first ResultPush (cache hits deliver
+	// from the partition walk below).
+	base := core.TaskletID(b.nextTasklet.Add(uint64(n)) - uint64(n))
 	now := time.Now()
-	evs := b.evScratch[:0]
+	groups := make([][]lifecycle.Event, len(b.parts))
 	for i, params := range m.Params {
-		b.nextTasklet++
+		tid := base + core.TaskletID(i) + 1
 		t := core.Tasklet{
-			ID: b.nextTasklet, Job: job.id, Index: i,
+			ID: tid, Job: job.id, Index: i,
 			Program: progID, Params: params,
 			QoC: m.QoC, Fuel: fuel, Seed: m.Seed, Submitted: now,
 		}
 		job.tasklets = append(job.tasklets, t.ID)
-		c.pending++
 
 		ev := lifecycle.Event{Kind: lifecycle.EventSubmit, Tasklet: t}
 		if b.memoOn {
 			ev.Key, ev.HaveKey = memo.KeyFor(uint64(progID), t.Seed, t.Params)
 		}
-		evs = append(evs, ev)
+		pi := b.part(tid).idx
+		groups[pi] = append(groups[pi], ev)
 	}
-	fx := b.life.Apply(evs)
-	for j := range fx {
-		if fx[j].Kind != lifecycle.EffectDeliver {
-			b.applyEffectLocked(&fx[j])
-		}
-	}
-	b.reg.Counter("tasklets.submitted").Add(int64(len(m.Params)))
+	b.mSubmitted.Add(int64(n))
 	b.enqueue(c.out, &wire.JobAccepted{Job: job.id, Tasklets: job.total}, c.nc, &c.dropWarned, c.label)
-	for j := range fx {
-		if fx[j].Kind == lifecycle.EffectDeliver {
-			b.deliverLocked(&fx[j])
-		}
-	}
-	b.evScratch = evs[:0]
-	b.logf("broker: job %d accepted: %d tasklets, qoc %s", job.id, job.total, m.QoC.Mode)
-	b.scheduleLocked()
-	return nil
-}
+	b.jobMu.Unlock()
 
-// onDeadline fails a tasklet whose wall-clock budget expired.
-func (b *Broker) onDeadline(id core.TaskletID) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	expired, fx := b.life.Deadline(id)
-	if !expired {
-		return
+	for pi, evs := range groups {
+		b.feedPartition(b.parts[pi], evs)
 	}
-	b.mDeadlineExp.Inc()
-	b.applyEffectsLocked(fx)
-	b.scheduleLocked() // a deadlined leader's dissolved flight re-queues its waiters
+	b.logf("broker: job %d accepted: %d tasklets, qoc %s", job.id, job.total, m.QoC.Mode)
+	b.schedule()
+	return nil
 }
 
 // cancelJob abandons a job's outstanding tasklets.
 func (b *Broker) cancelJob(c *consumerState, id core.JobID) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.jobMu.Lock()
 	job := b.jobs[id]
 	if job == nil || job.consumer != c.id || job.cancelled {
+		b.jobMu.Unlock()
 		return
 	}
 	job.cancelled = true
-	for _, tid := range job.tasklets {
-		if _, ok := b.migrated[tid]; ok {
-			// Migrated away: the origin-side record is the unit of ownership
-			// and it dies here; the peer's copy runs to waste and its
-			// MigrateResult will find no record.
-			delete(b.migrated, tid)
-			job.failed++
-			c.pending--
-			continue
+	tids := append([]core.TaskletID(nil), job.tasklets...)
+	b.jobMu.Unlock()
+
+	// Migrated tasklets die here: the origin-side record is the unit of
+	// ownership; the peer's copy runs to waste and its MigrateResult will
+	// find no record.
+	migN := 0
+	wasMigrated := map[core.TaskletID]bool{}
+	if b.opts.ShardID != 0 {
+		b.exMu.Lock()
+		for _, tid := range tids {
+			if _, ok := b.migrated[tid]; ok {
+				delete(b.migrated, tid)
+				wasMigrated[tid] = true
+				migN++
+			}
 		}
-		dropped, fx := b.life.Cancel(tid)
-		if !dropped {
-			continue
-		}
-		b.stopDeadlineLocked(tid)
-		job.failed++
-		c.pending--
-		b.applyEffectsLocked(fx)
+		b.exMu.Unlock()
 	}
-	b.purgePendingLocked()
-	b.scheduleLocked() // a dropped leader may have promoted a waiter
-	b.enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc, &c.dropWarned, c.label)
+
+	dropped := 0
+	for _, tid := range tids {
+		if wasMigrated[tid] {
+			continue
+		}
+		if b.cancelOne(tid) {
+			dropped++
+		}
+	}
+	b.purgePending()
+	b.schedule() // a dropped leader may have promoted a waiter
+
+	b.jobMu.Lock()
+	// A racing final delivery may have completed the job and sent its
+	// JobDone already; only account and reply if the job record survived.
+	if b.jobs[id] == job {
+		job.failed += dropped + migN
+		c.pending -= dropped + migN
+		if !c.gone {
+			b.enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc, &c.dropWarned, c.label)
+		}
+	}
+	b.jobMu.Unlock()
 	b.logf("broker: job %d cancelled", id)
 }
 
-// removeConsumerLocked drops a consumer and abandons its outstanding work.
-func (b *Broker) removeConsumerLocked(c *consumerState) {
+// removeConsumer drops a consumer and abandons its outstanding work.
+// Idempotent; callers hold no locks.
+func (b *Broker) removeConsumer(c *consumerState) {
+	b.jobMu.Lock()
 	if c.gone {
+		b.jobMu.Unlock()
 		return
 	}
 	c.gone = true
 	delete(b.consumers, c.id)
+	var tids []core.TaskletID
 	for jid := range c.jobs {
 		job := b.jobs[jid]
 		if job == nil {
 			continue
 		}
-		for _, tid := range job.tasklets {
-			delete(b.migrated, tid)
-			if dropped, fx := b.life.Cancel(tid); dropped {
-				b.stopDeadlineLocked(tid)
-				b.applyEffectsLocked(fx)
-			}
-		}
+		tids = append(tids, job.tasklets...)
 		delete(b.jobs, jid)
 	}
-	b.purgePendingLocked()
-	b.scheduleLocked() // a dropped leader may have promoted a waiter
-}
+	b.jobMu.Unlock()
 
-// stopDeadlineLocked disarms and forgets a tasklet's deadline timer, if any.
-func (b *Broker) stopDeadlineLocked(tid core.TaskletID) {
-	if t := b.deadlines[tid]; t != nil {
-		t.Stop()
-		delete(b.deadlines, tid)
+	if b.opts.ShardID != 0 && len(tids) > 0 {
+		b.exMu.Lock()
+		for _, tid := range tids {
+			delete(b.migrated, tid)
+		}
+		b.exMu.Unlock()
 	}
-}
-
-// deliverLocked pushes a final result to the consumer and updates job
-// accounting.
-func (b *Broker) deliverLocked(ef *lifecycle.Effect) {
-	b.stopDeadlineLocked(ef.Tasklet)
-	b.finalizedN++
-	if rec, ok := b.adopted[ef.Tasklet]; ok {
-		// An adopted tasklet's final goes home as a MigrateResult: the
-		// origin shard owns the consumer connection and the job accounting.
-		delete(b.adopted, ef.Tasklet)
-		b.returnAdoptedLocked(rec, ef)
-		return
+	for _, tid := range tids {
+		// Deliver effects from promoted waiters find their jobs deleted and
+		// no-op; cancels of in-flight attempts still go out.
+		b.cancelOne(tid)
 	}
-	final := ef.Final
-
-	job := b.jobs[final.Job]
-	if job == nil {
-		return
-	}
-	if final.OK() {
-		job.completed++
-		b.mCompleted.Inc()
-	} else {
-		job.failed++
-		b.mFailed.Inc()
-	}
-	b.mLatencyMS.ObserveDuration(time.Since(ef.Submitted))
-
-	c := b.consumers[job.consumer]
-	if c == nil || c.gone {
-		return
-	}
-	c.pending--
-	b.enqueue(c.out, &wire.ResultPush{
-		Job:       final.Job,
-		Tasklet:   final.Tasklet,
-		Index:     final.Index,
-		Status:    final.Status,
-		Return:    final.Return,
-		Emitted:   final.Emitted,
-		FaultCode: final.FaultCode,
-		FaultMsg:  final.FaultMsg,
-		Provider:  final.Provider,
-		Attempts:  ef.Attempts,
-		ExecNanos: int64(final.Exec),
-	}, c.nc, &c.dropWarned, c.label)
-	if job.completed+job.failed == job.total {
-		b.enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc, &c.dropWarned, c.label)
-		delete(b.jobs, job.id)
-		delete(c.jobs, job.id)
-		b.logf("broker: job %d done: %d completed, %d failed", job.id, job.completed, job.failed)
-	}
+	b.purgePending()
+	b.schedule() // a dropped leader may have promoted a waiter
 }
 
 // ---------- scheduling ----------
 
-// schedulePassLocked walks the placement queue, assigning attempts to
-// providers according to the policy. Entries whose tasklet vanished (job
-// cancelled, already complete) are purged. Entries with no eligible provider
-// stay queued. Event handlers never call this directly — they call
-// scheduleLocked, which batches an event-burst into one pass run by
-// schedLoop.
+// schedulePassLocked drains the partition placement queues round-robin,
+// assigning attempts to providers according to the policy. Entries whose
+// tasklet vanished (job cancelled, already complete) are purged. Entries
+// with no eligible provider stay queued. Event handlers never call this
+// directly — they call schedule, which batches an event-burst into one pass
+// run by schedLoop. The pass starts by folding partition-side slot
+// settlements into the index (syncDirtyProvidersLocked), keeping the index
+// single-writer.
 //
-// Two implementations exist: the indexed batch pass (default) feeds the
-// queue through the incremental scheduler index — each pick is a heap peek
-// or an order-statistics query, zero allocations — while the legacy pass
-// (Options.NoIndex, or a policy without an indexed form) rebuilds the
-// candidate slice per pick. Both place the same provider sequence; the
-// differential tests pin that equivalence.
+// Two per-entry implementations exist: the indexed batch pass (default)
+// feeds the queue through the incremental scheduler index — each pick is a
+// heap peek or an order-statistics query, zero allocations — while the
+// legacy pass (Options.NoIndex, or a policy without an indexed form)
+// rebuilds the candidate slice per pick. Both place the same provider
+// sequence; the differential tests pin that equivalence.
 func (b *Broker) schedulePassLocked() {
-	b.mPendingDep.Set(int64(len(b.pending)))
-	if len(b.pending) == 0 || len(b.providers) == 0 {
+	b.syncDirtyProvidersLocked()
+	b.mPendingDep.Set(b.pendingN.Load())
+	if b.pendingN.Load() == 0 || len(b.providers) == 0 {
 		return
 	}
 	start := time.Now()
-	var placed int
-	if b.index != nil {
-		placed = b.schedulePassIndexedLocked()
-	} else {
-		placed = b.schedulePassLegacyLocked()
+	placed := 0
+	totalFree := -1
+	if b.index == nil {
+		totalFree = 0
+		for _, p := range b.providers {
+			if p.info.Slots > 0 {
+				totalFree += int(p.free.Load())
+			}
+		}
+	}
+	for _, part := range b.parts {
+		part.mu.Lock()
+		if b.index != nil {
+			placed += b.drainPartitionIndexedLocked(part)
+		} else {
+			placed += b.drainPartitionLegacyLocked(part, &totalFree)
+		}
+		part.mu.Unlock()
 	}
 	b.flushAssignBatchesLocked()
 	b.mSchedPassNS.Observe(float64(time.Since(start)))
@@ -1167,71 +1179,67 @@ func (b *Broker) schedulePassLocked() {
 		b.mPlaced.Add(int64(placed))
 		b.mLaunched.Add(int64(placed)) // one counter update per pass, not per attempt
 	}
-	b.mPendingDep.Set(int64(len(b.pending)))
+	b.mPendingDep.Set(b.pendingN.Load())
 }
 
-// schedulePassIndexedLocked is the batch placement pass over the
-// incremental index. The index mirrors provider free/backlog state (event
-// handlers keep it in sync), so each pick consults the maintained order
-// directly; launchAttemptLocked's Assign hook re-ranks the chosen provider
-// before the next pick.
-func (b *Broker) schedulePassIndexedLocked() int {
+// drainPartitionIndexedLocked walks one partition's queue through the
+// incremental index. Callers hold b.mu and part.mu.
+func (b *Broker) drainPartitionIndexedLocked(part *partition) int {
+	if len(part.pending) == 0 {
+		return 0
+	}
 	placed := 0
-	remaining := b.pending[:0]
-	for idx, tid := range b.pending {
+	before := len(part.pending)
+	remaining := part.pending[:0]
+	for idx, tid := range part.pending {
 		// Without free capacity nothing below can place; keep the rest of
 		// the queue as-is instead of walking it (the queue can hold many
 		// thousands of entries and schedule runs on every result).
 		if b.index.FreeSlots() <= 0 {
-			remaining = append(remaining, b.pending[idx:]...)
+			remaining = append(remaining, part.pending[idx:]...)
 			break
 		}
-		t := b.life.Tasklet(tid)
+		t := part.life.Tasklet(tid)
 		if t == nil {
 			continue
 		}
-		b.exclScratch = b.life.AppendActiveProviders(tid, b.exclScratch[:0])
+		b.exclScratch = part.life.AppendActiveProviders(tid, b.exclScratch[:0])
 		pid, ok := b.index.Pick(t, b.exclScratch)
 		if !ok {
 			remaining = append(remaining, tid)
 			continue
 		}
 		p := b.providers[pid]
-		if p == nil || p.free <= 0 {
+		if p == nil || p.free.Load() <= 0 {
 			remaining = append(remaining, tid)
 			continue
 		}
-		if b.launchAttemptLocked(t, p) {
+		if b.launchAttemptLocked(part, t, p) {
 			placed++
 		}
 	}
-	b.pending = remaining
+	part.pending = remaining
+	b.pendingN.Add(int64(len(remaining) - before))
 	return placed
 }
 
-// schedulePassLegacyLocked is the full-scan placement pass: the candidate
-// view is rebuilt for every pick because free/backlog change as attempts
-// are assigned. Kept for the E10 ablation and for policies without an
-// indexed form.
-func (b *Broker) schedulePassLegacyLocked() int {
-	totalFree := 0
-	for _, p := range b.providers {
-		if p.info.Slots > 0 {
-			totalFree += p.free
-		}
+// drainPartitionLegacyLocked is the full-scan variant: the candidate view
+// is rebuilt for every pick because free/backlog change as attempts are
+// assigned. Kept for the E10 ablation and for policies without an indexed
+// form. totalFree is shared across partitions within one pass.
+func (b *Broker) drainPartitionLegacyLocked(part *partition, totalFree *int) int {
+	if len(part.pending) == 0 {
+		return 0
 	}
-
 	placed := 0
-	remaining := b.pending[:0]
-	for idx, tid := range b.pending {
-		// Without free capacity nothing below can place; keep the rest of
-		// the queue as-is instead of walking it (the queue can hold many
-		// thousands of entries and schedule runs on every result).
-		if totalFree <= 0 {
-			remaining = append(remaining, b.pending[idx:]...)
+	before := len(part.pending)
+	remaining := part.pending[:0]
+	for idx, tid := range part.pending {
+		if *totalFree <= 0 {
+			remaining = append(remaining, part.pending[idx:]...)
 			break
 		}
-		t := b.life.Tasklet(tid)
+		t := part.life.Tasklet(tid)
 		if t == nil {
 			continue
 		}
@@ -1243,11 +1251,11 @@ func (b *Broker) schedulePassLegacyLocked() int {
 				continue // not yet registered
 			}
 			cands = append(cands, scheduler.Candidate{
-				Info: &p.info, FreeSlots: p.free, Backlog: p.backlog,
+				Info: &p.info, FreeSlots: int(p.free.Load()), Backlog: int(p.backlog.Load()),
 			})
 		}
 		b.candScratch = cands
-		b.exclScratch = b.life.AppendActiveProviders(tid, b.exclScratch[:0])
+		b.exclScratch = part.life.AppendActiveProviders(tid, b.exclScratch[:0])
 		req := scheduler.Request{Tasklet: t, ExcludeIDs: b.exclScratch}
 		pid, ok := b.opts.Policy.Pick(req, cands)
 		if !ok {
@@ -1255,41 +1263,32 @@ func (b *Broker) schedulePassLegacyLocked() int {
 			continue
 		}
 		p := b.providers[pid]
-		if p == nil || p.free <= 0 {
+		if p == nil || p.free.Load() <= 0 {
 			remaining = append(remaining, tid)
 			continue
 		}
-		if b.launchAttemptLocked(t, p) {
+		if b.launchAttemptLocked(part, t, p) {
 			placed++
 		}
-		totalFree--
+		*totalFree--
 	}
-	b.pending = remaining
+	part.pending = remaining
+	b.pendingN.Add(int64(len(remaining) - before))
 	return placed
-}
-
-// purgePendingLocked removes queue entries whose tasklet no longer exists.
-func (b *Broker) purgePendingLocked() {
-	live := b.pending[:0]
-	for _, tid := range b.pending {
-		if b.life.Live(tid) {
-			live = append(live, tid)
-		}
-	}
-	b.pending = live
 }
 
 // launchAttemptLocked creates and dispatches one attempt. For
 // batch-capable providers the assignment is staged into the provider's
 // per-pass AssignBatch (flushed by flushAssignBatchesLocked at the end of
-// the placement pass) instead of sent as its own frame.
-func (b *Broker) launchAttemptLocked(t *core.Tasklet, p *providerState) bool {
-	aid, ok := b.life.Launched(t.ID, p.info.ID)
+// the placement pass) instead of sent as its own frame. Callers hold b.mu
+// and the partition lock of t's partition.
+func (b *Broker) launchAttemptLocked(part *partition, t *core.Tasklet, p *providerState) bool {
+	aid, ok := part.life.Launched(t.ID, p.info.ID)
 	if !ok {
 		return false // defensive; callers checked liveness under the same lock
 	}
-	p.free--
-	p.backlog++
+	p.free.Add(-1)
+	p.backlog.Add(1)
 	p.assigned++
 	b.updateReliabilityLocked(p)
 	b.index.Assign(p.info.ID) // after the reliability update so rank refreshes
@@ -1308,9 +1307,9 @@ func (b *Broker) launchAttemptLocked(t *core.Tasklet, p *providerState) bool {
 	}
 	var progData []byte
 	if b.opts.DisableProgramCache {
-		progData = b.programs[t.Program]
+		progData = b.program(t.Program)
 	} else if !p.sent[t.Program] {
-		progData = b.programs[t.Program]
+		progData = b.program(t.Program)
 		p.sent[t.Program] = true
 	}
 
@@ -1330,6 +1329,14 @@ func (b *Broker) launchAttemptLocked(t *core.Tasklet, p *providerState) bool {
 	a.ProgramData = progData
 	b.enqueue(p.out, &a, p.nc, &p.dropWarned, p.label)
 	return true
+}
+
+// program returns the stored bytecode for id (nil if unknown).
+func (b *Broker) program(id core.ProgramID) []byte {
+	b.progMu.RLock()
+	data := b.programs[id]
+	b.progMu.RUnlock()
+	return data
 }
 
 // batchHasProgram reports whether the staged batch's program table already
@@ -1372,16 +1379,16 @@ func (b *Broker) flushAssignBatchesLocked() {
 func (b *Broker) fleetInfo() *wire.FleetInfo {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	info := &wire.FleetInfo{Pending: len(b.pending)}
+	info := &wire.FleetInfo{Pending: int(b.pendingN.Load())}
 	for _, p := range b.providers {
 		info.Providers = append(info.Providers, wire.ProviderEntry{
 			ID:          p.info.ID,
 			Class:       p.info.Class,
 			Slots:       p.info.Slots,
-			FreeSlots:   p.free,
+			FreeSlots:   int(p.free.Load()),
 			Speed:       p.info.Speed,
 			Reliability: p.info.Reliability,
-			Executed:    int64(p.finished),
+			Executed:    p.finished.Load(),
 		})
 	}
 	sort.Slice(info.Providers, func(i, j int) bool {
@@ -1400,14 +1407,22 @@ type Snapshot struct {
 
 // Snapshot returns current broker state.
 func (b *Broker) Snapshot() Snapshot {
+	s := Snapshot{Pending: int(b.pendingN.Load())}
+	for _, part := range b.parts {
+		part.mu.Lock()
+		s.InFlight += part.life.InFlight()
+		part.mu.Unlock()
+	}
+	b.jobMu.Lock()
+	s.Jobs = len(b.jobs)
+	b.jobMu.Unlock()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	s := Snapshot{Pending: len(b.pending), InFlight: b.life.InFlight(), Jobs: len(b.jobs)}
 	for _, p := range b.providers {
 		info := p.info
 		info.LastHeartbeat = time.Unix(0, p.lastBeat.Load())
 		s.Providers = append(s.Providers, info)
 	}
+	b.mu.Unlock()
 	return s
 }
 

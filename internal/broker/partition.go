@@ -1,0 +1,396 @@
+package broker
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// This file implements the partitioned broker core. Per-tasklet state is
+// split into P lock-striped partitions keyed by tasklet-ID hash: each
+// partition owns a lifecycle.Engine, its own mutex, its slice of the
+// placement queue, and a timer wheel (wheel.go) for deadlines and backoff
+// re-issues. Reader goroutines route decoded results into partitions
+// through MPSC ingress rings (ingress.go) and the first arrival elects
+// itself combiner, bulk-applying the backlog through Engine.Apply. The
+// scheduler goroutine keeps exclusive ownership of scheduler.Index and
+// drains partition queues round-robin under b.mu, so placement stays
+// single-writer while lifecycle execution, QoC fan-in, memo lookups and
+// effect emission run on all cores.
+//
+// Lock order (outer → inner): b.mu → part.mu → {wheel.mu, dirtyMu}.
+// jobMu, exMu, progMu and pmu are taken with no partition lock held; a
+// partition-lock holder never takes any of them — effects that need them
+// (CancelAttempt, Deliver) are copied out under part.mu and applied after
+// release. exMu → part.mu is allowed (migrate-request scan); the reverse
+// never happens.
+
+// partition is one lock stripe of the broker's per-tasklet state.
+type partition struct {
+	idx int
+
+	mu sync.Mutex
+	// life is this partition's slice of the shared lifecycle semantics: it
+	// owns the tasklet/attempt records whose IDs hash here. Attempt IDs are
+	// striped (offset idx, stride P) so they stay globally unique.
+	life *lifecycle.Engine
+	// pending is this partition's slice of the placement queue, FIFO.
+	pending []core.TaskletID
+
+	wheel *timerWheel
+	ring  *ingressRing
+
+	// draining is the combiner election flag: the goroutine that CASes it
+	// true owns ring consumption and the combiner scratch below until it
+	// stores false again.
+	draining atomic.Bool
+	inScratch []partEvent
+	evScratch []lifecycle.Event
+	outScratch []lifecycle.Effect
+
+	// Striped metric cells (satellite: hot attempts.*/tasklets.* counters
+	// stop false-sharing one cache line across partitions).
+	cOK, cFlt, cOth        *metrics.CounterCell
+	cCompleted, cFailed    *metrics.CounterCell
+	cDeadlineExp           *metrics.CounterCell
+	hExec, hLatency        *metrics.Histogram
+}
+
+// mix64 is the splitmix64 finalizer; it spreads sequential tasklet IDs
+// uniformly across partitions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// part returns the partition owning tid.
+func (b *Broker) part(tid core.TaskletID) *partition {
+	if len(b.parts) == 1 {
+		return b.parts[0]
+	}
+	return b.parts[mix64(uint64(tid))%uint64(len(b.parts))]
+}
+
+// pump elects the caller combiner for part and drains its ingress ring to
+// empty. Callers must hold no locks. If another goroutine already holds the
+// flag it will see our events; the handoff re-check below closes the race
+// where it gave up between our push and our CAS.
+func (b *Broker) pump(part *partition) {
+	for {
+		if !part.draining.CompareAndSwap(false, true) {
+			return
+		}
+		for {
+			n := 0
+			if part.inScratch == nil {
+				part.inScratch = make([]partEvent, ingressRingSize)
+			}
+			for n < len(part.inScratch) && part.ring.pop(&part.inScratch[n]) {
+				n++
+			}
+			if n == 0 {
+				break
+			}
+			b.processBatch(part, part.inScratch[:n])
+		}
+		part.draining.Store(false)
+		if !part.ring.hasData() {
+			return
+		}
+	}
+}
+
+// processBatch applies one drained burst to the partition: runs of results
+// become one bulk Engine.Apply, wheel firings are applied in arrival order.
+// Out-of-partition effects are copied and applied after part.mu is
+// released; the scheduler is woken once for the burst.
+func (b *Broker) processBatch(part *partition, evs []partEvent) {
+	out := part.outScratch[:0]
+	wake := false
+
+	part.mu.Lock()
+	i := 0
+	for i < len(evs) {
+		switch evs[i].kind {
+		case peResult:
+			j := i
+			lev := part.evScratch[:0]
+			for j < len(evs) && evs[j].kind == peResult {
+				lev = append(lev, lifecycle.Event{Kind: lifecycle.EventResult, Result: evs[j].res})
+				j++
+			}
+			fx := part.life.Apply(lev)
+			for k := range lev {
+				disp := lev[k].Disp
+				if disp == lifecycle.ResultStale {
+					continue // unknown attempt or wrong provider; no slot was consumed
+				}
+				pr := evs[i+k].prov
+				pr.free.Add(1)
+				pr.backlog.Add(-1)
+				pr.finished.Add(1)
+				b.markProviderDirty(pr)
+				wake = true
+				if disp != lifecycle.ResultConsumed {
+					continue
+				}
+				r := &evs[i+k].res
+				switch r.Status {
+				case core.StatusOK:
+					part.cOK.Inc()
+				case core.StatusFault:
+					part.cFlt.Inc()
+				default:
+					part.cOth.Inc()
+				}
+				part.hExec.Observe(float64(r.Exec) / 1e6)
+			}
+			var launched bool
+			out, launched = b.applyPartFxLocked(part, fx, out)
+			wake = wake || launched
+			part.evScratch = lev[:0]
+			i = j
+		case peDeadline:
+			expired, fx := part.life.Deadline(evs[i].tid)
+			if expired {
+				part.cDeadlineExp.Inc()
+				out, _ = b.applyPartFxLocked(part, fx, out)
+				// A deadlined leader's dissolved flight re-queues its
+				// waiters.
+				wake = true
+			}
+			i++
+		case peLaunchReady:
+			// Backoff re-issue became eligible: queue only if the tasklet
+			// is still live.
+			if !b.closed.Load() && part.life.Live(evs[i].tid) {
+				b.appendPendingLocked(part, evs[i].tid)
+				wake = true
+			}
+			i++
+		default:
+			i++
+		}
+	}
+	part.mu.Unlock()
+
+	b.applyOutFx(out)
+	part.outScratch = out[:0]
+	if wake {
+		b.schedule()
+	}
+}
+
+// appendPendingLocked queues tid for placement. Callers hold part.mu.
+func (b *Broker) appendPendingLocked(part *partition, tid core.TaskletID) {
+	part.pending = append(part.pending, tid)
+	b.pendingN.Add(1)
+}
+
+// applyPartFxLocked executes the partition-local half of an effect slice —
+// pending-queue appends and timer-wheel arming — and copies the effects
+// that need broker-wide state (CancelAttempt, Deliver) into out for
+// applyOutFx. Callers hold part.mu; launched reports whether placement work
+// was queued.
+func (b *Broker) applyPartFxLocked(part *partition, fx []lifecycle.Effect, out []lifecycle.Effect) ([]lifecycle.Effect, bool) {
+	launched := false
+	for i := range fx {
+		ef := &fx[i]
+		switch ef.Kind {
+		case lifecycle.EffectLaunch:
+			if ef.Delay > 0 {
+				// Backoff re-issue: the partition wheel re-queues it after
+				// the delay (no per-retry AfterFunc goroutine).
+				part.wheel.armLaunch(ef.Tasklet, ef.Delay)
+			} else {
+				b.appendPendingLocked(part, ef.Tasklet)
+				launched = true
+			}
+		case lifecycle.EffectSetDeadline:
+			part.wheel.armDeadline(ef.Tasklet, ef.Delay)
+		case lifecycle.EffectCancelAttempt:
+			out = append(out, *ef)
+		case lifecycle.EffectDeliver:
+			// The tasklet is finalized; disarm its deadline while we still
+			// hold its partition.
+			part.wheel.stopDeadline(ef.Tasklet)
+			out = append(out, *ef)
+		case lifecycle.EffectMemoStore, lifecycle.EffectCoalesced:
+			// Informational; the memo package maintains its own counters.
+		}
+	}
+	return out, launched
+}
+
+// applyOutFx executes effects copied out of a partition: attempt cancels
+// (provider lookup under pmu) and final delivery. Callers must hold no
+// locks.
+func (b *Broker) applyOutFx(out []lifecycle.Effect) {
+	for i := range out {
+		ef := &out[i]
+		switch ef.Kind {
+		case lifecycle.EffectCancelAttempt:
+			b.pmu.RLock()
+			if p := b.providers[ef.Provider]; p != nil {
+				b.enqueue(p.out, &wire.CancelAttempt{Attempt: ef.Attempt}, p.nc, &p.dropWarned, p.label)
+			}
+			b.pmu.RUnlock()
+		case lifecycle.EffectDeliver:
+			b.deliver(ef)
+		}
+	}
+}
+
+// feedPartition applies a batch of lifecycle events (submissions, adopted
+// migrations) to one partition and fully executes the effects. Callers must
+// hold no locks and call b.schedule() afterwards.
+func (b *Broker) feedPartition(part *partition, evs []lifecycle.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	part.mu.Lock()
+	fx := part.life.Apply(evs)
+	out, _ := b.applyPartFxLocked(part, fx, nil)
+	part.mu.Unlock()
+	b.applyOutFx(out)
+}
+
+// cancelOne cancels tid in its partition, reporting whether a live tasklet
+// was dropped. Promoted-waiter launches and attempt cancels are fully
+// applied. Callers must hold no locks and call b.schedule() afterwards.
+func (b *Broker) cancelOne(tid core.TaskletID) bool {
+	part := b.part(tid)
+	part.mu.Lock()
+	dropped, fx := part.life.Cancel(tid)
+	var out []lifecycle.Effect
+	if dropped {
+		part.wheel.stopDeadline(tid)
+		out, _ = b.applyPartFxLocked(part, fx, nil)
+	}
+	part.mu.Unlock()
+	b.applyOutFx(out)
+	return dropped
+}
+
+// purgePartitionLocked removes queue entries whose tasklet no longer
+// exists. Callers hold part.mu.
+func (b *Broker) purgePartitionLocked(part *partition) {
+	live := part.pending[:0]
+	for _, tid := range part.pending {
+		if part.life.Live(tid) {
+			live = append(live, tid)
+		}
+	}
+	b.pendingN.Add(int64(len(live) - len(part.pending)))
+	part.pending = live
+}
+
+// purgePending purges every partition's queue.
+func (b *Broker) purgePending() {
+	for _, part := range b.parts {
+		part.mu.Lock()
+		b.purgePartitionLocked(part)
+		part.mu.Unlock()
+	}
+}
+
+// markProviderDirty queues p for an index resync at the next pass start.
+// The CAS collapses a burst of results into one dirty-list entry.
+func (b *Broker) markProviderDirty(p *providerState) {
+	if p.dirty.CompareAndSwap(false, true) {
+		b.dirtyMu.Lock()
+		b.dirtyProv = append(b.dirtyProv, p)
+		b.dirtyMu.Unlock()
+	}
+}
+
+// syncDirtyProvidersLocked folds partition-side slot settlements into the
+// scheduler's view: reliability refresh plus one absolute index Upsert per
+// dirty provider. Runs at the start of every placement pass under b.mu —
+// the index has a single writer, the scheduler.
+func (b *Broker) syncDirtyProvidersLocked() {
+	b.dirtyMu.Lock()
+	dirty := b.dirtyProv
+	b.dirtyProv = b.dirtySpare[:0]
+	b.dirtySpare = dirty
+	b.dirtyMu.Unlock()
+	for _, p := range dirty {
+		p.dirty.Store(false)
+		if p.gone.Load() {
+			continue
+		}
+		b.updateReliabilityLocked(p)
+		b.index.Upsert(&p.info, int(p.free.Load()), int(p.backlog.Load()))
+	}
+}
+
+// deliver pushes a final result to the consumer and updates job accounting.
+// Callers must hold no locks; the tasklet's deadline is already disarmed
+// (applyPartFxLocked does it under the partition lock).
+func (b *Broker) deliver(ef *lifecycle.Effect) {
+	b.finalizedN.Add(1)
+	if b.opts.ShardID != 0 {
+		b.exMu.Lock()
+		if rec, ok := b.adopted[ef.Tasklet]; ok {
+			// An adopted tasklet's final goes home as a MigrateResult: the
+			// origin shard owns the consumer connection and the job
+			// accounting.
+			delete(b.adopted, ef.Tasklet)
+			b.returnAdoptedExLocked(rec, ef)
+			b.exMu.Unlock()
+			return
+		}
+		b.exMu.Unlock()
+	}
+	final := ef.Final
+	part := b.part(ef.Tasklet)
+
+	b.jobMu.Lock()
+	defer b.jobMu.Unlock()
+	job := b.jobs[final.Job]
+	if job == nil {
+		return
+	}
+	if final.OK() {
+		job.completed++
+		part.cCompleted.Inc()
+	} else {
+		job.failed++
+		part.cFailed.Inc()
+	}
+	part.hLatency.ObserveDuration(time.Since(ef.Submitted))
+
+	c := b.consumers[job.consumer]
+	if c == nil || c.gone {
+		return
+	}
+	c.pending--
+	b.enqueue(c.out, &wire.ResultPush{
+		Job:       final.Job,
+		Tasklet:   final.Tasklet,
+		Index:     final.Index,
+		Status:    final.Status,
+		Return:    final.Return,
+		Emitted:   final.Emitted,
+		FaultCode: final.FaultCode,
+		FaultMsg:  final.FaultMsg,
+		Provider:  final.Provider,
+		Attempts:  ef.Attempts,
+		ExecNanos: int64(final.Exec),
+	}, c.nc, &c.dropWarned, c.label)
+	if job.completed+job.failed == job.total {
+		b.enqueue(c.out, &wire.JobDone{Job: job.id, Completed: job.completed, Failed: job.failed}, c.nc, &c.dropWarned, c.label)
+		delete(b.jobs, job.id)
+		delete(c.jobs, job.id)
+		b.logf("broker: job %d done: %d completed, %d failed", job.id, job.completed, job.failed)
+	}
+}

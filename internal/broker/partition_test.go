@@ -1,0 +1,224 @@
+package broker
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consumer"
+	"repro/internal/core"
+	"repro/internal/provider"
+)
+
+// runJobWithPartitions runs one deterministic job through a fresh stack with
+// the given partition count (1 = the single-stripe legacy-equivalent core).
+func runJobWithPartitions(t *testing.T, partitions int) []consumer.TaskResult {
+	t.Helper()
+	b := New(Options{Partitions: partitions})
+	if got := len(b.parts); got != partitions {
+		t.Fatalf("Partitions=%d built %d partitions", partitions, got)
+	}
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	for i := 0; i < 3; i++ {
+		p, err := provider.Connect(provider.Options{
+			BrokerAddr: addr, Slots: 2, Speed: 100, Name: fmt.Sprintf("p%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+	}
+	c, err := consumer.Connect(addr, "part-diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 96
+	job, err := c.Submit(compileJob(t, squareSrc, intRows(n)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Collect(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDifferentialPartitionsBitIdentical is the ablation contract for the
+// partitioned core: -partitions=1 must be event-identical to the legacy
+// serialized broker, and a multi-partition run of the same job must produce
+// bit-identical results (status, return values, emits, faults) — the stripes
+// change where lifecycle state lives, never what the consumer sees.
+func TestDifferentialPartitionsBitIdentical(t *testing.T) {
+	one := essences(runJobWithPartitions(t, 1))
+	four := essences(runJobWithPartitions(t, 4))
+	if !reflect.DeepEqual(one, four) {
+		t.Fatalf("results diverge between 1 and 4 partitions:\nP=1: %+v\nP=4: %+v", one, four)
+	}
+	for i, r := range one {
+		if r.Status != core.StatusOK {
+			t.Fatalf("result[%d] = %+v, want OK %d", i, r, i*i)
+		}
+	}
+}
+
+// TestPartitionStressInterleaved hammers a 4-partition broker with
+// interleaved submits, results, QoC deadlines, job cancels, and a provider
+// loss, then asserts the two partition-safety invariants: no tasklet is
+// finalized twice (every surviving job yields exactly one result per index)
+// and no attempt leaks (all lifecycle state drains to zero once the dust
+// settles). Run it under -race and the ingress rings, timer wheels, combiner
+// handoff and striped counters are all exercised across stripes.
+func TestPartitionStressInterleaved(t *testing.T) {
+	b := New(Options{Partitions: 4, RetryBackoff: time.Millisecond})
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+
+	for i := 0; i < 2; i++ {
+		p, err := provider.Connect(provider.Options{
+			BrokerAddr: addr, Slots: 4, Speed: 100, Name: fmt.Sprintf("steady%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+	}
+	// Slow providers keep attempts in flight long enough for deadlines and
+	// cancels to catch them. "crawler" stays up all run (so late deadline
+	// jobs still have attempts that blow their budget); "doomed" dies mid-run
+	// to exercise ProviderLost re-issues (with backoff, so the timer wheel's
+	// launch path runs too).
+	crawler, err := provider.Connect(provider.Options{
+		BrokerAddr: addr, Slots: 2, Speed: 100, Throttle: 0.2, Name: "crawler"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { crawler.Close() })
+	doomed, err := provider.Connect(provider.Options{
+		BrokerAddr: addr, Slots: 2, Speed: 100, Throttle: 0.05, Name: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const jobsPerWorker = 6
+	const n = 24
+	// Compiled once on the test goroutine; workers copy them (compileJob uses
+	// t.Fatal, which must not run off the test goroutine). Deadline jobs use
+	// a ~20x heavier loop so their 3ms budget is unmeetable even on a fast
+	// idle provider — every run drives expirations through the wheel.
+	baseSpec := compileJob(t, slowSrc, intRows(n)...)
+	heavySrc := `func main(n int) int {
+		var s int = 0;
+		for (var i int = 0; i < 400000; i = i + 1) { s = s + i; }
+		return n * n;
+	}`
+	heavySpec := compileJob(t, heavySrc, intRows(n)...)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := consumer.Connect(addr, fmt.Sprintf("stress%d", w))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < jobsPerWorker; j++ {
+				spec := baseSpec
+				switch j % 3 {
+				case 1:
+					// Tight deadline: tasklets expire on the wheel (the work
+					// outlasts the budget); every index must still settle
+					// exactly once.
+					spec = heavySpec
+					spec.QoC = core.QoC{Deadline: 3 * time.Millisecond}
+				case 2:
+					// Cancelled mid-flight after a short head start.
+					job, err := c.Submit(spec)
+					if err != nil {
+						errs <- err
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+					if err := c.Cancel(job); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				job, err := c.Submit(spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				res, err := job.Collect(ctx)
+				cancel()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res) != n {
+					errs <- fmt.Errorf("worker %d job %d: %d results, want %d", w, j, len(res), n)
+					return
+				}
+				seen := map[int]bool{}
+				for _, r := range res {
+					if seen[r.Index] {
+						errs <- fmt.Errorf("worker %d job %d: index %d finalized twice", w, j, r.Index)
+						return
+					}
+					seen[r.Index] = true
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(25 * time.Millisecond)
+	doomed.Close() // mid-run provider loss across every partition
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Attempt-leak check: with every consumer gone (cancelled jobs die with
+	// their consumer) the engines and queues must drain to zero. The window
+	// is generous because abandoned attempts settle only when their provider
+	// reports in, and the throttled provider stretches race-slowed
+	// executions considerably.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s := b.Snapshot()
+		if s.Pending == 0 && s.InFlight == 0 && s.Jobs == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked state after stress: pending=%d inflight=%d jobs=%d",
+				s.Pending, s.InFlight, s.Jobs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	m := b.Metrics()
+	if m.Counter("tasklets.deadline_expired").Value() == 0 {
+		t.Error("stress never expired a deadline (wheel path not exercised)")
+	}
+	if m.Counter("attempts.lost").Value() == 0 {
+		t.Error("provider loss produced no lost attempts")
+	}
+}

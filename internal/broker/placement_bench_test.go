@@ -31,6 +31,7 @@ func benchBroker(b *testing.B, p int, noIndex bool) *Broker {
 	br := New(Options{
 		Policy:      scheduler.NewWorkSteal(),
 		NoIndex:     noIndex,
+		Partitions:  1,
 		MemoEntries: -1, MemoBytes: -1, MemoTTL: -1,
 	})
 	for i := 0; i < p; i++ {
@@ -46,11 +47,11 @@ func benchBroker(b *testing.B, p int, noIndex bool) *Broker {
 			out:   make(chan wire.Message, sendQueueDepth),
 			nc:    benchConn{},
 			label: fmt.Sprintf("provider %d", id),
-			free:  4,
 			sent:  map[core.ProgramID]bool{},
 		}
+		ps.free.Store(4)
 		br.providers[id] = ps
-		br.index.Upsert(&ps.info, ps.free, ps.backlog)
+		br.index.Upsert(&ps.info, int(ps.free.Load()), int(ps.backlog.Load()))
 		out := ps.out
 		go func() {
 			for range out {
@@ -65,11 +66,12 @@ func benchBroker(b *testing.B, p int, noIndex bool) *Broker {
 // submitted to the lifecycle engine and its launch effect applied to the
 // placement queue by hand (no memo keys, so Submit emits exactly one Launch).
 func enqueueBatch(br *Broker, k int) {
+	part := br.parts[0]
 	for i := 0; i < k; i++ {
-		br.nextTasklet++
-		tid := br.nextTasklet
-		br.life.Submit(core.Tasklet{ID: tid, Job: 1, Index: i, Fuel: 1_000_000}, "", false)
-		br.pending = append(br.pending, tid)
+		tid := core.TaskletID(br.nextTasklet.Add(1))
+		part.life.Submit(core.Tasklet{ID: tid, Job: 1, Index: i, Fuel: 1_000_000}, "", false)
+		part.pending = append(part.pending, tid)
+		br.pendingN.Add(1)
 	}
 }
 
@@ -77,25 +79,26 @@ func enqueueBatch(br *Broker, k int) {
 // iteration sees an idle fleet: every attempt completes (finalizing its
 // best-effort tasklet in the engine), and the fleet accounting is restored.
 func drainBatch(br *Broker, b *testing.B) {
+	part := br.parts[0]
 	attempts := make([]core.Result, 0, 256)
-	br.life.VisitAttempts(func(id core.AttemptID, tid core.TaskletID, pid core.ProviderID, _ bool) {
+	part.life.VisitAttempts(func(id core.AttemptID, tid core.TaskletID, pid core.ProviderID, _ bool) {
 		attempts = append(attempts, core.Result{
 			Attempt: id, Tasklet: tid, Provider: pid, Status: core.StatusOK,
 		})
 	})
 	for _, res := range attempts {
 		p := br.providers[res.Provider]
-		p.free++
-		p.backlog--
-		p.finished++
+		p.free.Add(1)
+		p.backlog.Add(-1)
+		p.finished.Add(1)
 		br.updateReliabilityLocked(p)
 		br.index.Complete(p.info.ID)
-		br.life.Result(res)
+		part.life.Result(res)
 	}
-	if len(br.pending) != 0 {
-		b.Fatalf("%d tasklets unplaced", len(br.pending))
+	if len(part.pending) != 0 {
+		b.Fatalf("%d tasklets unplaced", len(part.pending))
 	}
-	if n := br.life.Pending(); n != 0 {
+	if n := part.life.Pending(); n != 0 {
 		b.Fatalf("%d tasklets still live in the engine", n)
 	}
 }

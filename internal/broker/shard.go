@@ -2,7 +2,7 @@
 // exchange.
 //
 // A shard group runs N brokers, each a complete broker (its own providers,
-// consumers, lifecycle engine, memo tier). Clients route each job to a
+// consumers, lifecycle partitions, memo tier). Clients route each job to a
 // shard by consistent hash of its program hash (shard.Ring), so memo and
 // flight tables shard naturally: identical tasklets land on the same
 // broker. Peers connect with wire.RolePeer and exchange two things:
@@ -26,6 +26,11 @@
 // origin re-runs them). A migration can delay a tasklet, never lose it.
 // Tasklets with an armed deadline never migrate: the origin's timer stays
 // authoritative.
+//
+// All exchange state (peers, links, migrated, adopted, the gossip EWMA)
+// lives under b.exMu. exMu may nest partition locks (the migrate-request
+// scan) and progMu, but never b.mu or jobMu: re-homing collects work under
+// exMu and applies it through jobMu/partitions after release.
 package broker
 
 import (
@@ -43,7 +48,7 @@ import (
 	"repro/internal/wire"
 )
 
-// peerState is one peer broker link (either direction).
+// peerState is one peer broker link (either direction). Guarded by b.exMu.
 type peerState struct {
 	id    uint64 // remote ShardID; 0 on an inbound link until its first gossip
 	out   chan wire.Message
@@ -116,15 +121,15 @@ func (b *Broker) ConnectPeer(addr string) error {
 		nc:    nc,
 		label: fmt.Sprintf("peer shard %d", w.ID),
 	}
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	b.exMu.Lock()
+	if b.closed.Load() {
+		b.exMu.Unlock()
 		nc.Close()
 		return errors.New("broker: closed")
 	}
 	b.links[ps] = true
-	b.bindPeerLocked(ps, w.ID)
-	b.mu.Unlock()
+	b.bindPeerExLocked(ps, w.ID)
+	b.exMu.Unlock()
 
 	b.wg.Add(2)
 	go func() {
@@ -139,10 +144,15 @@ func (b *Broker) ConnectPeer(addr string) error {
 	}()
 
 	// Introduce ourselves immediately so the remote can bind the link
-	// before its next gossip tick.
-	b.mu.Lock()
-	b.enqueue(ps.out, b.gossipMsgLocked(), nc, &ps.dropWarned, ps.label)
-	b.mu.Unlock()
+	// before its next gossip tick. The gone check makes the enqueue safe
+	// against the reader goroutine racing to teardown (close(ps.out)
+	// happens only after removePeer marked the link gone under exMu).
+	free := b.freeSlotsSample()
+	b.exMu.Lock()
+	if !ps.gone {
+		b.enqueue(ps.out, b.gossipMsgExLocked(free), nc, &ps.dropWarned, ps.label)
+	}
+	b.exMu.Unlock()
 	b.logf("broker: shard %d peered with shard %d at %s", b.opts.ShardID, w.ID, addr)
 	return nil
 }
@@ -158,13 +168,13 @@ func (b *Broker) servePeer(nc net.Conn, conn *wire.Conn, hello *wire.Hello) {
 		nc:    nc,
 		label: "peer (unbound)",
 	}
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	b.exMu.Lock()
+	if b.closed.Load() {
+		b.exMu.Unlock()
 		return
 	}
 	b.links[ps] = true
-	b.mu.Unlock()
+	b.exMu.Unlock()
 
 	b.wg.Add(1)
 	go func() {
@@ -211,16 +221,14 @@ func (b *Broker) runPeerLoop(conn *wire.Conn, ps *peerState) {
 		}
 	}
 done:
-	b.mu.Lock()
-	b.removePeerLocked(ps)
-	b.mu.Unlock()
+	b.removePeer(ps)
 	b.logf("broker: %s disconnected", ps.label)
 }
 
-// bindPeerLocked names a link with the remote's shard ID. The first bound
+// bindPeerExLocked names a link with the remote's shard ID. The first bound
 // link for an ID receives pulls; a duplicate link (mutual dial) only takes
-// over once the first is gone.
-func (b *Broker) bindPeerLocked(ps *peerState, id uint64) {
+// over once the first is gone. Callers hold exMu.
+func (b *Broker) bindPeerExLocked(ps *peerState, id uint64) {
 	if id == 0 || ps.id == id {
 		return
 	}
@@ -231,7 +239,7 @@ func (b *Broker) bindPeerLocked(ps *peerState, id uint64) {
 	}
 }
 
-// removePeerLocked tears a link down. Tasklets whose MigrateTasklet frames
+// removePeer tears a link down. Tasklets whose MigrateTasklet frames
 // travelled on this link are re-submitted locally no matter what: with
 // mutual dial a sibling link to the same shard may survive, but frames
 // queued on the dead link are gone with it. Re-homing is safe even when
@@ -239,8 +247,11 @@ func (b *Broker) bindPeerLocked(ps *peerState, id uint64) {
 // late MigrateResult, so the worst case is wasted duplicate execution.
 // Adopted tasklets are only cancelled once the last link to their origin
 // is gone (the origin re-runs them when its own sending link died).
-func (b *Broker) removePeerLocked(ps *peerState) {
+// Idempotent; callers hold no locks.
+func (b *Broker) removePeer(ps *peerState) {
+	b.exMu.Lock()
 	if ps.gone {
+		b.exMu.Unlock()
 		return
 	}
 	ps.gone = true
@@ -255,21 +266,7 @@ func (b *Broker) removePeerLocked(ps *peerState) {
 			back = append(back, rec)
 		}
 	}
-	if len(back) > 0 {
-		// A dead link can strand a whole exchange burst; re-home it as one
-		// bulk Submit instead of one engine call per tasklet.
-		evs := b.evScratch[:0]
-		for _, rec := range back {
-			if ev, ok := b.resubmitEventLocked(rec); ok {
-				evs = append(evs, ev)
-			}
-		}
-		if len(evs) > 0 {
-			b.applyEffectsLocked(b.life.Apply(evs))
-		}
-		b.evScratch = evs[:0]
-	}
-	dropped := 0
+	var orphans []core.TaskletID
 	if ps.id != 0 {
 		// Promote a surviving sibling link (mutual dial) so pulls and
 		// MigrateResults keep flowing without waiting for its next gossip.
@@ -290,57 +287,64 @@ func (b *Broker) removePeerLocked(ps *peerState) {
 					continue
 				}
 				delete(b.adopted, tid)
-				if ok, fx := b.life.Cancel(tid); ok {
-					dropped++
-					b.applyEffectsLocked(fx)
-				}
+				orphans = append(orphans, tid)
 			}
+		}
+	}
+	b.exMu.Unlock()
+
+	// A dead link can strand a whole exchange burst; re-home it through the
+	// partitions in per-partition bulk Submits instead of one engine call
+	// per tasklet.
+	if len(back) > 0 {
+		b.resubmitMigrated(back)
+	}
+	dropped := 0
+	for _, tid := range orphans {
+		if b.cancelOne(tid) {
+			dropped++
 		}
 	}
 	if len(back) > 0 || dropped > 0 {
 		b.logf("broker: shard %d link to shard %d lost: re-homed %d migrated, dropped %d adopted",
 			b.opts.ShardID, ps.id, len(back), dropped)
-		b.purgePendingLocked()
+		b.purgePending()
 	}
-	b.scheduleLocked()
+	b.schedule()
 }
 
-// resubmitEventLocked stages the re-run of a tasklet whose migration
-// failed as a bulk Submit event. The job accounting never noticed the
-// detour: the tasklet gets a fresh ID under the same job slot. ok is false
-// when the job is gone.
-func (b *Broker) resubmitEventLocked(rec migratedRec) (lifecycle.Event, bool) {
-	job := b.jobs[rec.t.Job]
-	if job == nil || job.cancelled {
-		// Job cancellation deletes its migrated records, so a live record
-		// pointing at a dead job means accounting went wrong somewhere —
-		// say so instead of losing the tasklet silently.
-		if job == nil {
-			b.logf("broker: dropping re-homed tasklet %d: job %d unknown", rec.t.ID, rec.t.Job)
+// resubmitMigrated re-runs tasklets whose migration failed (rejection or
+// link death). The job accounting never noticed the detour: each tasklet
+// gets a fresh ID under the same job slot. Callers hold no locks.
+func (b *Broker) resubmitMigrated(back []migratedRec) {
+	groups := make([][]lifecycle.Event, len(b.parts))
+	b.jobMu.Lock()
+	for _, rec := range back {
+		job := b.jobs[rec.t.Job]
+		if job == nil || job.cancelled {
+			// Job cancellation deletes its migrated records, so a live record
+			// pointing at a dead job means accounting went wrong somewhere —
+			// say so instead of losing the tasklet silently.
+			if job == nil {
+				b.logf("broker: dropping re-homed tasklet %d: job %d unknown", rec.t.ID, rec.t.Job)
+			}
+			continue
 		}
-		return lifecycle.Event{}, false
+		t := rec.t
+		t.ID = core.TaskletID(b.nextTasklet.Add(1))
+		job.tasklets = append(job.tasklets, t.ID)
+		ev := lifecycle.Event{Kind: lifecycle.EventSubmit, Tasklet: t}
+		if b.memoOn {
+			ev.Key, ev.HaveKey = memo.KeyFor(uint64(t.Program), t.Seed, t.Params)
+		}
+		pi := b.part(t.ID).idx
+		groups[pi] = append(groups[pi], ev)
 	}
-	b.nextTasklet++
-	t := rec.t
-	t.ID = b.nextTasklet
-	job.tasklets = append(job.tasklets, t.ID)
-	ev := lifecycle.Event{Kind: lifecycle.EventSubmit, Tasklet: t}
-	if b.memoOn {
-		ev.Key, ev.HaveKey = memo.KeyFor(uint64(t.Program), t.Seed, t.Params)
+	b.jobMu.Unlock()
+	for pi, evs := range groups {
+		b.feedPartition(b.parts[pi], evs)
 	}
-	return ev, true
-}
-
-// resubmitMigratedLocked re-runs one migration-failed tasklet immediately
-// (the single-rejection path; link teardown batches instead).
-func (b *Broker) resubmitMigratedLocked(rec migratedRec) {
-	ev, ok := b.resubmitEventLocked(rec)
-	if !ok {
-		return
-	}
-	fx := b.life.Submit(ev.Tasklet, ev.Key, ev.HaveKey)
-	b.applyEffectsLocked(fx)
-	b.scheduleLocked()
+	b.schedule()
 }
 
 // ---------- gossip & pull planning ----------
@@ -360,22 +364,34 @@ func (b *Broker) gossipLoop() {
 	}
 }
 
-// gossipMsgLocked samples local load into a ShardGossip frame, refreshing
-// the finalization-rate EWMA as a side effect.
-func (b *Broker) gossipMsgLocked() *wire.ShardGossip {
-	queue := len(b.pending)
-	free := 0
+// freeSlotsSample reads the fleet's free-slot total for gossip. Takes b.mu
+// (the index belongs to the scheduler); callers must not hold exMu — the
+// sample is taken before the gossip section to keep b.mu and exMu disjoint.
+func (b *Broker) freeSlotsSample() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.index != nil {
-		free = b.index.FreeSlots()
-	} else {
-		for _, p := range b.providers {
-			if p.info.Slots > 0 && p.free > 0 {
-				free += p.free
+		return b.index.FreeSlots()
+	}
+	free := 0
+	for _, p := range b.providers {
+		if p.info.Slots > 0 {
+			if f := int(p.free.Load()); f > 0 {
+				free += f
 			}
 		}
 	}
-	sample := float64(b.finalizedN-b.lastFinal) / b.opts.GossipInterval.Seconds()
-	b.lastFinal = b.finalizedN
+	return free
+}
+
+// gossipMsgExLocked builds a ShardGossip frame from the given free-slot
+// sample, refreshing the finalization-rate EWMA as a side effect. Callers
+// hold exMu.
+func (b *Broker) gossipMsgExLocked(free int) *wire.ShardGossip {
+	queue := int(b.pendingN.Load())
+	fin := b.finalizedN.Load()
+	sample := float64(fin-b.lastFinal) / b.opts.GossipInterval.Seconds()
+	b.lastFinal = fin
 	if !b.exchRateOK {
 		b.exchRate, b.exchRateOK = sample, true
 	} else {
@@ -390,18 +406,17 @@ func (b *Broker) gossipMsgLocked() *wire.ShardGossip {
 }
 
 func (b *Broker) gossipTick() {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	free := b.freeSlotsSample()
+	b.exMu.Lock()
+	if b.closed.Load() {
+		b.exMu.Unlock()
 		return
 	}
-	g := b.gossipMsgLocked()
+	g := b.gossipMsgExLocked(free)
 	for ps := range b.links {
 		b.enqueue(ps.out, g, ps.nc, &ps.dropWarned, ps.label)
 	}
 
-	var pull *peerState
-	var pullN int
 	if b.opts.Exchange {
 		self := shard.Load{Shard: g.Shard, Queue: g.QueueDepth, Free: g.FreeSlots, Rate: g.Rate}
 		loads := make([]shard.Load, 0, len(b.peers))
@@ -412,22 +427,19 @@ func (b *Broker) gossipTick() {
 		}
 		if from, n, ok := b.opts.ExchangePolicy.PlanPull(self, loads); ok {
 			if ps := b.peers[from]; ps != nil && !ps.gone {
-				pull, pullN = ps, n
+				b.mExchRequests.Inc()
+				b.enqueue(ps.out, &wire.MigrateRequest{Shard: b.opts.ShardID, Max: n},
+					ps.nc, &ps.dropWarned, ps.label)
 			}
 		}
 	}
-	if pull != nil {
-		b.mExchRequests.Inc()
-		b.enqueue(pull.out, &wire.MigrateRequest{Shard: b.opts.ShardID, Max: pullN},
-			pull.nc, &pull.dropWarned, pull.label)
-	}
-	b.mu.Unlock()
+	b.exMu.Unlock()
 }
 
 func (b *Broker) onGossip(ps *peerState, m *wire.ShardGossip) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.bindPeerLocked(ps, m.Shard)
+	b.exMu.Lock()
+	defer b.exMu.Unlock()
+	b.bindPeerExLocked(ps, m.Shard)
 	if m.Seq <= ps.lastSeq {
 		return // stale or duplicate
 	}
@@ -439,98 +451,113 @@ func (b *Broker) onGossip(ps *peerState, m *wire.ShardGossip) {
 // ---------- migration ----------
 
 // onMigrateRequest answers a peer's pull with queued tasklets, newest
-// first (the back of the queue has waited least; the front is about to
+// first (the back of a queue has waited least; the front is about to
 // place anyway). Only queued work with no attempts in flight and no armed
-// deadline moves; each is cancelled locally before it travels.
+// deadline moves; each is cancelled locally before it travels. The scan
+// nests partition locks under exMu (the one allowed exMu → part.mu
+// nesting); holding exMu throughout pins ps alive across the enqueues.
 func (b *Broker) onMigrateRequest(ps *peerState, m *wire.MigrateRequest) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.bindPeerLocked(ps, m.Shard)
-	if b.closed || ps.gone || m.Shard == 0 {
+	var out []lifecycle.Effect
+	picked := 0
+
+	b.exMu.Lock()
+	b.bindPeerExLocked(ps, m.Shard)
+	if b.closed.Load() || ps.gone || m.Shard == 0 {
+		b.exMu.Unlock()
 		return
 	}
 	lim := m.Max
 	if c := b.opts.ExchangePolicy.MaxPull; lim > c {
 		lim = c
 	}
-	var picked []core.TaskletID
-	taken := map[core.TaskletID]bool{}
-	for i := len(b.pending) - 1; i >= 0 && len(picked) < lim; i-- {
-		tid := b.pending[i]
-		if taken[tid] {
-			continue // voting fan-out queues one entry per replica
+	for pi := len(b.parts) - 1; pi >= 0 && picked < lim; pi-- {
+		part := b.parts[pi]
+		part.mu.Lock()
+		var taken map[core.TaskletID]bool
+		for i := len(part.pending) - 1; i >= 0 && picked < lim; i-- {
+			tid := part.pending[i]
+			if taken[tid] {
+				continue // voting fan-out queues one entry per replica
+			}
+			t := part.life.Tasklet(tid)
+			if t == nil {
+				continue
+			}
+			if part.wheel.hasDeadline(tid) {
+				continue // the local deadline timer stays authoritative
+			}
+			if _, isAdopted := b.adopted[tid]; isAdopted {
+				// Adopted work never re-migrates: its only job accounting lives
+				// at the origin shard, so a failed onward hop could not be
+				// re-submitted here (no local job record to hang it on).
+				continue
+			}
+			if len(part.life.AppendActiveProviders(tid, nil)) > 0 {
+				continue // partially in flight (voting); never migrate those
+			}
+			if taken == nil {
+				taken = map[core.TaskletID]bool{}
+			}
+			taken[tid] = true
+			// Copy before Cancel: the engine recycles tasklet state.
+			tc := *t
+			if _, fx := part.life.Cancel(tid); fx != nil {
+				out, _ = b.applyPartFxLocked(part, fx, out)
+			}
+			b.migrated[tid] = migratedRec{t: tc, peer: m.Shard, link: ps}
+			b.enqueue(ps.out, &wire.MigrateTasklet{
+				Origin:      tid,
+				Program:     tc.Program,
+				ProgramData: b.program(tc.Program),
+				Params:      tc.Params,
+				QoC:         tc.QoC,
+				Fuel:        tc.Fuel,
+				Seed:        tc.Seed,
+			}, ps.nc, &ps.dropWarned, ps.label)
+			picked++
 		}
-		t := b.life.Tasklet(tid)
-		if t == nil {
-			continue
+		if taken != nil {
+			keep := part.pending[:0]
+			for _, tid := range part.pending {
+				if !taken[tid] {
+					keep = append(keep, tid)
+				}
+			}
+			b.pendingN.Add(int64(len(keep) - len(part.pending)))
+			part.pending = keep
 		}
-		if b.deadlines[tid] != nil {
-			continue // the local deadline timer stays authoritative
-		}
-		if _, isAdopted := b.adopted[tid]; isAdopted {
-			// Adopted work never re-migrates: its only job accounting lives
-			// at the origin shard, so a failed onward hop could not be
-			// re-submitted here (no local job record to hang it on).
-			continue
-		}
-		if len(b.life.AppendActiveProviders(tid, nil)) > 0 {
-			continue // partially in flight (voting); never migrate those
-		}
-		taken[tid] = true
-		picked = append(picked, tid)
+		part.mu.Unlock()
 	}
-	if len(picked) == 0 {
+	b.exMu.Unlock()
+
+	if picked == 0 {
 		return
 	}
-	keep := b.pending[:0]
-	for _, tid := range b.pending {
-		if !taken[tid] {
-			keep = append(keep, tid)
-		}
-	}
-	b.pending = keep
-	for _, tid := range picked {
-		t := b.life.Tasklet(tid)
-		if t == nil {
-			continue
-		}
-		// Copy before Cancel: the engine recycles tasklet state.
-		tc := *t
-		if _, fx := b.life.Cancel(tid); fx != nil {
-			b.applyEffectsLocked(fx)
-		}
-		b.migrated[tid] = migratedRec{t: tc, peer: m.Shard, link: ps}
-		b.enqueue(ps.out, &wire.MigrateTasklet{
-			Origin:      tid,
-			Program:     tc.Program,
-			ProgramData: b.programs[tc.Program],
-			Params:      tc.Params,
-			QoC:         tc.QoC,
-			Fuel:        tc.Fuel,
-			Seed:        tc.Seed,
-		}, ps.nc, &ps.dropWarned, ps.label)
-	}
-	b.mExchMigrated.Add(int64(len(picked)))
-	b.logf("broker: shard %d sent %d queued tasklets to shard %d", b.opts.ShardID, len(picked), m.Shard)
-	b.scheduleLocked()
+	// Cancelling a queued tasklet can promote a coalescing waiter whose
+	// effects (a rare cache-hit Deliver) need jobMu — applied here, outside
+	// exMu.
+	b.applyOutFx(out)
+	b.mExchMigrated.Add(int64(picked))
+	b.logf("broker: shard %d sent %d queued tasklets to shard %d", b.opts.ShardID, picked, m.Shard)
+	b.schedule()
 }
 
 // onMigrateTasklet adopts a tasklet from a peer: fresh local ID, fresh
-// Submit through this shard's lifecycle engine (memo and coalescing apply
-// in this shard's key space).
+// Submit through this shard's lifecycle partitions (memo and coalescing
+// apply in this shard's key space).
 func (b *Broker) onMigrateTasklet(ps *peerState, m *wire.MigrateTasklet) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	reject := func() {
 		b.enqueue(ps.out, &wire.MigrateAck{Shard: b.opts.ShardID, Origin: m.Origin, Accepted: false},
 			ps.nc, &ps.dropWarned, ps.label)
 	}
-	if b.closed || ps.gone || ps.id == 0 {
+	if b.closed.Load() {
 		reject()
 		return
 	}
+	b.progMu.Lock()
 	if _, ok := b.programs[m.Program]; !ok {
 		if core.HashProgram(m.ProgramData) != m.Program {
+			b.progMu.Unlock()
 			reject()
 			return
 		}
@@ -538,10 +565,18 @@ func (b *Broker) onMigrateTasklet(ps *peerState, m *wire.MigrateTasklet) {
 		copy(data, m.ProgramData)
 		b.programs[m.Program] = data
 	}
-	b.nextTasklet++
+	b.progMu.Unlock()
+
+	tid := core.TaskletID(b.nextTasklet.Add(1))
 	t := core.Tasklet{
-		ID: b.nextTasklet, Program: m.Program, Params: m.Params,
+		ID: tid, Program: m.Program, Params: m.Params,
 		QoC: m.QoC, Fuel: m.Fuel, Seed: m.Seed, Submitted: time.Now(),
+	}
+	b.exMu.Lock()
+	if ps.gone || ps.id == 0 {
+		b.exMu.Unlock()
+		reject()
+		return
 	}
 	b.adopted[t.ID] = adoptedRec{origin: m.Origin, peer: ps.id}
 	b.mExchAdopted.Inc()
@@ -549,42 +584,46 @@ func (b *Broker) onMigrateTasklet(ps *peerState, m *wire.MigrateTasklet) {
 	// hit would deliver synchronously.
 	b.enqueue(ps.out, &wire.MigrateAck{Shard: b.opts.ShardID, Origin: m.Origin, Accepted: true},
 		ps.nc, &ps.dropWarned, ps.label)
-	var key memo.Key
-	var haveKey bool
+	b.exMu.Unlock()
+
+	ev := lifecycle.Event{Kind: lifecycle.EventSubmit, Tasklet: t}
 	if b.memoOn {
-		key, haveKey = memo.KeyFor(uint64(t.Program), t.Seed, t.Params)
+		ev.Key, ev.HaveKey = memo.KeyFor(uint64(t.Program), t.Seed, t.Params)
 	}
-	fx := b.life.Submit(t, key, haveKey)
-	b.applyEffectsLocked(fx)
-	b.scheduleLocked()
+	b.feedPartition(b.part(t.ID), []lifecycle.Event{ev})
+	b.schedule()
 }
 
 // onMigrateAck handles rejections: the origin re-submits locally.
 func (b *Broker) onMigrateAck(ps *peerState, m *wire.MigrateAck) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.bindPeerLocked(ps, m.Shard)
+	b.exMu.Lock()
+	b.bindPeerExLocked(ps, m.Shard)
 	if m.Accepted {
+		b.exMu.Unlock()
 		return
 	}
 	rec, ok := b.migrated[m.Origin]
-	if !ok {
-		return
+	if ok {
+		delete(b.migrated, m.Origin)
 	}
-	delete(b.migrated, m.Origin)
-	b.resubmitMigratedLocked(rec)
+	b.exMu.Unlock()
+	if ok {
+		b.resubmitMigrated([]migratedRec{rec})
+	}
 }
 
 // onMigrateResult feeds a migrated tasklet's final back into the origin
 // shard's normal delivery path under its original job slot.
 func (b *Broker) onMigrateResult(m *wire.MigrateResult) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.exMu.Lock()
 	rec, ok := b.migrated[m.Origin]
+	if ok {
+		delete(b.migrated, m.Origin)
+	}
+	b.exMu.Unlock()
 	if !ok {
 		return // job cancelled while the tasklet was away
 	}
-	delete(b.migrated, m.Origin)
 	ef := lifecycle.Effect{
 		Kind:      lifecycle.EffectDeliver,
 		Tasklet:   rec.t.ID,
@@ -597,12 +636,12 @@ func (b *Broker) onMigrateResult(m *wire.MigrateResult) {
 			Exec: time.Duration(m.ExecNanos),
 		},
 	}
-	b.deliverLocked(&ef)
+	b.deliver(&ef)
 }
 
-// returnAdoptedLocked ships an adopted tasklet's final home. Called from
-// deliverLocked, which already consumed the adoption record.
-func (b *Broker) returnAdoptedLocked(rec adoptedRec, ef *lifecycle.Effect) {
+// returnAdoptedExLocked ships an adopted tasklet's final home. Called from
+// deliver, which already consumed the adoption record; callers hold exMu.
+func (b *Broker) returnAdoptedExLocked(rec adoptedRec, ef *lifecycle.Effect) {
 	ps := b.peers[rec.peer]
 	if ps == nil || ps.gone {
 		return // origin gone; it re-homed the tasklet when the link died

@@ -197,10 +197,10 @@ func TestMigrateRequestSkipsAdopted(t *testing.T) {
 	defer b.Close()
 
 	src := fakePeer(t, 2)
-	b.mu.Lock()
+	b.exMu.Lock()
 	b.links[src] = true
 	b.peers[2] = src
-	b.mu.Unlock()
+	b.exMu.Unlock()
 
 	prog := []byte("adopted-program")
 	b.onMigrateTasklet(src, &wire.MigrateTasklet{
@@ -210,27 +210,28 @@ func TestMigrateRequestSkipsAdopted(t *testing.T) {
 		Params:      []tvm.Value{tvm.Int(3)},
 		Fuel:        1 << 20,
 	})
-	b.mu.Lock()
-	nAdopted, nPending := len(b.adopted), len(b.pending)
-	b.mu.Unlock()
+	b.exMu.Lock()
+	nAdopted := len(b.adopted)
+	b.exMu.Unlock()
+	nPending := int(b.pendingN.Load())
 	if nAdopted != 1 || nPending != 1 {
 		t.Fatalf("adoption setup: adopted=%d pending=%d, want 1 and 1", nAdopted, nPending)
 	}
 
 	third := fakePeer(t, 3)
-	b.mu.Lock()
+	b.exMu.Lock()
 	b.links[third] = true
 	b.peers[3] = third
-	b.mu.Unlock()
+	b.exMu.Unlock()
 	b.onMigrateRequest(third, &wire.MigrateRequest{Shard: 3, Max: 8})
 
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.exMu.Lock()
+	defer b.exMu.Unlock()
 	if len(b.migrated) != 0 {
 		t.Fatalf("adopted tasklet was re-migrated: %d migrated records", len(b.migrated))
 	}
-	if len(b.adopted) != 1 || len(b.pending) != 1 {
-		t.Fatalf("adoption disturbed: adopted=%d pending=%d", len(b.adopted), len(b.pending))
+	if len(b.adopted) != 1 || b.pendingN.Load() != 1 {
+		t.Fatalf("adoption disturbed: adopted=%d pending=%d", len(b.adopted), b.pendingN.Load())
 	}
 	select {
 	case m := <-third.out:
@@ -252,44 +253,52 @@ func TestDuplicateLinkDeathRehomesMigrated(t *testing.T) {
 	prog := []byte("migrated-program")
 	pid := core.HashProgram(prog)
 
-	b.mu.Lock()
+	b.exMu.Lock()
 	b.links[bound] = true
 	b.peers[2] = bound
 	b.links[dup] = true
-	b.programs[pid] = prog
-	job := &jobState{id: 9, consumer: 1, total: 1, tasklets: []core.TaskletID{5}}
-	b.jobs[9] = job
 	tk := core.Tasklet{ID: 5, Job: 9, Program: pid,
 		Params: []tvm.Value{tvm.Int(1)}, Fuel: 1 << 20, Submitted: time.Now()}
 	b.migrated[tk.ID] = migratedRec{t: tk, peer: 2, link: dup}
+	b.exMu.Unlock()
+	b.progMu.Lock()
+	b.programs[pid] = prog
+	b.progMu.Unlock()
+	job := &jobState{id: 9, consumer: 1, total: 1, tasklets: []core.TaskletID{5}}
+	b.jobMu.Lock()
+	b.jobs[9] = job
+	b.jobMu.Unlock()
 
-	b.removePeerLocked(dup)
+	b.removePeer(dup)
 
+	b.exMu.Lock()
 	if len(b.migrated) != 0 {
 		t.Fatalf("migration on dead duplicate link not re-homed: %d records left", len(b.migrated))
-	}
-	if len(b.pending) != 1 {
-		t.Fatalf("re-homed tasklet not re-queued: pending=%d", len(b.pending))
-	}
-	if len(job.tasklets) != 2 {
-		t.Fatalf("re-submit did not extend the job slot list: %v", job.tasklets)
 	}
 	if b.peers[2] != bound {
 		t.Fatalf("bound link displaced by duplicate's death")
 	}
-	b.mu.Unlock()
+	b.exMu.Unlock()
+	if n := b.pendingN.Load(); n != 1 {
+		t.Fatalf("re-homed tasklet not re-queued: pending=%d", n)
+	}
+	b.jobMu.Lock()
+	if len(job.tasklets) != 2 {
+		t.Fatalf("re-submit did not extend the job slot list: %v", job.tasklets)
+	}
+	b.jobMu.Unlock()
 
 	// The bound link dying too must promote nothing (no siblings left) and
 	// leave the re-homed record alone — it now belongs to no peer.
-	b.mu.Lock()
-	b.removePeerLocked(bound)
+	b.removePeer(bound)
+	b.exMu.Lock()
 	if b.peers[2] != nil {
 		t.Fatalf("dead shard still has a bound link")
 	}
-	if len(b.pending) != 1 {
-		t.Fatalf("second link death disturbed the re-homed tasklet: pending=%d", len(b.pending))
+	b.exMu.Unlock()
+	if n := b.pendingN.Load(); n != 1 {
+		t.Fatalf("second link death disturbed the re-homed tasklet: pending=%d", n)
 	}
-	b.mu.Unlock()
 }
 
 // TestShardGroupRouting pins the ring-to-address mapping: stable per

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stdtasks"
+	"repro/internal/tvm"
+)
+
+// e13Config builds the result-bound scenario the partitioned broker core
+// targets: one shard whose fleet has ample capacity (16 devices × 6 slots ×
+// 1ms of work = 96k tasklets/s) and whose serialized dispatcher line is
+// dominated by per-result processing (60µs of result handling plus 25µs of
+// framing). Fully serialized that line caps the broker near 12k results/s —
+// far below both the fleet and the 50k/s offered load — so striping result
+// processing across P partition servers is exactly the relief the makespan
+// measures. Dispatch stays on the serialized line in every configuration,
+// mirroring the live broker's single scheduler goroutine.
+func e13Config(partitions, n int, seed uint64) sim.ShardedConfig {
+	devices := make([]sim.DeviceSpec, 16)
+	for i := range devices {
+		devices[i] = sim.DeviceSpec{Class: core.ClassDesktop, Slots: 6, Speed: 100}
+	}
+	tasks := make([]sim.TaskSpec, n)
+	for i := range tasks {
+		tasks[i] = sim.TaskSpec{Fuel: 100_000, // 1ms of work each
+			Arrival: time.Duration(i) * 20 * time.Microsecond}
+	}
+	return sim.ShardedConfig{
+		Base: sim.Config{
+			Devices: devices,
+			Tasks:   tasks,
+			Latency: 200 * time.Microsecond,
+			Seed:    seed,
+		},
+		Shards:         1,
+		BrokerOverhead: 12 * time.Microsecond,
+		ResultOverhead: 60 * time.Microsecond,
+		FrameOverhead:  25 * time.Microsecond,
+		Batch:          true,
+		Partitions:     partitions,
+	}
+}
+
+// RunE13 evaluates the partitioned broker core (lock-striped lifecycle
+// partitions with per-partition ingress rings and timer wheels): saturation
+// throughput on a result-bound shard as the partition count sweeps 1, 2, 4,
+// 8, where P=1 is the fully serialized legacy core. Simulated numbers are
+// deterministic and carry the claim — the P=8 speedup must be at least
+// 1.5x, targeting the 2x the paper-scale configuration reaches. A live
+// loopback pass runs the same ablation through real sockets (-partitions=1
+// vs GOMAXPROCS); on small hosts the live rows are informational, but on a
+// machine with GOMAXPROCS >= 8 a live speedup under 1.5x fails the run.
+func RunE13(opts Options) (*Result, error) {
+	res := &Result{ID: "E13", Title: Title("e13")}
+
+	n := 4000
+	if opts.Quick {
+		n = 1200
+	}
+	parts := []int{1, 2, 4, 8}
+	tputs := map[int]float64{}
+	series := &metrics.Series{Name: "tasklets/s", XLabel: "partitions"}
+	for _, p := range parts {
+		st, err := sim.RunSharded(e13Config(p, n, opts.seed()))
+		if err != nil {
+			return nil, err
+		}
+		if st.Completed != n {
+			return nil, fmt.Errorf("e13: P=%d completed %d of %d", p, st.Completed, n)
+		}
+		t := float64(st.Completed) / st.Makespan.Seconds()
+		tputs[p] = t
+		series.Append(float64(p), t)
+		opts.logf("e13: P=%d %.0f tasklets/s (makespan %v)", p, t, st.Makespan.Round(time.Microsecond))
+		res.Rows = append(res.Rows,
+			[2]string{fmt.Sprintf("simulated, %d partition(s)", p), fmt.Sprintf("%.0f tasklets/s", t)})
+	}
+	res.Series = append(res.Series, series)
+	ratio := tputs[8] / tputs[1]
+	res.Rows = append(res.Rows,
+		[2]string{"simulated P=8 vs P=1 speedup", fmt.Sprintf("%.2fx", ratio)})
+
+	// Live pass: the same ablation through real sockets. A saturating noop
+	// burst keeps the broker core — not the fleet — as the bottleneck.
+	burst := 2048
+	if opts.Quick {
+		burst = 512
+	}
+	live := func(partitions int) (float64, error) {
+		stack, err := newLiveStackPartitions(4, 8, partitions)
+		if err != nil {
+			return 0, err
+		}
+		defer stack.close()
+		noopData, err := stdtasks.Bytecode("noop")
+		if err != nil {
+			return 0, err
+		}
+		params := make([][]tvm.Value, burst)
+		el, results, err := stack.runBatch(noopData, params, core.QoC{}, 0)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range results {
+			if !r.OK() {
+				return 0, fmt.Errorf("e13: live tasklet failed: %+v", r)
+			}
+		}
+		return float64(burst) / el.Seconds(), nil
+	}
+	procs := runtime.GOMAXPROCS(0)
+	liveOne, err := live(1)
+	if err != nil {
+		return nil, err
+	}
+	liveMax, err := live(procs)
+	if err != nil {
+		return nil, err
+	}
+	liveRatio := liveMax / liveOne
+	opts.logf("e13: live %.0f/s P=1, %.0f/s P=%d (%.2fx, GOMAXPROCS=%d)",
+		liveOne, liveMax, procs, liveRatio, procs)
+	res.Rows = append(res.Rows,
+		[2]string{"live loopback, -partitions=1", fmt.Sprintf("%.0f tasklets/s", liveOne)},
+		[2]string{fmt.Sprintf("live loopback, -partitions=%d (GOMAXPROCS)", procs), fmt.Sprintf("%.0f tasklets/s", liveMax)},
+		[2]string{"live speedup", fmt.Sprintf("%.2fx", liveRatio)})
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("striping result processing across 8 partitions lifts saturation throughput %.2fx over the serialized core", ratio),
+		"dispatch stays on one scheduler line in every configuration; the lift comes entirely from parallel result/lifecycle processing")
+	if procs >= 8 {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("live gate active (GOMAXPROCS=%d >= 8): measured %.2fx", procs, liveRatio))
+		if liveRatio < 1.5 {
+			return nil, fmt.Errorf("e13: live P=%d speedup %.2fx is under the 1.5x floor on a %d-way host",
+				procs, liveRatio, procs)
+		}
+	} else {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("live rows informational on this %d-way host (gate requires GOMAXPROCS >= 8); the simulated series carries the claim", procs))
+	}
+	if ratio < 1.5 {
+		return nil, fmt.Errorf("e13: simulated P=8 speedup %.2fx is under the 1.5x floor (target 2x)", ratio)
+	}
+	return res, nil
+}

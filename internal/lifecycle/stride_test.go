@@ -1,0 +1,45 @@
+package lifecycle
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAttemptStride pins the partitioned attempt-ID allocation: engine i of
+// P allocates i+P, i+2P, ... (disjoint, never zero), and the zero-value
+// options keep the legacy 1, 2, 3, ... sequence.
+func TestAttemptStride(t *testing.T) {
+	launch := func(e *Engine, tid core.TaskletID) core.AttemptID {
+		e.Submit(core.Tasklet{ID: tid, Job: 1, Fuel: 10}, "", false)
+		aid, ok := e.Launched(tid, 1)
+		if !ok {
+			t.Fatalf("Launched(%d) not live", tid)
+		}
+		return aid
+	}
+
+	legacy := New(Options{})
+	for i, want := range []core.AttemptID{1, 2, 3} {
+		if got := launch(legacy, core.TaskletID(i+1)); got != want {
+			t.Fatalf("legacy attempt %d = %d, want %d", i, got, want)
+		}
+	}
+
+	const P = 4
+	seen := map[core.AttemptID]bool{}
+	for part := 0; part < P; part++ {
+		e := New(Options{AttemptOffset: uint64(part), AttemptStride: P})
+		for n := 1; n <= 3; n++ {
+			aid := launch(e, core.TaskletID(100*part+n))
+			want := core.AttemptID(part + n*P)
+			if aid != want {
+				t.Fatalf("partition %d attempt %d = %d, want %d", part, n, aid, want)
+			}
+			if aid == 0 || seen[aid] {
+				t.Fatalf("attempt ID %d zero or duplicated", aid)
+			}
+			seen[aid] = true
+		}
+	}
+}

@@ -29,6 +29,7 @@ package memo
 import (
 	"container/list"
 	"encoding/binary"
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
@@ -180,10 +181,13 @@ type Config struct {
 
 // Cache is a bounded, TTL-expiring, content-addressed LRU of finalized
 // tasklet results. All methods are safe to call on a nil receiver (they
-// behave as a cache that never hits and never stores); otherwise the caller
-// must serialize access (the broker calls it under its own mutex, the
-// provider and simulator likewise).
+// behave as a cache that never hits and never stores). The cache carries its
+// own mutex so it can be shared by concurrent callers — the partitioned
+// broker runs one cache under all partition engines so repeats hit across
+// partitions. Returned entries are immutable after storage; callers clone
+// via CachedResult before mutating anything.
 type Cache struct {
+	mu         sync.Mutex
 	maxEntries int
 	maxBytes   int
 	ttl        time.Duration
@@ -262,6 +266,8 @@ func (c *Cache) Get(key Key, strength int, fuel uint64) *Entry {
 	if c == nil {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
 		inc(c.misses)
@@ -293,6 +299,8 @@ func (c *Cache) Put(key Key, ret tvm.Value, emitted []tvm.Value, fuelUsed uint64
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		if el.Value.(*cacheItem).entry.Strength > strength {
 			return
@@ -332,6 +340,8 @@ func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.order.Len()
 }
 
@@ -340,6 +350,8 @@ func (c *Cache) Bytes() int {
 	if c == nil {
 		return 0
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.bytes
 }
 

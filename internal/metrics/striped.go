@@ -1,0 +1,111 @@
+package metrics
+
+import "sync/atomic"
+
+// This file implements lock-striped metric cells. A hot counter that many
+// cores increment concurrently bounces one cache line between them; Shard
+// splits the counter into per-caller cells (one per broker partition) that
+// live on distinct cache lines, and Value sums base + cells on the (cold)
+// read path. The exported Counter/Histogram API is unchanged — readers keep
+// calling Value/Quantile/... on the parent and see the merged totals.
+
+// CounterCell is one stripe of a sharded Counter. It is padded to a cache
+// line so adjacent cells never false-share. Increments on a cell are folded
+// into the parent's Value on read.
+type CounterCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Inc adds one to the cell.
+func (c *CounterCell) Inc() { c.v.Add(1) }
+
+// Add adds delta to the cell. Negative deltas are ignored, matching
+// Counter.Add's monotonicity contract.
+func (c *CounterCell) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Shard ensures the counter has at least n cells. It is idempotent and safe
+// to call concurrently; cells already handed out remain valid (growth copies
+// cell pointers, never cell state).
+func (c *Counter) Shard(n int) {
+	for {
+		cur := c.cells.Load()
+		if cur != nil && len(*cur) >= n {
+			return
+		}
+		var grown []*CounterCell
+		if cur != nil {
+			grown = append(grown, *cur...)
+		}
+		for len(grown) < n {
+			grown = append(grown, &CounterCell{})
+		}
+		if c.cells.CompareAndSwap(cur, &grown) {
+			return
+		}
+	}
+}
+
+// Cell returns stripe i, growing the cell set if needed.
+func (c *Counter) Cell(i int) *CounterCell {
+	c.Shard(i + 1)
+	return (*c.cells.Load())[i]
+}
+
+// cellSum returns the total held in the stripes.
+func (c *Counter) cellSum() int64 {
+	cur := c.cells.Load()
+	if cur == nil {
+		return 0
+	}
+	var total int64
+	for _, cell := range *cur {
+		total += cell.v.Load()
+	}
+	return total
+}
+
+// Shard ensures the histogram has at least n cells. Each cell is itself a
+// Histogram that observers record into without contending on the parent's
+// mutex; parent read methods drain cell samples into the base sample set
+// before answering, so totals and percentiles cover every stripe.
+func (h *Histogram) Shard(n int) {
+	h.mu.Lock()
+	for len(h.cells) < n {
+		h.cells = append(h.cells, &Histogram{})
+	}
+	h.mu.Unlock()
+}
+
+// Cell returns stripe i, growing the cell set if needed. Cells must not be
+// sharded themselves.
+func (h *Histogram) Cell(i int) *Histogram {
+	h.mu.Lock()
+	for len(h.cells) <= i {
+		h.cells = append(h.cells, &Histogram{})
+	}
+	c := h.cells[i]
+	h.mu.Unlock()
+	return c
+}
+
+// drainCellsLocked moves every stripe's samples into the parent's sample
+// set. Callers must hold h.mu. Observations racing with the drain simply
+// land in their cell and are folded in by the next read.
+func (h *Histogram) drainCellsLocked() {
+	for _, c := range h.cells {
+		c.mu.Lock()
+		if len(c.vals) > 0 {
+			h.vals = append(h.vals, c.vals...)
+			h.sum += c.sum
+			h.sorted = false
+			c.vals = c.vals[:0]
+			c.sum = 0
+		}
+		c.mu.Unlock()
+	}
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterShardMergesCells(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Shard(4)
+	for i := 0; i < 4; i++ {
+		c.Cell(i).Inc()
+		c.Cell(i).Add(int64(i))
+	}
+	c.Cell(2).Add(-7) // negative deltas ignored on cells too
+	want := int64(5 + 4 + 0 + 1 + 2 + 3)
+	if got := c.Value(); got != want {
+		t.Fatalf("Value() = %d, want %d", got, want)
+	}
+	// Growing the cell set preserves existing stripes.
+	c.Shard(8)
+	if got := c.Value(); got != want {
+		t.Fatalf("Value() after regrow = %d, want %d", got, want)
+	}
+}
+
+func TestCounterShardConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cell := c.Cell(w)
+			for i := 0; i < per; i++ {
+				cell.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value() = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramCellsMergeOnRead(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Shard(2)
+	h.Cell(0).Observe(2)
+	h.Cell(1).Observe(3)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count() = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 6 {
+		t.Fatalf("Sum() = %g, want 6", got)
+	}
+	if got := h.Quantile(1); got != 3 {
+		t.Fatalf("Max = %g, want 3", got)
+	}
+	// Reads drain cells; a second read must not double-count.
+	if got := h.Count(); got != 3 {
+		t.Fatalf("second Count() = %d, want 3", got)
+	}
+	h.Cell(0).Observe(10)
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count() after late observe = %d, want 4", got)
+	}
+	h.Reset()
+	if got := h.Count(); got != 0 {
+		t.Fatalf("Count() after Reset = %d, want 0", got)
+	}
+}
